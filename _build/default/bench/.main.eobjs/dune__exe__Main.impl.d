@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Format Hashtbl List Measure Microbench Staged Sys Tables Test Time Toolkit Unix

@@ -1,0 +1,1 @@
+bench/microbench.ml: Array Asc_core Asc_crypto Format Kernel Lazy List Option Oskernel Personality Printf Process String Svm Syscall Systrace

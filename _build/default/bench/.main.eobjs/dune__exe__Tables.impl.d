@@ -1,0 +1,1 @@
+bench/tables.ml: Asc_core Asc_crypto Attacks Format Kernel List Option Oskernel Personality Plto Printf Process String Svm Syscall Systrace Workloads

@@ -1,0 +1,1 @@
+bin/asc_install.ml: Arg Asc_core Cmd Cmdliner Common Filename Format List Minic Oskernel Result Svm Term

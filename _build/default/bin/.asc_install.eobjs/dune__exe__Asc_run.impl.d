@@ -1,0 +1,1 @@
+bin/asc_run.ml: Arg Asc_core Cmd Cmdliner Common Filename Format Kernel List Oskernel Printf Process Result String Svm Term Vfs Workloads

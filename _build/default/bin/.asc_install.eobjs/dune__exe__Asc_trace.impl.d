@@ -1,0 +1,1 @@
+bin/asc_trace.ml: Arg Array Cmd Cmdliner Common Filename Format Hashtbl Kernel List Oskernel Printf Result String Svm Syscall Term Workloads

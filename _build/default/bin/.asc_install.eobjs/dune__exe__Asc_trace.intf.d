@@ -1,0 +1,1 @@
+bin/asc_trace.mli:

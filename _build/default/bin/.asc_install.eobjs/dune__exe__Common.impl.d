@@ -1,0 +1,1 @@
+bin/common.ml: Asc_crypto Filename Minic Oskernel Personality Printf String Svm Workloads

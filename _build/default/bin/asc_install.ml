@@ -1,0 +1,120 @@
+(* The trusted installer CLI: reads a program (SEF binary, MiniC source, or
+   a named workload), generates its policy by static analysis and rewrites
+   it with authenticated system calls. *)
+
+open Cmdliner
+
+let run input output key_hex os policy_only no_cf extensions program_id library lib_base =
+  let ( let* ) = Result.bind in
+  let result =
+    let* personality = Common.personality_of_string os in
+    if library then begin
+      (* §5.2: install a shared library from MiniC source *)
+      let* src = (try Ok (Common.read_file input) with Sys_error e -> Error e) in
+      let* img = Minic.Driver.compile_library ~personality ~base:lib_base src in
+      let exports = Minic.Driver.exports img ~prefix_blacklist:[ "str_"; "L"; "__" ] in
+      let* key = Common.key_of_hex key_hex in
+      let options =
+        { Asc_core.Installer.control_flow = false; use_extensions = extensions; program_id }
+      in
+      let* lib =
+        Asc_core.Installer.install_library ~key ~personality ~options
+          ~program:(Filename.basename input) ~exports img
+      in
+      let out = match output with Some o -> o | None -> input ^ ".lib.sef" in
+      Common.write_file out (Svm.Obj_file.serialize lib.Asc_core.Installer.lib_image);
+      Format.printf "installed library %s -> %s (base 0x%x)@." input out lib_base;
+      List.iter
+        (fun (n, a) -> Format.printf "  export %-24s 0x%x@." n a)
+        lib.Asc_core.Installer.lib_exports;
+      List.iter
+        (Format.printf "  set aside for static linking: %s@.")
+        lib.Asc_core.Installer.lib_rejected;
+      Ok ()
+    end
+    else
+    let* img, _w = Common.load_program ~personality input in
+    let options =
+      { Asc_core.Installer.control_flow = not no_cf;
+        use_extensions = extensions;
+        program_id }
+    in
+    let program = Filename.basename input in
+    if policy_only then begin
+      let* policy = Asc_core.Installer.generate_policy ~personality ~options ~program img in
+      Format.printf "# policy for %s on %s@." program (Oskernel.Personality.os_name personality);
+      List.iter (Format.printf "%a@." Asc_core.Policy.pp_site) policy.Asc_core.Policy.sites;
+      List.iter (Format.printf "# warning: %s@.") policy.Asc_core.Policy.warnings;
+      Format.printf "# %d sites, %d distinct system calls@."
+        (List.length policy.Asc_core.Policy.sites)
+        (List.length (Asc_core.Policy.distinct_calls policy));
+      Ok ()
+    end
+    else begin
+      let* key = Common.key_of_hex key_hex in
+      let* inst = Asc_core.Installer.install ~key ~personality ~options ~program img in
+      let out = match output with Some o -> o | None -> input ^ ".asc" in
+      Common.write_file out (Svm.Obj_file.serialize inst.Asc_core.Installer.image);
+      Format.printf "installed %s -> %s: %d sites authenticated, %d bytes of .asc@." input out
+        inst.Asc_core.Installer.sites inst.Asc_core.Installer.asc_bytes;
+      List.iter (Format.printf "warning: %s@.") inst.Asc_core.Installer.policy.Asc_core.Policy.warnings;
+      Ok ()
+    end
+  in
+  match result with
+  | Ok () -> 0
+  | Error e ->
+    Format.eprintf "asc-install: %s@." e;
+    1
+
+let input_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM"
+         ~doc:"Input: a SEF binary, MiniC source (.mc), or workload:NAME.")
+
+let output_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Output path for the authenticated binary (default: input + .asc).")
+
+let key_arg =
+  Arg.(value & opt string "000102030405060708090a0b0c0d0e0f"
+       & info [ "k"; "key" ] ~docv:"HEX" ~doc:"128-bit MAC key as 32 hex digits.")
+
+let os_arg =
+  Arg.(value & opt string "linux" & info [ "os" ] ~docv:"OS"
+         ~doc:"OS personality: linux or openbsd.")
+
+let policy_only_arg =
+  Arg.(value & flag & info [ "p"; "policy-only" ]
+         ~doc:"Only generate and print the policy (works even for binaries that \
+               cannot be completely disassembled).")
+
+let no_cf_arg =
+  Arg.(value & flag & info [ "no-control-flow" ]
+         ~doc:"Omit control-flow (predecessor set) policies.")
+
+let ext_arg =
+  Arg.(value & flag & info [ "extensions" ]
+         ~doc:"Enable the §5 extensions (multi-value argument sets).")
+
+let pid_arg =
+  Arg.(value & opt int 1 & info [ "program-id" ] ~docv:"N"
+         ~doc:"Program identifier making block ids globally unique (§5.5).")
+
+let library_arg =
+  Arg.(value & flag & info [ "library" ]
+         ~doc:"Treat the input as MiniC shared-library source (§5.2): compile at \
+               --base, partition by the strict metapolicy, authenticate the rest.")
+
+let base_arg =
+  Arg.(value & opt int 0x100000 & info [ "base" ] ~docv:"ADDR"
+         ~doc:"Fixed load address for --library.")
+
+let cmd =
+  let doc = "generate system-call policies and install authenticated system calls" in
+  Cmd.v
+    (Cmd.info "asc-install" ~doc)
+    Term.(
+      const run $ input_arg $ output_arg $ key_arg $ os_arg $ policy_only_arg $ no_cf_arg
+      $ ext_arg $ pid_arg $ library_arg $ base_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,126 @@
+(* Run a program on the simulated kernel, optionally under authenticated-
+   system-call enforcement. *)
+
+open Cmdliner
+open Oskernel
+
+let run input key_hex os enforce stdin_text normalize files libs =
+  let ( let* ) = Result.bind in
+  let result =
+    let* personality = Common.personality_of_string os in
+    let* img, w = Common.load_program ~personality input in
+    let kernel = Kernel.create ~personality () in
+    (match w with Some w -> w.Workloads.Registry.setup kernel | None -> ());
+    (* --file path=contents entries populate the VFS *)
+    let* () =
+      List.fold_left
+        (fun acc spec ->
+          let* () = acc in
+          match String.index_opt spec '=' with
+          | None -> Error (Printf.sprintf "--file expects PATH=CONTENTS, got %S" spec)
+          | Some i ->
+            let path = String.sub spec 0 i in
+            let contents = String.sub spec (i + 1) (String.length spec - i - 1) in
+            (match Vfs.create_file kernel.Kernel.vfs ~cwd:"/" path ~contents with
+             | Ok () -> Ok ()
+             | Error e -> Error (Oskernel.Errno.name e)))
+        (Ok ()) files
+    in
+    let* () =
+      if not enforce then Ok ()
+      else
+        let* key = Common.key_of_hex key_hex in
+        Kernel.set_monitor kernel
+          (Some (Asc_core.Checker.monitor ~kernel ~key ~normalize_paths:normalize ()));
+        Ok ()
+    in
+    let stdin =
+      match (stdin_text, w) with
+      | Some s, _ -> s
+      | None, Some w -> w.Workloads.Registry.stdin
+      | None, None -> ""
+    in
+    let* lib_imgs =
+      List.fold_left
+        (fun acc path ->
+          let* acc = acc in
+          let* contents = (try Ok (Common.read_file path) with Sys_error e -> Error e) in
+          match Svm.Obj_file.parse contents with
+          | Ok img -> Ok (img :: acc)
+          | Error e -> Error (Printf.sprintf "%s: %s" path e))
+        (Ok []) libs
+    in
+    let* proc =
+      try
+        Ok
+          (Kernel.spawn kernel ~stdin ~libs:(List.rev lib_imgs)
+             ~program:(Filename.basename input) img)
+      with Invalid_argument e -> Error e
+    in
+    let stop = Kernel.run kernel proc ~max_cycles:2_000_000_000 in
+    print_string (Kernel.stdout_of proc);
+    let err = Kernel.stderr_of proc in
+    if err <> "" then Format.eprintf "%s" err;
+    Format.eprintf "[%d cycles]@." proc.Process.machine.Svm.Machine.cycles;
+    (match stop with
+     | Svm.Machine.Halted code ->
+       Format.eprintf "[exit %d]@." code;
+       Ok code
+     | Svm.Machine.Killed reason ->
+       Format.eprintf "[killed: %s]@." reason;
+       List.iter (Format.eprintf "[audit] %s@.") (Kernel.audit_log kernel);
+       Ok 137
+     | Svm.Machine.Faulted (_, pc) ->
+       Format.eprintf "[fault at 0x%x]@." pc;
+       Ok 139
+     | Svm.Machine.Cycle_limit ->
+       Format.eprintf "[cycle limit]@.";
+       Ok 124)
+  in
+  match result with
+  | Ok code -> code
+  | Error e ->
+    Format.eprintf "asc-run: %s@." e;
+    1
+
+let input_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM"
+         ~doc:"SEF binary, MiniC source (.mc), or workload:NAME.")
+
+let key_arg =
+  Arg.(value & opt string "000102030405060708090a0b0c0d0e0f"
+       & info [ "k"; "key" ] ~docv:"HEX" ~doc:"128-bit MAC key (must match the installer's).")
+
+let os_arg =
+  Arg.(value & opt string "linux" & info [ "os" ] ~docv:"OS" ~doc:"linux or openbsd.")
+
+let enforce_arg =
+  Arg.(value & flag & info [ "e"; "enforce" ]
+         ~doc:"Enable the in-kernel authenticated-system-call checker.")
+
+let stdin_arg =
+  Arg.(value & opt (some string) None & info [ "stdin" ] ~docv:"TEXT"
+         ~doc:"Text supplied on the program's standard input.")
+
+let normalize_arg =
+  Arg.(value & flag & info [ "normalize-paths" ]
+         ~doc:"Also apply §5.4 in-kernel file name normalization.")
+
+let file_arg =
+  Arg.(value & opt_all string [] & info [ "file" ] ~docv:"PATH=CONTENTS"
+         ~doc:"Create a file in the simulated VFS before the run (repeatable).")
+
+let lib_arg =
+  Arg.(value & opt_all string [] & info [ "lib" ] ~docv:"FILE"
+         ~doc:"Map a shared-library SEF image (from asc-install --library) into the \
+               process (repeatable).")
+
+let cmd =
+  let doc = "run a program on the simulated kernel" in
+  Cmd.v
+    (Cmd.info "asc-run" ~doc)
+    Term.(
+      const run $ input_arg $ key_arg $ os_arg $ enforce_arg $ stdin_arg $ normalize_arg
+      $ file_arg $ lib_arg)
+
+let () = exit (Cmd.eval' cmd)

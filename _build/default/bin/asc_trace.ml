@@ -1,0 +1,92 @@
+(* strace(1) analogue for the simulated kernel: print every system call a
+   program makes — the tool used to "verify by hand using a system call
+   tracer on actual runs" (§4.2), and the data source for Systrace-style
+   training. *)
+
+open Cmdliner
+open Oskernel
+
+let run input os stdin_text summary =
+  let ( let* ) = Result.bind in
+  let result =
+    let* personality = Common.personality_of_string os in
+    let* img, w = Common.load_program ~personality input in
+    let kernel = Kernel.create ~personality () in
+    (match w with Some w -> w.Workloads.Registry.setup kernel | None -> ());
+    kernel.Kernel.tracing <- true;
+    let stdin =
+      match (stdin_text, w) with
+      | Some s, _ -> s
+      | None, Some w -> w.Workloads.Registry.stdin
+      | None, None -> ""
+    in
+    let proc = Kernel.spawn kernel ~stdin ~program:(Filename.basename input) img in
+    let stop = Kernel.run kernel proc ~max_cycles:2_000_000_000 in
+    let trace = Kernel.trace kernel in
+    if summary then begin
+      let counts = Hashtbl.create 16 in
+      List.iter
+        (fun t ->
+          let name =
+            match t.Kernel.t_sem with
+            | Some s -> Syscall.name s
+            | None -> Printf.sprintf "syscall#%d" t.Kernel.t_number
+          in
+          Hashtbl.replace counts name (1 + try Hashtbl.find counts name with Not_found -> 0))
+        trace;
+      let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [] in
+      List.iter
+        (fun (name, n) -> Format.printf "%6d  %s@." n name)
+        (List.sort (fun (_, a) (_, b) -> compare b a) rows);
+      Format.printf "%6d  total@." (List.length trace)
+    end
+    else
+      List.iter
+        (fun t ->
+          let name =
+            match t.Kernel.t_sem with
+            | Some s -> Syscall.name s
+            | None -> Printf.sprintf "syscall#%d" t.Kernel.t_number
+          in
+          Format.printf "%s(%s) @@ 0x%x = %d@." name
+            (String.concat ", " (Array.to_list (Array.map string_of_int t.Kernel.t_args)))
+            t.Kernel.t_site t.Kernel.t_result)
+        trace;
+    (match stop with
+     | Svm.Machine.Halted code ->
+       Format.eprintf "[exit %d]@." code;
+       Ok 0
+     | Svm.Machine.Killed reason ->
+       Format.eprintf "[killed: %s]@." reason;
+       Ok 137
+     | Svm.Machine.Faulted (_, pc) ->
+       Format.eprintf "[fault at 0x%x]@." pc;
+       Ok 139
+     | Svm.Machine.Cycle_limit ->
+       Format.eprintf "[cycle limit]@.";
+       Ok 124)
+  in
+  match result with
+  | Ok code -> code
+  | Error e ->
+    Format.eprintf "asc-trace: %s@." e;
+    1
+
+let input_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM"
+         ~doc:"SEF binary, MiniC source (.mc), or workload:NAME.")
+
+let os_arg = Arg.(value & opt string "linux" & info [ "os" ] ~docv:"OS" ~doc:"linux or openbsd.")
+
+let stdin_arg =
+  Arg.(value & opt (some string) None & info [ "stdin" ] ~docv:"TEXT"
+         ~doc:"Text supplied on standard input.")
+
+let summary_arg =
+  Arg.(value & flag & info [ "c"; "summary" ] ~doc:"Print per-syscall counts instead of a log.")
+
+let cmd =
+  let doc = "trace the system calls of a program on the simulated kernel" in
+  Cmd.v (Cmd.info "asc-trace" ~doc) Term.(const run $ input_arg $ os_arg $ stdin_arg $ summary_arg)
+
+let () = exit (Cmd.eval' cmd)

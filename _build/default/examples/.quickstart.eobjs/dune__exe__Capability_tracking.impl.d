@@ -1,0 +1,1 @@
+examples/capability_tracking.ml: Asc_core Asc_crypto Format Kernel List Minic Oskernel Personality String Svm Vfs

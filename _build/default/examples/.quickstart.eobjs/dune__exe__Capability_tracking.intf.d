@@ -1,0 +1,1 @@
+examples/capability_tracking.mli:

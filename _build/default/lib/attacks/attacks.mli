@@ -1,0 +1,37 @@
+(** The attack experiments of §4.1 and §5.5.
+
+    The victim is the paper's: a program that reads a file name into a
+    32-byte stack buffer through an unbounded read and then invokes
+    [/bin/ls]. The attacker controls stdin, knows the binary (the threat
+    model grants access to source, binary, debuggers and simulators) and
+    smashes the stack to divert control.
+
+    Three §4.1 attacks, each run unprotected (must succeed — the baseline
+    vulnerability is real) and under authenticated system calls (must be
+    blocked):
+    - {!shellcode}: inject code that issues [execve("/bin/sh")];
+    - {!mimicry}: reuse a complete authenticated call sequence copied from
+      another installed application;
+    - {!non_control_data}: overwrite the [execve] argument string
+      ["/bin/ls"] with ["/bin/sh"] in place (no control-flow hijack).
+
+    Plus §5.5's {!frankenstein}: a program composed of authenticated calls
+    from two applications; with globally unique block ids it is forced to
+    execute the calls of a single application only. *)
+
+type outcome =
+  | Succeeded of string  (** attacker's goal reached; payload = evidence *)
+  | Blocked of string    (** monitor killed the process; reason *)
+  | Crashed of string    (** process faulted before reaching the goal *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val shellcode : protected:bool -> outcome
+val mimicry : protected:bool -> outcome
+val non_control_data : protected:bool -> outcome
+
+val frankenstein : cross:bool -> outcome
+(** [cross:true] splices application B's authenticated call after
+    application A's chain (must be blocked); [cross:false] runs B's own
+    chain alone from start (allowed — the Frankenstein program is confined
+    to a single application's calls, the paper's stated guarantee). *)

@@ -1,0 +1,1 @@
+lib/core/auth_string.ml: Asc_crypto Buffer Bytes Char String

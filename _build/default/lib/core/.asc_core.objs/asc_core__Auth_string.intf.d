@@ -1,0 +1,1 @@
+lib/core/auth_string.mli: Asc_crypto

@@ -1,0 +1,1 @@
+lib/core/captrack.ml: Array Hashtbl Kernel List Oskernel Personality Printf Process Svm Syscall Syscall_sig

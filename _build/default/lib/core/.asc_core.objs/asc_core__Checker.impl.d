@@ -1,0 +1,1 @@
+lib/core/checker.ml: Array Asc_crypto Auth_string Char Cost_model Descriptor Encoded Format Kernel List Machine Option Oskernel Patterns Personality Printf Process String Svm Syscall_sig Vfs

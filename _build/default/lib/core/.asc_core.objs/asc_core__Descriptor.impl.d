@@ -1,0 +1,1 @@
+lib/core/descriptor.ml: Format List String

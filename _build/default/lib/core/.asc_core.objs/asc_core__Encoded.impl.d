@@ -1,0 +1,1 @@
+lib/core/encoded.ml: Buffer Char Descriptor List String

@@ -1,0 +1,1 @@
+lib/core/encoded.mli: Descriptor

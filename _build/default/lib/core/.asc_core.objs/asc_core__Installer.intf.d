@@ -1,0 +1,1 @@
+lib/core/installer.mli: Asc_crypto Metapolicy Oskernel Policy Svm

@@ -1,0 +1,1 @@
+lib/core/metapolicy.ml: Array Format List Oskernel Policy

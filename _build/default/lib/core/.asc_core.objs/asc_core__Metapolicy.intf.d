@@ -1,0 +1,1 @@
+lib/core/metapolicy.mli: Format Oskernel Policy

@@ -1,0 +1,36 @@
+let header_size = 20
+let max_len = 1 lsl 20
+
+let mac_of key contents = Asc_crypto.Cmac.mac key contents
+
+let build key contents =
+  let b = Buffer.create (header_size + String.length contents) in
+  let len = String.length contents in
+  Buffer.add_char b (Char.chr (len land 0xff));
+  Buffer.add_char b (Char.chr ((len lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr ((len lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((len lsr 24) land 0xff));
+  Buffer.add_string b (mac_of key contents);
+  Buffer.add_string b contents;
+  Buffer.contents b
+
+let total_size contents = header_size + String.length contents
+
+let read_header byte_at ~ptr =
+  let base = ptr - header_size in
+  let get i = byte_at (base + i) in
+  match (get 0, get 1, get 2, get 3) with
+  | Some b0, Some b1, Some b2, Some b3 ->
+    let len = b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24) in
+    if len < 0 || len > max_len then None
+    else begin
+      let mac = Bytes.create 16 in
+      let ok = ref true in
+      for i = 0 to 15 do
+        match get (4 + i) with
+        | Some b -> Bytes.set mac i (Char.chr b)
+        | None -> ok := false
+      done;
+      if !ok then Some (len, Bytes.to_string mac) else None
+    end
+  | _ -> None

@@ -1,0 +1,25 @@
+(** Authenticated strings (§3.2): "a new authenticated string (AS)
+    abstraction that is represented as the tuple
+    [{length, MAC, string}], where [length] is a 4 byte entry, [MAC] is a
+    128 bit message authentication code computed over the contents of the
+    string, and [string] is the contents of the string."
+
+    The argument pointer passed to the kernel points at [string]; the
+    20-byte [{length, MAC}] header sits immediately before it. *)
+
+val header_size : int
+(** 20 bytes: 4-byte little-endian length + 16-byte MAC. *)
+
+val build : Asc_crypto.Cmac.key -> string -> string
+(** Serialized AS: header followed by contents. *)
+
+val total_size : string -> int
+(** [header_size + length contents]. *)
+
+val mac_of : Asc_crypto.Cmac.key -> string -> string
+(** The 16-byte content MAC (as stored in the header). *)
+
+val read_header : (int -> int option) -> ptr:int -> (int * string) option
+(** [read_header byte_at ~ptr] reads the [{length, MAC}] header preceding a
+    string pointer from application memory via [byte_at]; [None] if any
+    byte is unreadable or the length is implausible (negative or > 1 MiB). *)

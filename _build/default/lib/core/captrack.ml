@@ -1,0 +1,51 @@
+open Oskernel
+
+let monitor_for personality =
+  (* pid -> live descriptor set *)
+  let live : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  let set_of pid =
+    match Hashtbl.find_opt live pid with
+    | Some s -> s
+    | None ->
+      let s = Hashtbl.create 16 in
+      Hashtbl.replace live pid s;
+      s
+  in
+  let issued (p : Process.t) fd = fd >= 0 && fd <= 2 || Hashtbl.mem (set_of p.Process.pid) fd in
+  let sem_of (p : Process.t) number =
+    match Personality.sem_of personality number with
+    | Some Syscall.Indirect ->
+      Personality.indirect_target personality p.Process.machine.Svm.Machine.regs.(1)
+    | other -> other
+  in
+  { Kernel.monitor_name = "captrack";
+    pre_syscall =
+      (fun p ~site:_ ~number ->
+        match sem_of p number with
+        | None -> Kernel.Allow
+        | Some sem ->
+          let params = Syscall_sig.params sem in
+          let bad =
+            List.exists
+              (fun (i, prm) ->
+                prm = Syscall_sig.P_fd && not (issued p p.Process.machine.Svm.Machine.regs.(i + 1)))
+              (List.mapi (fun i prm -> (i, prm)) params)
+          in
+          if bad then
+            Kernel.Deny
+              (Printf.sprintf "capability violation: %s used a descriptor never issued"
+                 (Syscall.name sem))
+          else Kernel.Allow);
+    post_syscall =
+      (fun p ~site:_ ~sem ~result ->
+        match sem with
+        | Some (Syscall.Open | Syscall.Socket | Syscall.Dup | Syscall.Dup2) when result >= 0 ->
+          Hashtbl.replace (set_of p.Process.pid) result ()
+        | Some Syscall.Close ->
+          Hashtbl.remove (set_of p.Process.pid) p.Process.machine.Svm.Machine.regs.(1)
+        | Some Syscall.Execve when result = 0 ->
+          (* new program image: previously issued descriptors are revoked *)
+          Hashtbl.reset (set_of p.Process.pid)
+        | Some _ | None -> ()) }
+
+let monitor () = monitor_for Personality.linux

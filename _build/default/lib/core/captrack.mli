@@ -1,0 +1,26 @@
+(** Capability tracking (§5.3): "the ability to specify that an argument to
+    a system call be based on arguments or return values of previous system
+    calls. An example would be a policy for a read system call that
+    requires that the file descriptor argument be a value returned by a
+    previous open system call."
+
+    This implements the refined scheme the section sketches: a set of
+    currently active descriptors, added to by [open]/[socket]/[dup] and
+    removed from by [close], so repeated opens, multiple live descriptors
+    and descriptor reuse after close all behave correctly. The set lives in
+    kernel memory keyed by pid; the paper's alternative — an authenticated
+    dictionary kept in application memory — is a possible optimization
+    noted in DESIGN.md.
+
+    Compose with the ASC checker via {!Oskernel.Kernel.compose_monitors}. *)
+
+val monitor : unit -> Oskernel.Kernel.monitor
+(** Denies any call whose file-descriptor argument (per
+    {!Oskernel.Syscall_sig}) names a descriptor that was never issued to
+    the process (std streams 0–2 are always granted). Needs the kernel's
+    personality implicitly through the trap numbers, so it resolves
+    semantics via the process's kernel — pass the same personality the
+    kernel uses. *)
+
+val monitor_for : Oskernel.Personality.t -> Oskernel.Kernel.monitor
+(** Explicit-personality variant. *)

@@ -1,0 +1,183 @@
+open Svm
+open Oskernel
+module Cmac = Asc_crypto.Cmac
+
+exception Deny of string
+
+let deny fmt = Format.kasprintf (fun s -> raise (Deny s)) fmt
+
+let charge (m : Machine.t) n = m.cycles <- m.cycles + n
+
+let read_mac m addr =
+  match Machine.read_mem m ~addr ~len:16 with
+  | Some s -> s
+  | None -> deny "call MAC pointer 0x%x unreadable" addr
+
+let read_as_header m ~ptr what =
+  match Auth_string.read_header (Machine.read_byte m) ~ptr with
+  | Some (len, mac) -> { Encoded.as_addr = ptr; as_len = len; as_mac = mac }
+  | None -> deny "%s: bad authenticated-string header at 0x%x" what ptr
+
+let verify_as m key (r : Encoded.as_ref) what =
+  match Machine.read_mem m ~addr:r.as_addr ~len:r.as_len with
+  | None -> deny "%s: string contents unreadable" what
+  | Some contents ->
+    charge m (Cost_model.mac_cost r.as_len);
+    if not (Cmac.equal_tags (Auth_string.mac_of key contents) r.as_mac) then
+      deny "%s: string authentication failed" what;
+    contents
+
+(* parse a verified §5 extension block: sequence of
+   [u8 argidx][u8 kind][u8 n][payload] entries *)
+let parse_ext contents =
+  let n = String.length contents in
+  let byte i = Char.code contents.[i] in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else if i + 3 > n then deny "malformed extension block"
+    else begin
+      let argi = byte i and kind = byte (i + 1) and count = byte (i + 2) in
+      match kind with
+      | 1 ->
+        let need = 8 * count in
+        if i + 3 + need > n then deny "malformed extension set";
+        let vs =
+          List.init count (fun k ->
+              let base = i + 3 + (8 * k) in
+              let v = ref 0 in
+              for j = 7 downto 0 do
+                v := (!v lsl 8) lor byte (base + j)
+              done;
+              !v)
+        in
+        go (i + 3 + need) ((argi, `Set vs) :: acc)
+      | 2 ->
+        if i + 3 + count > n then deny "malformed extension pattern";
+        go (i + 3 + count) ((argi, `Pattern (String.sub contents (i + 3) count)) :: acc)
+      | k -> deny "unknown extension kind %d" k
+    end
+  in
+  go 0 []
+
+let pre ~kernel ~key ~normalize_paths (p : Process.t) ~site ~number =
+  let m = p.machine in
+  charge m Cost_model.check_fixed;
+  let r i = m.regs.(i) in
+  let descriptor = r 7 in
+  if not (Descriptor.is_authenticated descriptor) then deny "unauthenticated system call";
+  let block = r 8 in
+  let pred_ptr = r 9 and lb_ptr = r 10 and mac_ptr = r 11 and ext_ptr = r 14 in
+  (* --- step 1: rebuild the encoded call and check the call MAC --- *)
+  let const_args = List.map (fun i -> (i, r (i + 1))) (Descriptor.const_args descriptor) in
+  let string_args =
+    List.map
+      (fun i -> (i, read_as_header m ~ptr:(r (i + 1)) (Printf.sprintf "argument %d" i)))
+      (Descriptor.string_args descriptor)
+  in
+  let ext =
+    if Descriptor.has_ext descriptor then Some (read_as_header m ~ptr:ext_ptr "extension block")
+    else None
+  in
+  let control =
+    if Descriptor.has_control_flow descriptor then
+      Some (read_as_header m ~ptr:pred_ptr "predecessor set", lb_ptr)
+    else None
+  in
+  let encoded =
+    Encoded.encode
+      { Encoded.e_number = number;
+        e_site = site;
+        e_descriptor = descriptor;
+        e_block = block;
+        e_const_args = const_args;
+        e_string_args = string_args;
+        e_ext = ext;
+        e_control = control }
+  in
+  charge m (Cost_model.mac_cost (String.length encoded));
+  let supplied = read_mac m mac_ptr in
+  if not (Cmac.equal_tags (Cmac.mac key encoded) supplied) then deny "call MAC mismatch";
+  (* --- step 2: verify authenticated string contents --- *)
+  let verified_strings =
+    List.map (fun (i, ar) -> (i, verify_as m key ar (Printf.sprintf "argument %d" i))) string_args
+  in
+  let ext_contents = Option.map (fun ar -> verify_as m key ar "extension block") ext in
+  (* --- step 3: control-flow policy --- *)
+  (match control with
+   | None -> ()
+   | Some (pred_ref, lbp) ->
+     let pred_contents = verify_as m key pred_ref "predecessor set" in
+     let last_block =
+       match Machine.read_word m lbp with
+       | Some v -> v
+       | None -> deny "policy state unreadable"
+     in
+     let lb_mac =
+       match Machine.read_mem m ~addr:(lbp + 8) ~len:16 with
+       | Some s -> s
+       | None -> deny "policy state MAC unreadable"
+     in
+     charge m (Cost_model.mac_cost 16);
+     let expect = Cmac.mac key (Encoded.state_bytes ~counter:p.counter ~last_block) in
+     if not (Cmac.equal_tags expect lb_mac) then deny "policy state corrupted";
+     if not (Encoded.predset_mem pred_contents last_block) then
+       deny "control-flow violation: block %d may not follow block %d" block last_block;
+     (* update: counter++ in kernel space, lastBlock/lbMAC in the application *)
+     p.counter <- p.counter + 1;
+     charge m (Cost_model.mac_cost 16);
+     let new_mac = Cmac.mac key (Encoded.state_bytes ~counter:p.counter ~last_block:block) in
+     if not (Machine.write_word m lbp block && Machine.write_mem m ~addr:(lbp + 8) new_mac) then
+       deny "policy state unwritable");
+  (* --- §5 extensions: allowed-value sets and argument patterns --- *)
+  (match ext_contents with
+   | None -> ()
+   | Some contents ->
+     List.iter
+       (fun (argi, e) ->
+         match e with
+         | `Set vs ->
+           if not (List.mem (r (argi + 1)) vs) then
+             deny "argument %d value %d not in allowed set" argi (r (argi + 1))
+         | `Pattern pat ->
+           (match Machine.read_cstring m ~addr:(r (argi + 1)) ~max:4096 with
+            | None -> deny "argument %d: unreadable string for pattern check" argi
+            | Some s ->
+              (match Patterns.compile pat with
+               | Error e -> deny "argument %d: bad pattern (%s)" argi e
+               | Ok cp ->
+                 charge m (Patterns.match_cost cp s);
+                 if not (Patterns.matches cp s) then
+                   deny "argument %d: %S does not match pattern %S" argi s pat)))
+       (parse_ext contents));
+  (* --- §5.4: in-kernel file name normalization --- *)
+  if normalize_paths then begin
+    match Personality.sem_of kernel.Kernel.pers number with
+    | None -> ()
+    | Some sem ->
+      let params = Array.of_list (Syscall_sig.params sem) in
+      List.iter
+        (fun (i, contents) ->
+          if i < Array.length params && params.(i) = Syscall_sig.P_path then begin
+            (* AS contents carry the NUL terminator; the pathname is the
+               prefix up to it *)
+            let path =
+              match String.index_opt contents '\000' with
+              | Some cut -> String.sub contents 0 cut
+              | None -> contents
+            in
+            match Vfs.normalize kernel.Kernel.vfs ~cwd:p.cwd path with
+            | Ok canon when canon <> path ->
+              deny "path %S normalizes to %S (possible symlink attack)" path canon
+            | Ok _ | Error _ -> ()
+          end)
+        verified_strings
+  end
+
+let monitor ~kernel ~key ?(normalize_paths = false) () =
+  { Kernel.monitor_name = "asc-checker";
+    pre_syscall =
+      (fun p ~site ~number ->
+        match pre ~kernel ~key ~normalize_paths p ~site ~number with
+        | () -> Kernel.Allow
+        | exception Deny reason -> Kernel.Deny reason);
+    post_syscall = Kernel.no_post }

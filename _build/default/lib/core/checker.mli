@@ -1,0 +1,27 @@
+(** Kernel-side system-call checking (§3.4) — the counterpart of the 248
+    lines the paper adds to the Linux software trap handler.
+
+    On every trap the checker: (1) rebuilds the *encoded call* from the
+    call's actual behavior — trap number, trap site, the five extra
+    arguments in r7–r11, and the constrained argument registers — and
+    compares its MAC against the call MAC supplied by the application;
+    (2) verifies the contents of every authenticated-string argument
+    (including the predecessor set and any §5 extension block);
+    (3) verifies and updates the control-flow policy state using the online
+    memory checker: [lbMAC = MAC(counter ++ lastBlock)] with the nonce
+    counter held in kernel memory ({!Oskernel.Process.t}'s [counter]).
+
+    Any failure terminates the process ([Deny]); unauthenticated calls
+    (descriptor marker absent) are likewise blocked. The checker charges
+    the modeled verification cycles ({!Svm.Cost_model}) to the machine, so
+    the Table 4/6 benchmarks reflect its cost. *)
+
+val monitor :
+  kernel:Oskernel.Kernel.t ->
+  key:Asc_crypto.Cmac.key ->
+  ?normalize_paths:bool ->
+  unit ->
+  Oskernel.Kernel.monitor
+(** [normalize_paths] additionally resolves every verified pathname
+    argument through the VFS and denies the call when normalization
+    changes it (the §5.4 symlink-race defense). Default [false]. *)

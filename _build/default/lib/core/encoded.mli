@@ -1,0 +1,51 @@
+(** The encoded policy / encoded call byte string (§3.3–§3.4).
+
+    The installer concatenates the policy elements into a self-contained
+    byte string (the {e encoded policy}) and MACs it; at run time the
+    kernel rebuilds the same byte string from the call's actual behavior
+    (the {e encoded call}) and compares MACs. The two are equal exactly when the
+    call complies with its policy, so one shared encoder is used by both
+    sides — any asymmetry would be a soundness bug.
+
+    Layout (all integers little-endian):
+    - u32 syscall number, u32 call site, u32 policy descriptor, u64 block id
+    - per numeric-constrained argument (descriptor bits 0–5, ascending):
+      u8 index, u64 value
+    - per string argument (descriptor bits 8–13, ascending):
+      u8 index, u32 string address, u32 length, 16-byte string MAC
+    - if the extension bit is set: u32 address, u32 length, 16-byte MAC of
+      the extension block
+    - if the control-flow bit is set: u32 predecessor-set address,
+      u32 length, 16-byte MAC, u32 policy-state (lastBlock) address *)
+
+type as_ref = {
+  as_addr : int;   (** address of the string contents (header precedes it) *)
+  as_len : int;
+  as_mac : string; (** 16 bytes *)
+}
+
+type t = {
+  e_number : int;
+  e_site : int;
+  e_descriptor : Descriptor.t;
+  e_block : int;
+  e_const_args : (int * int) list;    (** must match descriptor bits 0–5 *)
+  e_string_args : (int * as_ref) list;(** must match descriptor bits 8–13 *)
+  e_ext : as_ref option;
+  e_control : (as_ref * int) option;  (** predecessor set, lastBlock addr *)
+}
+
+val encode : t -> string
+(** @raise Invalid_argument if the argument lists disagree with the
+    descriptor bits or a MAC is not 16 bytes. *)
+
+val predset_contents : int list -> string
+(** Serialization of a predecessor set as AS contents: sorted unique u64
+    little-endian block ids. *)
+
+val predset_mem : string -> int -> bool
+(** Membership test on serialized predecessor-set contents. *)
+
+val state_bytes : counter:int -> last_block:int -> string
+(** The 16 bytes MAC'd for the policy state: u64 counter, u64 lastBlock
+    (the counter is the kernel-side nonce of the online memory checker). *)

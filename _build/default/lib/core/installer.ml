@@ -1,0 +1,576 @@
+open Svm
+open Oskernel
+module Cmac = Asc_crypto.Cmac
+
+type options = {
+  control_flow : bool;
+  use_extensions : bool;
+  program_id : int;
+}
+
+let default_options = { control_flow = true; use_extensions = false; program_id = 1 }
+let asc_section = ".asc"
+let start_block opts = opts.program_id lsl 20
+
+(* ----- reading string constants out of the source image ----- *)
+
+let string_at (img : Obj_file.t) addr =
+  match Obj_file.section_containing img addr with
+  | Some s when s.sec_kind = Obj_file.Rodata || s.sec_kind = Obj_file.Data ->
+    let off = addr - s.sec_addr in
+    let limit = min s.sec_size (off + 4096) in
+    let rec find i = if i >= limit then None else if s.sec_payload.[i] = '\000' then Some i else find (i + 1) in
+    (match find off with
+     | Some e -> Some (String.sub s.sec_payload off (e - off))
+     | None -> None)
+  | Some _ | None -> None
+
+(* ----- analysis ----- *)
+
+type site_info = {
+  si_bid : int;
+  si_number : int;
+  si_sem : Syscall.sem option;
+  si_args : Policy.arg_policy array;
+  si_analysis : Policy.arg_analysis array;
+  si_params : Syscall_sig.param array;
+  si_preds : int list option;
+  si_string_defs : (int * (int * int) list) list; (* arg idx -> movi def sites *)
+}
+
+let classify_arg source (p : Syscall_sig.param) (st : Plto.Dataflow.reg_state) ~use_extensions =
+  match p with
+  | Syscall_sig.P_out -> (Policy.A_any, Policy.An_out, [])
+  | Syscall_sig.P_int | Syscall_sig.P_fd | Syscall_sig.P_path | Syscall_sig.P_in ->
+    (match st with
+     | Plto.Dataflow.Vals [ { av_kind = Plto.Dataflow.KConst; av_val = v; _ } ] ->
+       (Policy.A_const v, Policy.An_const, [])
+     | Plto.Dataflow.Vals [ { av_kind = Plto.Dataflow.KData; av_val = a; av_defs = defs } ] ->
+       (match (p, string_at source a, defs) with
+        | Syscall_sig.P_path, Some content, _ :: _ -> (Policy.A_string content, Policy.An_const, defs)
+        | _ -> (Policy.A_data a, Policy.An_const, []))
+     | Plto.Dataflow.Vals vs ->
+       let n = List.length vs in
+       let all_const = List.for_all (fun v -> v.Plto.Dataflow.av_kind = Plto.Dataflow.KConst) vs in
+       if use_extensions && all_const then
+         (Policy.A_one_of (List.map (fun v -> v.Plto.Dataflow.av_val) vs), Policy.An_multi n, [])
+       else (Policy.A_any, Policy.An_multi n, [])
+     | Plto.Dataflow.Res -> (Policy.A_any, Policy.An_sys_result, [])
+     | Plto.Dataflow.Any | Plto.Dataflow.Bot -> (Policy.A_any, Policy.An_unknown, []))
+
+(* bids of the blocks whose original addresses are the given roots (e.g. a
+   library's exported functions) *)
+let bids_of_addrs prog addrs =
+  List.filter_map
+    (fun (b : Plto.Ir.block) ->
+      match b.Plto.Ir.orig_addr with
+      | Some a when List.mem a addrs -> Some b.Plto.Ir.bid
+      | _ -> None)
+    prog.Plto.Ir.blocks
+
+let analyze ?(keep_addrs = []) ~personality ~options (img : Obj_file.t) =
+  if options.program_id < 0 || options.program_id > 2047 then
+    Error
+      (Printf.sprintf
+         "program id %d out of range [0, 2047] (block ids must fit a 32-bit immediate)"
+         options.program_id)
+  else
+  let first_bid = (options.program_id lsl 20) + 1 in
+  match Plto.Disasm.disassemble ~first_bid img with
+  | Error e -> Error e
+  | Ok prog ->
+    ignore (Plto.Inline.inline_stubs prog);
+    ignore (Plto.Inline.split_multi_sys prog);
+    ignore (Plto.Opt.remove_unreachable ~roots:(bids_of_addrs prog keep_addrs) prog);
+    let states = Plto.Dataflow.sys_states prog in
+    let preds_tbl =
+      if options.control_flow then begin
+        let tbl = Hashtbl.create 32 in
+        List.iter
+          (fun (bid, preds) -> Hashtbl.replace tbl bid preds)
+          (Plto.Syscall_graph.compute prog ~start_bid:(start_block options));
+        Some tbl
+      end
+      else None
+    in
+    let warnings = ref prog.Plto.Ir.warnings in
+    let sites =
+      List.filter_map
+        (fun (bid, _idx, (st : Plto.Dataflow.state)) ->
+          match st.(0) with
+          | Plto.Dataflow.Vals [ { av_kind = Plto.Dataflow.KConst; av_val = number; _ } ] ->
+            let sem = Personality.sem_of personality number in
+            let params =
+              match sem with
+              | Some s -> Array.of_list (Syscall_sig.params s)
+              | None ->
+                warnings :=
+                  Printf.sprintf "block %d: unknown system call number %d" bid number
+                  :: !warnings;
+                [||]
+            in
+            let classified =
+              Array.mapi
+                (fun i p ->
+                  classify_arg img p st.(i + 1) ~use_extensions:options.use_extensions)
+                params
+            in
+            let args = Array.map (fun (a, _, _) -> a) classified in
+            let analysis = Array.map (fun (_, a, _) -> a) classified in
+            let string_defs =
+              Array.to_list classified
+              |> List.mapi (fun i (_, _, defs) -> (i, defs))
+              |> List.filter (fun (_, defs) -> defs <> [])
+            in
+            let preds =
+              match preds_tbl with
+              | None -> None
+              | Some tbl -> Some (try Hashtbl.find tbl bid with Not_found -> [])
+            in
+            Some
+              { si_bid = bid; si_number = number; si_sem = sem; si_args = args;
+                si_analysis = analysis; si_params = params; si_preds = preds;
+                si_string_defs = string_defs }
+          | _ ->
+            warnings :=
+              Printf.sprintf "block %d: system call number cannot be determined statically" bid
+              :: !warnings;
+            None)
+        states
+    in
+    Ok (prog, sites, List.rev !warnings)
+
+let policy_of_sites ~program ~personality sites warnings =
+  { Policy.program;
+    os = Personality.os_name personality;
+    sites =
+      List.map
+        (fun si ->
+          { Policy.s_block = si.si_bid; s_number = si.si_number; s_sem = si.si_sem;
+            s_args = si.si_args; s_analysis = si.si_analysis; s_params = si.si_params;
+            s_preds = si.si_preds })
+        sites;
+    warnings }
+
+let generate_policy ~personality ?(options = default_options) ~program img =
+  match analyze ~personality ~options img with
+  | Error e -> Error e
+  | Ok (_prog, sites, warnings) -> Ok (policy_of_sites ~program ~personality sites warnings)
+
+(* ----- .asc section layout ----- *)
+
+type asc_builder = {
+  mutable cursor : int;
+  mutable items : (int * [ `As of string | `State | `Mac of int ]) list;
+      (* offset, payload kind; `Mac carries a site index *)
+  strings : (string, int) Hashtbl.t; (* AS contents -> offset *)
+}
+
+let new_builder () = { cursor = 0; items = []; strings = Hashtbl.create 16 }
+
+let align8 v = (v + 7) / 8 * 8
+
+let alloc b size kind =
+  let off = align8 b.cursor in
+  b.cursor <- off + size;
+  b.items <- (off, kind) :: b.items;
+  off
+
+let alloc_as b contents =
+  match Hashtbl.find_opt b.strings contents with
+  | Some off -> off
+  | None ->
+    let off = alloc b (Auth_string.total_size contents) (`As contents) in
+    Hashtbl.replace b.strings contents off;
+    off
+
+(* ----- serialization of §5 extension blocks ----- *)
+
+let ext_contents entries =
+  (* entries : (arg idx, [`Set of int list | `Pattern of string]) list *)
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun (i, e) ->
+      Buffer.add_char buf (Char.chr i);
+      match e with
+      | `Set vs ->
+        Buffer.add_char buf '\001';
+        Buffer.add_char buf (Char.chr (List.length vs land 0xff));
+        List.iter
+          (fun v ->
+            for k = 0 to 7 do
+              Buffer.add_char buf (Char.chr ((v lsr (8 * k)) land 0xff))
+            done)
+          (List.sort compare vs)
+      | `Pattern p ->
+        Buffer.add_char buf '\002';
+        Buffer.add_char buf (Char.chr (String.length p land 0xff));
+        Buffer.add_string buf p)
+    entries;
+  Buffer.contents buf
+
+(* ----- installation ----- *)
+
+type installed = {
+  image : Obj_file.t;
+  policy : Policy.t;
+  sites : int;
+  asc_bytes : int;
+}
+
+type planned_site = {
+  ps_info : site_info;
+  ps_descriptor : Descriptor.t;
+  ps_const_args : (int * [ `Num of int | `Data of int ]) list;
+  ps_string_args : (int * (int * string)) list; (* arg idx -> (as offset, contents) *)
+  ps_predset : (int * string) option;           (* as offset, contents *)
+  ps_ext : (int * string) option;
+  ps_mac_off : int;
+}
+
+(* Administrator-supplied constraints from a filled policy template
+   (§5.2): (block id, argument index, constraint). Only [A_const],
+   [A_one_of] and [A_pattern] may be supplied — string constraints require
+   a statically re-pointable definition, which is exactly what the static
+   analysis could not find when it left the hole. *)
+let apply_overrides overrides sites =
+  match overrides with
+  | [] -> Ok sites
+  | _ ->
+    let bad =
+      List.find_opt
+        (fun (_, _, v) ->
+          match (v : Policy.arg_policy) with
+          | Policy.A_string _ | Policy.A_data _ -> true
+          | Policy.A_const _ | Policy.A_one_of _ | Policy.A_pattern _ | Policy.A_any -> false)
+        overrides
+    in
+    (match bad with
+     | Some (b, i, _) ->
+       Error
+         (Printf.sprintf
+            "override for block %d arg %d: string/address constraints cannot be supplied by              hand (no re-pointable definition)" b i)
+     | None ->
+       Ok
+         (List.map
+            (fun si ->
+              let args = Array.copy si.si_args in
+              List.iter
+                (fun (b, i, v) ->
+                  if b = si.si_bid && i >= 0 && i < Array.length args then args.(i) <- v)
+                overrides;
+              { si with si_args = args })
+            sites))
+
+let rewrite_and_emit ~key ~options ~program ~personality prog sites warnings =
+    let opaque = List.exists (fun b -> b.Plto.Ir.opaque <> None) prog.Plto.Ir.blocks in
+    if opaque then
+      Error "binary cannot be completely disassembled; refusing to rewrite (policy generation is still possible)"
+    else begin
+      let tbl = Plto.Ir.block_table prog in
+      let builder = new_builder () in
+      (* plan each site: descriptor, AS allocations *)
+      let planned =
+        List.map
+          (fun si ->
+            let descriptor = ref Descriptor.empty in
+            let const_args = ref [] in
+            let string_args = ref [] in
+            let ext_entries = ref [] in
+            Array.iteri
+              (fun i (a : Policy.arg_policy) ->
+                match a with
+                | Policy.A_any -> ()
+                | Policy.A_const v ->
+                  descriptor := Descriptor.with_const_arg !descriptor i;
+                  const_args := (i, `Num v) :: !const_args
+                | Policy.A_data addr ->
+                  descriptor := Descriptor.with_const_arg !descriptor i;
+                  const_args := (i, `Data addr) :: !const_args
+                | Policy.A_string contents ->
+                  descriptor := Descriptor.with_string_arg !descriptor i;
+                  (* the AS carries the NUL terminator: the kernel reads a
+                     C string at the pointer, so the terminator is part of
+                     the authenticated bytes (an attacker clearing it would
+                     splice the next item's bytes into the argument) *)
+                  let az = contents ^ "\000" in
+                  let off = alloc_as builder az in
+                  string_args := (i, (off, az)) :: !string_args
+                | Policy.A_one_of vs -> ext_entries := (i, `Set vs) :: !ext_entries
+                | Policy.A_pattern p -> ext_entries := (i, `Pattern p) :: !ext_entries)
+              si.si_args;
+            let predset =
+              match si.si_preds with
+              | None -> None
+              | Some preds ->
+                descriptor := Descriptor.with_control_flow !descriptor;
+                let contents = Encoded.predset_contents preds in
+                Some (alloc_as builder contents, contents)
+            in
+            let ext =
+              match List.rev !ext_entries with
+              | [] -> None
+              | entries ->
+                descriptor := Descriptor.with_ext !descriptor;
+                let contents = ext_contents entries in
+                Some (alloc_as builder contents, contents)
+            in
+            let mac_off = alloc builder 16 (`Mac si.si_bid) in
+            { ps_info = si; ps_descriptor = !descriptor;
+              ps_const_args = List.rev !const_args; ps_string_args = List.rev !string_args;
+              ps_predset = predset; ps_ext = ext; ps_mac_off = mac_off })
+          sites
+      in
+      let lb_off = alloc builder 24 `State in
+      let asc_size = align8 builder.cursor in
+      (* transform IR: re-point string-constant defs into the AS copies *)
+      List.iter
+        (fun ps ->
+          List.iter
+            (fun (argi, (as_off, _)) ->
+              match List.assoc_opt argi ps.ps_info.si_string_defs with
+              | None -> ()
+              | Some defs ->
+                List.iter
+                  (fun (dbid, didx) ->
+                    match Hashtbl.find_opt tbl dbid with
+                    | None -> ()
+                    | Some b ->
+                      b.Plto.Ir.body <-
+                        List.mapi
+                          (fun k ins ->
+                            if k = didx then
+                              match ins with
+                              | Plto.Ir.Movi (rd, Plto.Ir.DataRef _) ->
+                                Plto.Ir.Movi
+                                  (rd,
+                                   Plto.Ir.NewRef
+                                     (asc_section, as_off + Auth_string.header_size))
+                              | other -> other
+                            else ins)
+                          b.Plto.Ir.body)
+                  defs)
+            ps.ps_string_args)
+        planned;
+      (* insert the extra-argument loads before each Sys *)
+      List.iter
+        (fun ps ->
+          let si = ps.ps_info in
+          match Hashtbl.find_opt tbl si.si_bid with
+          | None -> ()
+          | Some b ->
+            let setup =
+              [ Plto.Ir.Movi (7, Plto.Ir.Const ps.ps_descriptor);
+                Plto.Ir.Movi (8, Plto.Ir.Const si.si_bid);
+                (match ps.ps_predset with
+                 | Some (off, _) ->
+                   Plto.Ir.Movi (9, Plto.Ir.NewRef (asc_section, off + Auth_string.header_size))
+                 | None -> Plto.Ir.Movi (9, Plto.Ir.Const 0));
+                Plto.Ir.Movi (10, Plto.Ir.NewRef (asc_section, lb_off));
+                Plto.Ir.Movi (11, Plto.Ir.NewRef (asc_section, ps.ps_mac_off)) ]
+              @
+              match ps.ps_ext with
+              | Some (off, _) ->
+                [ Plto.Ir.Movi (14, Plto.Ir.NewRef (asc_section, off + Auth_string.header_size)) ]
+              | None -> []
+            in
+            let rec inject = function
+              | [] -> []
+              | Plto.Ir.Sys :: rest -> setup @ (Plto.Ir.Sys :: rest)
+              | i :: rest -> i :: inject rest
+            in
+            b.Plto.Ir.body <- inject b.Plto.Ir.body)
+        planned;
+      (* emit, filling the .asc payload once the final layout is known *)
+      let fill (layout : Plto.Emit.layout) =
+        let asc_base = Plto.Emit.base_of layout asc_section in
+        let payload = Bytes.make asc_size '\000' in
+        let put off s = Bytes.blit_string s 0 payload off (String.length s) in
+        (* authenticated strings (including predecessor sets and ext blocks) *)
+        Hashtbl.iter (fun contents off -> put off (Auth_string.build key contents)) builder.strings;
+        (* initial policy state: lastBlock = start sentinel, counter = 0 *)
+        let sentinel = start_block options in
+        let state0 = Encoded.state_bytes ~counter:0 ~last_block:sentinel in
+        let lb_bytes = Bytes.create 8 in
+        Bytes.set_int64_le lb_bytes 0 (Int64.of_int sentinel);
+        put lb_off (Bytes.to_string lb_bytes);
+        put (lb_off + 8) (Cmac.mac key state0);
+        (* per-site call MACs over the encoded policy *)
+        List.iter
+          (fun ps ->
+            let si = ps.ps_info in
+            let b = Hashtbl.find tbl si.si_bid in
+            let sys_idx =
+              let rec find k = function
+                | [] -> invalid_arg "installer: sys disappeared"
+                | Plto.Ir.Sys :: _ -> k
+                | _ :: rest -> find (k + 1) rest
+              in
+              find 0 b.Plto.Ir.body
+            in
+            let site_addr = Plto.Emit.addr_of_instr layout ~bid:si.si_bid ~idx:sys_idx in
+            let const_args =
+              List.map
+                (fun (i, v) ->
+                  match v with
+                  | `Num v -> (i, v)
+                  | `Data a ->
+                    (match layout.Plto.Emit.data_shift a with
+                     | Some a' -> (i, a')
+                     | None -> (i, a)))
+                ps.ps_const_args
+            in
+            let as_ref_of (off, contents) =
+              { Encoded.as_addr = asc_base + off + Auth_string.header_size;
+                as_len = String.length contents;
+                as_mac = Auth_string.mac_of key contents }
+            in
+            let encoded =
+              Encoded.encode
+                { Encoded.e_number = si.si_number;
+                  e_site = site_addr;
+                  e_descriptor = ps.ps_descriptor;
+                  e_block = si.si_bid;
+                  e_const_args = const_args;
+                  e_string_args = List.map (fun (i, s) -> (i, as_ref_of s)) ps.ps_string_args;
+                  e_ext = Option.map as_ref_of ps.ps_ext;
+                  e_control =
+                    Option.map (fun ps' -> (as_ref_of ps', asc_base + lb_off)) ps.ps_predset }
+            in
+            put ps.ps_mac_off (Cmac.mac key encoded))
+          planned;
+        [ (asc_section, Bytes.to_string payload) ]
+      in
+      match
+        Plto.Emit.emit ~extra_sections:[ (asc_section, Obj_file.Data, asc_size) ] ~fill prog
+      with
+      | Error e -> Error e
+      | Ok (image, _layout) ->
+        Ok
+          { image;
+            policy = policy_of_sites ~program ~personality sites warnings;
+            sites = List.length sites;
+            asc_bytes = asc_size }
+    end
+
+let install ~key ~personality ?(options = default_options) ?(overrides = []) ~program img =
+  match analyze ~personality ~options img with
+  | Error e -> Error e
+  | Ok (prog, sites0, warnings) ->
+    (match apply_overrides overrides sites0 with
+     | Error e -> Error e
+     | Ok sites -> rewrite_and_emit ~key ~options ~program ~personality prog sites warnings)
+
+
+(* ----- §5.2: shared ("dynamic") libraries -----
+
+   "The dynamic libraries on a machine are installed first before the
+   application programs. During this process, if a system call in a dynamic
+   library function cannot satisfy the metapolicy ... the specific function
+   is removed from the dynamic library and set aside for static linking
+   with application programs that require the function. Once this has been
+   done for all system calls in the library, the functions that remain have
+   their system calls transformed into authenticated calls in the same
+   manner as before."
+
+   Libraries are prelinked to a fixed per-library base, so their call sites
+   are known at install time; their policies carry no control-flow
+   (predecessor-set) component, because the predecessor of a library call
+   depends on which application is running — library calls neither read nor
+   advance the per-process policy state, which keeps every application's
+   own control-flow chain intact across library calls. *)
+
+type installed_library = {
+  lib_image : Obj_file.t;
+  lib_policy : Policy.t;
+  lib_exports : (string * int) list;  (* kept exports, at final addresses *)
+  lib_rejected : string list;         (* functions to set aside for static linking *)
+}
+
+let reachable_from prog bid =
+  let seen = Hashtbl.create 32 in
+  let tbl = Plto.Ir.block_table prog in
+  let rec go bid =
+    if not (Hashtbl.mem seen bid) then begin
+      Hashtbl.replace seen bid ();
+      match Hashtbl.find_opt tbl bid with
+      | None -> ()
+      | Some b ->
+        List.iter go (Plto.Cfg.intra_succs prog b);
+        (match b.Plto.Ir.term with Plto.Ir.CallT f -> go f | _ -> ())
+    end
+  in
+  go bid;
+  seen
+
+let install_library ~key ~personality ?(options = default_options)
+    ?(metapolicy = Metapolicy.strict_exec) ~program ~exports img =
+  (* libraries never carry control-flow policies *)
+  let options = { options with control_flow = false } in
+  let export_addrs = List.map snd exports in
+  (* pass 1: which exported functions reach a site that cannot satisfy the
+     metapolicy? *)
+  match analyze ~keep_addrs:export_addrs ~personality ~options img with
+  | Error e -> Error e
+  | Ok (prog, sites, _warnings) ->
+    let policy0 = policy_of_sites ~program ~personality sites [] in
+    let holes = Metapolicy.check metapolicy policy0 in
+    let violating_bids = List.sort_uniq compare (List.map (fun h -> h.Metapolicy.h_block) holes) in
+    let rejected =
+      List.filter
+        (fun (_, addr) ->
+          match bids_of_addrs prog [ addr ] with
+          | [ ebid ] ->
+            let reach = reachable_from prog ebid in
+            List.exists (fun vb -> Hashtbl.mem reach vb) violating_bids
+          | _ -> true (* export not found: be conservative *))
+        exports
+    in
+    let rejected_names = List.map fst rejected in
+    let kept = List.filter (fun (n, _) -> not (List.mem n rejected_names)) exports in
+    if kept = [] then
+      Error
+        (Printf.sprintf
+           "library %s: every exported function fails the metapolicy (%s); nothing to install"
+           program
+           (String.concat ", " rejected_names))
+    else begin
+      (* pass 2: reinstall keeping only the accepted functions *)
+      let kept_addrs = List.map snd kept in
+      match analyze ~keep_addrs:kept_addrs ~personality ~options img with
+      | Error e -> Error e
+      | Ok (prog, sites, warnings) ->
+        (* the image entry may have been a rejected function; re-point it at
+           a kept export so emission has a live entry block *)
+        let prog =
+          match bids_of_addrs prog [ List.hd kept_addrs ] with
+          | [ ebid ] when not (Hashtbl.mem (Plto.Cfg.reachable prog) ebid) ->
+            { prog with Plto.Ir.entry = ebid }
+          | _ -> prog
+        in
+        let prog =
+          if List.exists (fun (b : Plto.Ir.block) -> b.Plto.Ir.bid = prog.Plto.Ir.entry)
+               prog.Plto.Ir.blocks
+          then prog
+          else
+            (match bids_of_addrs prog [ List.hd kept_addrs ] with
+             | [ ebid ] -> { prog with Plto.Ir.entry = ebid }
+             | _ -> prog)
+        in
+        (match rewrite_and_emit ~key ~options ~program ~personality prog sites warnings with
+         | Error e -> Error e
+         | Ok inst ->
+           let final_exports =
+             List.filter_map
+               (fun (name, _) ->
+                 match Obj_file.find_symbol inst.image name with
+                 | Some addr -> Some (name, addr)
+                 | None -> None)
+               kept
+           in
+           Ok
+             { lib_image = inst.image;
+               lib_policy = inst.policy;
+               lib_exports = final_exports;
+               lib_rejected = rejected_names })
+    end

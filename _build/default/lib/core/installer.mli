@@ -1,0 +1,99 @@
+(** The trusted installer (§3.3): reads an application binary, derives a
+    policy for every system-call site by conservative static analysis, and
+    rewrites the binary so every system call is an authenticated system
+    call.
+
+    Pipeline (matching §4.1): disassemble → identify syscall blocks and
+    numbers (the number is the value of register [r0] at the [Sys]
+    instruction) → inline libc syscall stubs so each original call site
+    gets its own policy → constant propagation to classify arguments →
+    system-call graph for the control-flow policy → rewrite.
+
+    The rewrite inserts, before each [Sys], loads of the five extra
+    arguments (§3.2): policy descriptor → [r7], basic-block id → [r8],
+    predecessor-set pointer → [r9], policy-state pointer → [r10], call-MAC
+    pointer → [r11] (plus, when the §5 extensions are used, an extension
+    block pointer → [r14]). Authenticated strings, predecessor sets, the
+    policy state ([lastBlock], [lbMAC]) and the call MACs live in a new
+    writable [.asc] section. Registers r7–r11/r14 are treated as
+    caller-saved scratch at system calls, which the MiniC code generator
+    guarantees. *)
+
+type options = {
+  control_flow : bool;    (** emit control-flow (predecessor set) policies *)
+  use_extensions : bool;  (** §5: encode small value sets as extension blocks *)
+  program_id : int;       (** 0–2047; makes block ids globally unique (§5.5) *)
+}
+
+val default_options : options
+(** control flow on, extensions off, program id 1. *)
+
+val asc_section : string
+(** Name of the added section, [".asc"]. *)
+
+val start_block : options -> int
+(** The virtual start-node block id for this program
+    ([program_id lsl 20]) — the sentinel initial value of [lastBlock]. *)
+
+type installed = {
+  image : Svm.Obj_file.t;   (** the authenticated binary *)
+  policy : Policy.t;
+  sites : int;              (** number of rewritten system-call sites *)
+  asc_bytes : int;          (** size of the added [.asc] section *)
+}
+
+val generate_policy :
+  personality:Oskernel.Personality.t ->
+  ?options:options ->
+  program:string ->
+  Svm.Obj_file.t ->
+  (Policy.t, string) result
+(** Static analysis only — works even when parts of the binary cannot be
+    disassembled (warnings are recorded in the policy, as with the OpenBSD
+    [close] stub in Table 2). Used for the policy-comparison experiments. *)
+
+val install :
+  key:Asc_crypto.Cmac.key ->
+  personality:Oskernel.Personality.t ->
+  ?options:options ->
+  ?overrides:(int * int * Policy.arg_policy) list ->
+  program:string ->
+  Svm.Obj_file.t ->
+  (installed, string) result
+(** Full installation. Fails when the binary cannot be completely
+    disassembled or a system call's number cannot be determined statically.
+
+    [overrides] supplies administrator-completed policy-template values
+    (§5.2, see {!Metapolicy.to_overrides}): [(block, arg index,
+    constraint)]. Only [A_const], [A_one_of] and [A_pattern] constraints
+    can be supplied by hand. *)
+
+(** {2 Shared libraries (§5.2)} *)
+
+type installed_library = {
+  lib_image : Svm.Obj_file.t;           (** the authenticated library *)
+  lib_policy : Policy.t;
+  lib_exports : (string * int) list;    (** functions kept, at final addresses *)
+  lib_rejected : string list;           (** functions whose system calls cannot
+                                            satisfy the metapolicy — "set aside
+                                            for static linking with application
+                                            programs that require" them *)
+}
+
+val install_library :
+  key:Asc_crypto.Cmac.key ->
+  personality:Oskernel.Personality.t ->
+  ?options:options ->
+  ?metapolicy:Metapolicy.t ->
+  program:string ->
+  exports:(string * int) list ->
+  Svm.Obj_file.t ->
+  (installed_library, string) result
+(** Install a prelinked shared library (built by
+    {!Minic.Driver.compile_library}). Exported functions that reach a
+    system call unable to satisfy the [metapolicy] (default
+    {!Metapolicy.strict_exec}) are rejected and stripped; the remaining
+    functions get authenticated system calls as usual, but without
+    control-flow policies — library calls neither consult nor advance the
+    per-process policy state, so each application's own control-flow chain
+    survives calls into the library. *)

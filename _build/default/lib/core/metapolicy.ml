@@ -1,0 +1,73 @@
+type requirement = {
+  rq_sem : Oskernel.Syscall.sem;
+  rq_args : int list;
+}
+
+type t = requirement list
+
+let strict_exec =
+  [ { rq_sem = Oskernel.Syscall.Execve; rq_args = [ 0 ] };
+    { rq_sem = Oskernel.Syscall.Open; rq_args = [ 0 ] };
+    { rq_sem = Oskernel.Syscall.Connect; rq_args = [ 1 ] } ]
+
+type hole = {
+  h_block : int;
+  h_sem : Oskernel.Syscall.sem;
+  h_arg : int;
+}
+
+(* Whether the generated constraint pins the argument's *meaning*. An
+   address-only constraint (A_data) is enough for numeric arguments but not
+   for a pathname, whose bytes at that address may be computed at run
+   time. *)
+let constrained (s : Policy.site) i =
+  let is_path =
+    i < Array.length s.s_params && s.s_params.(i) = Oskernel.Syscall_sig.P_path
+  in
+  match s.s_args.(i) with
+  | Policy.A_const _ | Policy.A_one_of _ -> true
+  | Policy.A_string _ | Policy.A_pattern _ -> true
+  | Policy.A_data _ -> not is_path
+  | Policy.A_any -> false
+
+let check meta (p : Policy.t) =
+  List.concat_map
+    (fun (s : Policy.site) ->
+      match s.s_sem with
+      | None -> []
+      | Some sem ->
+        (match List.find_opt (fun r -> r.rq_sem = sem) meta with
+         | None -> []
+         | Some r ->
+           List.filter_map
+             (fun i ->
+               if i < Array.length s.s_args && not (constrained s i) then
+                 Some { h_block = s.s_block; h_sem = sem; h_arg = i }
+               else None)
+             r.rq_args))
+    p.sites
+
+let satisfied meta p = check meta p = []
+
+type filling = hole * Policy.arg_policy
+
+let fill (p : Policy.t) fillings =
+  { p with
+    Policy.sites =
+      List.map
+        (fun (s : Policy.site) ->
+          let args = Array.copy s.s_args in
+          List.iter
+            (fun ((h : hole), v) ->
+              if h.h_block = s.s_block && h.h_arg < Array.length args then
+                args.(h.h_arg) <- v)
+            fillings;
+          { s with s_args = args })
+        p.Policy.sites }
+
+let to_overrides fillings =
+  List.map (fun ((h : hole), v) -> (h.h_block, h.h_arg, v)) fillings
+
+let pp_hole ppf h =
+  Format.fprintf ppf "block %d: %s argument %d must be constrained" h.h_block
+    (Oskernel.Syscall.name h.h_sem) h.h_arg

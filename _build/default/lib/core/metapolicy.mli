@@ -1,0 +1,47 @@
+(** Metapolicies and policy templates (§5.2).
+
+    "An ASC metapolicy is a specification that dictates how strict a policy
+    is required for each system call ... If the policy generator cannot
+    determine all the argument values required by the metapolicy based on
+    static analysis, it generates a policy template with spaces for the
+    additional required arguments. An administrator can then hand-specify a
+    value or a pattern for an argument."
+
+    Workflow: {!check} a generated policy against the metapolicy; each
+    unmet requirement is a {!hole}; the administrator {!fill}s holes with
+    concrete values or patterns; {!Installer.install} accepts the filled
+    values as [overrides]. *)
+
+type requirement = {
+  rq_sem : Oskernel.Syscall.sem;
+  rq_args : int list;  (** argument indices that must be constrained *)
+}
+
+type t = requirement list
+
+val strict_exec : t
+(** A typical metapolicy: [execve]'s path, [open]'s path and [connect]'s
+    address must be constrained. *)
+
+type hole = {
+  h_block : int;                       (** site's basic block *)
+  h_sem : Oskernel.Syscall.sem;
+  h_arg : int;                         (** unconstrained required argument *)
+}
+
+val check : t -> Policy.t -> hole list
+(** Requirements the statically generated policy leaves unmet. *)
+
+val satisfied : t -> Policy.t -> bool
+
+type filling = hole * Policy.arg_policy
+(** Administrator-supplied constraint for a hole (a value, a string, or a
+    pattern — from application knowledge or dynamic profiling). *)
+
+val fill : Policy.t -> filling list -> Policy.t
+(** The completed policy (for inspection/printing). *)
+
+val to_overrides : filling list -> (int * int * Policy.arg_policy) list
+(** The installer-facing form: (block, arg index, constraint). *)
+
+val pp_hole : Format.formatter -> hole -> unit

@@ -1,0 +1,125 @@
+type elem =
+  | Lit of char
+  | Any_one
+  | Star
+  | Alt of string list
+
+type t = { src : string; elems : elem list }
+
+let source t = t.src
+
+let compile src =
+  let n = String.length src in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match src.[i] with
+      | '*' -> go (i + 1) (Star :: acc)
+      | '?' -> go (i + 1) (Any_one :: acc)
+      | '{' ->
+        (match String.index_from_opt src i '}' with
+         | None -> Error "unclosed '{' in pattern"
+         | Some close ->
+           let inner = String.sub src (i + 1) (close - i - 1) in
+           let alts = String.split_on_char ',' inner in
+           if List.exists (fun a -> String.contains a '*' || String.contains a '{') alts then
+             Error "nested pattern constructs in alternation are not supported"
+           else go (close + 1) (Alt alts :: acc))
+      | '}' -> Error "unmatched '}' in pattern"
+      | c -> go (i + 1) (Lit c :: acc)
+  in
+  match go 0 [] with
+  | Ok elems -> Ok { src; elems }
+  | Error e -> Error e
+
+let compile_exn src =
+  match compile src with Ok t -> t | Error e -> invalid_arg ("Patterns.compile: " ^ e)
+
+(* Backtracking matcher; [steps] counts visited configurations for the cost
+   model. *)
+let matches_counted t s =
+  let steps = ref 0 in
+  let n = String.length s in
+  let rec go elems i =
+    incr steps;
+    match elems with
+    | [] -> i = n
+    | Lit c :: rest -> i < n && s.[i] = c && go rest (i + 1)
+    | Any_one :: rest -> i < n && go rest (i + 1)
+    | Star :: rest ->
+      let rec try_len k = if i + k > n then false else go rest (i + k) || try_len (k + 1) in
+      try_len 0
+    | Alt alts :: rest ->
+      List.exists
+        (fun a ->
+          let la = String.length a in
+          i + la <= n && String.sub s i la = a && go rest (i + la))
+        alts
+  in
+  let r = go t.elems 0 in
+  (r, !steps)
+
+let matches t s = fst (matches_counted t s)
+
+let derive_hint t s =
+  let n = String.length s in
+  (* search like [matches] but record choices *)
+  let rec go elems i acc =
+    match elems with
+    | [] -> if i = n then Some (List.rev acc) else None
+    | Lit c :: rest -> if i < n && s.[i] = c then go rest (i + 1) acc else None
+    | Any_one :: rest -> if i < n then go rest (i + 1) acc else None
+    | Star :: rest ->
+      let rec try_len k =
+        if i + k > n then None
+        else
+          match go rest (i + k) (k :: acc) with
+          | Some h -> Some h
+          | None -> try_len (k + 1)
+      in
+      try_len 0
+    | Alt alts :: rest ->
+      let rec try_alt j = function
+        | [] -> None
+        | a :: more ->
+          let la = String.length a in
+          if i + la <= n && String.sub s i la = a then
+            match go rest (i + la) (j :: acc) with
+            | Some h -> Some h
+            | None -> try_alt (j + 1) more
+          else try_alt (j + 1) more
+      in
+      try_alt 0 alts
+  in
+  go t.elems 0 []
+
+let verify_with_hint t s ~hint =
+  let n = String.length s in
+  let rec go elems i hint =
+    match elems with
+    | [] -> i = n && hint = []
+    | Lit c :: rest -> i < n && s.[i] = c && go rest (i + 1) hint
+    | Any_one :: rest -> i < n && go rest (i + 1) hint
+    | Star :: rest ->
+      (match hint with
+       | k :: hint' -> k >= 0 && i + k <= n && go rest (i + k) hint'
+       | [] -> false)
+    | Alt alts :: rest ->
+      (match hint with
+       | j :: hint' when j >= 0 ->
+         (match List.nth_opt alts j with
+          | Some a ->
+            let la = String.length a in
+            i + la <= n && String.sub s i la = a && go rest (i + la) hint'
+          | None -> false)
+       | _ :: _ | [] -> false)
+  in
+  go t.elems 0 hint
+
+(* Cost models: a few cycles per character examined; the backtracking cost
+   additionally counts every configuration the search visits. *)
+let hint_cost t s = 4 * (List.length t.elems + String.length s)
+
+let match_cost t s =
+  let _, steps = matches_counted t s in
+  4 * steps

@@ -1,0 +1,42 @@
+(** Argument patterns with proof-carrying verification (§5.1).
+
+    Patterns are globs over pathnames: literal characters, [?] (any one
+    character), [*] (any sequence), and [{a,b,c}] alternation — the paper's
+    example is ["/tmp/{foo,bar}*baz"].
+
+    Two verification modes are provided:
+    - {!matches} — ordinary backtracking matcher (what a kernel that "performs
+      regular expression matching" would run);
+    - {!verify_with_hint} — the paper's program-checking scheme: "the
+      untrusted application performs the regular expression matching for the
+      kernel, and presents the kernel with a proof that the argument matches
+      the pattern". The hint is one integer per [*] / [{…}] in the pattern
+      (number of characters consumed, or alternative index), and the kernel
+      only does a single linear scan. {!derive_hint} computes the hint the
+      way the application-side library would. *)
+
+type t
+
+val compile : string -> (t, string) result
+(** Parse a glob. [Error] explains the syntax problem (e.g. unclosed brace). *)
+
+val compile_exn : string -> t
+val source : t -> string
+
+val matches : t -> string -> bool
+(** Backtracking match of the full string. *)
+
+val derive_hint : t -> string -> int list option
+(** A hint such that {!verify_with_hint} succeeds, when the string matches. *)
+
+val verify_with_hint : t -> string -> hint:int list -> bool
+(** Single-pass verification: O(|pattern| + |string|), no backtracking. A
+    wrong hint fails even if the string does match. *)
+
+val hint_cost : t -> string -> int
+(** Modeled cycle cost of the hint verification (linear scan), for the
+    pattern-checking ablation bench. *)
+
+val match_cost : t -> string -> int
+(** Modeled cycle cost of the backtracking matcher (counts visited
+    configurations), for comparison. *)

@@ -1,0 +1,111 @@
+type arg_policy =
+  | A_any
+  | A_const of int
+  | A_data of int
+  | A_string of string
+  | A_one_of of int list
+  | A_pattern of string
+
+type arg_analysis =
+  | An_out
+  | An_const
+  | An_multi of int
+  | An_sys_result
+  | An_unknown
+
+type site = {
+  s_block : int;
+  s_number : int;
+  s_sem : Oskernel.Syscall.sem option;
+  s_args : arg_policy array;
+  s_analysis : arg_analysis array;
+  s_params : Oskernel.Syscall_sig.param array;
+  s_preds : int list option;
+}
+
+type t = {
+  program : string;
+  os : string;
+  sites : site list;
+  warnings : string list;
+}
+
+let distinct_calls t = List.sort_uniq compare (List.map (fun s -> s.s_number) t.sites)
+
+let distinct_sems t = List.sort_uniq compare (List.filter_map (fun s -> s.s_sem) t.sites)
+
+type coverage = {
+  c_sites : int;
+  c_calls : int;
+  c_args : int;
+  c_out : int;
+  c_auth : int;
+  c_mv : int;
+  c_fds : int;
+}
+
+let coverage t =
+  let sites = List.length t.sites in
+  let calls = List.length (distinct_calls t) in
+  let fold f init = List.fold_left (fun acc s -> Array.fold_left f acc s.s_analysis) init t.sites in
+  let args = List.fold_left (fun acc s -> acc + Array.length s.s_args) 0 t.sites in
+  let out = fold (fun acc a -> if a = An_out then acc + 1 else acc) 0 in
+  let auth =
+    List.fold_left
+      (fun acc s ->
+        Array.fold_left
+          (fun acc p ->
+            match p with
+            | A_const _ | A_data _ | A_string _ -> acc + 1
+            | A_any | A_one_of _ | A_pattern _ -> acc)
+          acc s.s_args)
+      0 t.sites
+  in
+  let mv = fold (fun acc a -> match a with An_multi _ -> acc + 1 | _ -> acc) 0 in
+  let fds =
+    List.fold_left
+      (fun acc s ->
+        let n = ref acc in
+        Array.iteri
+          (fun i a ->
+            if a = An_sys_result && i < Array.length s.s_params
+               && s.s_params.(i) = Oskernel.Syscall_sig.P_fd
+            then incr n)
+          s.s_analysis;
+        !n)
+      0 t.sites
+  in
+  { c_sites = sites; c_calls = calls; c_args = args; c_out = out; c_auth = auth; c_mv = mv;
+    c_fds = fds }
+
+let pp_arg ppf (i, a) =
+  match a with
+  | A_any -> Format.fprintf ppf "Parameter %d equals ANY" i
+  | A_const v -> Format.fprintf ppf "Parameter %d equals value %d" i v
+  | A_data v -> Format.fprintf ppf "Parameter %d equals address 0x%x" i v
+  | A_string s -> Format.fprintf ppf "Parameter %d equals %S" i s
+  | A_one_of vs ->
+    Format.fprintf ppf "Parameter %d in {%s}" i (String.concat "," (List.map string_of_int vs))
+  | A_pattern p -> Format.fprintf ppf "Parameter %d matches %S" i p
+
+let pp_site ppf s =
+  let name =
+    match s.s_sem with
+    | Some sem -> Oskernel.Syscall.name sem
+    | None -> Printf.sprintf "syscall#%d" s.s_number
+  in
+  Format.fprintf ppf "Permit %s in basic block %d@\n" name s.s_block;
+  Array.iteri (fun i a -> Format.fprintf ppf "    %a@\n" pp_arg (i, a)) s.s_args;
+  match s.s_preds with
+  | None -> ()
+  | Some preds ->
+    Format.fprintf ppf "    Possible predecessors %s@\n"
+      (String.concat ", " (List.map string_of_int preds))
+
+let pp_coverage_header ppf () =
+  Format.fprintf ppf "%-10s %6s %6s %6s %6s %6s %6s %6s" "prog" "sites" "calls" "args" "o/p"
+    "auth" "mv" "fds"
+
+let pp_coverage_row ppf (name, c) =
+  Format.fprintf ppf "%-10s %6d %6d %6d %6d %6d %6d %6d" name c.c_sites c.c_calls c.c_args
+    c.c_out c.c_auth c.c_mv c.c_fds

@@ -1,0 +1,75 @@
+(** System-call policies (§2.1, §3.1).
+
+    A site policy constrains one system-call site: the call number, the
+    call site, constant argument values (numeric or string), optionally a
+    small set of allowed values or a pattern (§5 extensions), and the set
+    of system-call blocks that may immediately precede it. A program's
+    overall policy is the collection of its site policies. *)
+
+type arg_policy =
+  | A_any
+  | A_const of int             (** exact numeric value *)
+  | A_data of int              (** exact pointer value, given as the
+                                   *original* data address (remapped at
+                                   emission when sections move) *)
+  | A_string of string         (** exact string contents (authenticated
+                                   string; the pointer is re-pointed into
+                                   the AS copy) *)
+  | A_one_of of int list       (** §5 extension: small allowed-value set *)
+  | A_pattern of string        (** §5 extension: glob pattern on a string *)
+
+(** How the static analysis classified the argument — kept separately from
+    the enforced policy for the Table 3 coverage statistics. *)
+type arg_analysis =
+  | An_out               (** output-only parameter; never constrained *)
+  | An_const             (** single known value (authenticatable) *)
+  | An_multi of int      (** small set of known values (mv column) *)
+  | An_sys_result        (** value returned by an earlier syscall *)
+  | An_unknown
+
+type site = {
+  s_block : int;                 (** globally unique basic-block id *)
+  s_number : int;                (** trap number *)
+  s_sem : Oskernel.Syscall.sem option;
+  s_args : arg_policy array;     (** length = arity *)
+  s_analysis : arg_analysis array;
+  s_params : Oskernel.Syscall_sig.param array;
+  s_preds : int list option;     (** control-flow policy; [None] = absent *)
+}
+
+type t = {
+  program : string;
+  os : string;
+  sites : site list;
+  warnings : string list;
+}
+
+val distinct_calls : t -> int list
+(** Sorted distinct trap numbers (Table 1's "number of system calls"). *)
+
+val distinct_sems : t -> Oskernel.Syscall.sem list
+(** Distinct operations named in the policy. Note that an OpenBSD-style
+    [mmap] reached through [__syscall] appears as [__syscall] (with its
+    first argument constrained to the mmap number), exactly as in Table 2:
+    "With Systrace, this indirection is hidden from users since its policy
+    does not explicitly allow [__syscall]." *)
+
+type coverage = {
+  c_sites : int;
+  c_calls : int;
+  c_args : int;
+  c_out : int;
+  c_auth : int;
+  c_mv : int;
+  c_fds : int;
+}
+(** The columns of Table 3. *)
+
+val coverage : t -> coverage
+
+val pp_site : Format.formatter -> site -> unit
+(** Human-readable rendering in the style of the paper's policy examples
+    ("Permit open from block 1234 / Parameter 0 equals ..."). *)
+
+val pp_coverage_header : Format.formatter -> unit -> unit
+val pp_coverage_row : Format.formatter -> string * coverage -> unit

@@ -1,0 +1,135 @@
+(* AES-128 (FIPS-197). The S-box is derived from first principles
+   (multiplicative inverse in GF(2^8) followed by the affine map) rather than
+   transcribed, to avoid transcription errors; correctness is pinned by the
+   FIPS-197 and NIST test vectors in the test suite. *)
+
+let xtime b =
+  let b2 = b lsl 1 in
+  if b land 0x80 <> 0 then (b2 lxor 0x1b) land 0xff else b2 land 0xff
+
+(* Multiplication in GF(2^8) with the AES polynomial. *)
+let gmul a b =
+  let rec loop a b acc =
+    if b = 0 then acc
+    else
+      let acc = if b land 1 <> 0 then acc lxor a else acc in
+      loop (xtime a) (b lsr 1) acc
+  in
+  loop a b 0
+
+let sbox = Array.make 256 0
+let inv_sbox = Array.make 256 0
+
+let () =
+  (* Build the multiplicative inverse table by brute force (256^2 ops, once). *)
+  let inverse = Array.make 256 0 in
+  for a = 1 to 255 do
+    for b = 1 to 255 do
+      if gmul a b = 1 then inverse.(a) <- b
+    done
+  done;
+  let rotl8 x n = ((x lsl n) lor (x lsr (8 - n))) land 0xff in
+  for i = 0 to 255 do
+    let x = inverse.(i) in
+    let s = x lxor rotl8 x 1 lxor rotl8 x 2 lxor rotl8 x 3 lxor rotl8 x 4 lxor 0x63 in
+    sbox.(i) <- s;
+    inv_sbox.(s) <- i
+  done
+
+type key = int array
+(* 44 32-bit words of the expanded key schedule, stored big-endian wordwise:
+   word = b0<<24 | b1<<16 | b2<<8 | b3 where b0 is the first byte. *)
+
+let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
+
+let expand raw =
+  if String.length raw <> 16 then invalid_arg "Aes.expand: key must be 16 bytes";
+  let w = Array.make 44 0 in
+  for i = 0 to 3 do
+    w.(i) <-
+      (Char.code raw.[4 * i] lsl 24)
+      lor (Char.code raw.[(4 * i) + 1] lsl 16)
+      lor (Char.code raw.[(4 * i) + 2] lsl 8)
+      lor Char.code raw.[(4 * i) + 3]
+  done;
+  let sub_word x =
+    (sbox.((x lsr 24) land 0xff) lsl 24)
+    lor (sbox.((x lsr 16) land 0xff) lsl 16)
+    lor (sbox.((x lsr 8) land 0xff) lsl 8)
+    lor sbox.(x land 0xff)
+  in
+  let rot_word x = ((x lsl 8) lor (x lsr 24)) land 0xffffffff in
+  for i = 4 to 43 do
+    let temp = w.(i - 1) in
+    let temp =
+      if i mod 4 = 0 then sub_word (rot_word temp) lxor (rcon.((i / 4) - 1) lsl 24)
+      else temp
+    in
+    w.(i) <- w.(i - 4) lxor temp
+  done;
+  w
+
+(* State is a 16-element int array in column-major order as in FIPS-197:
+   state.(r + 4*c). Input byte i maps to state.(i mod 4 + 4*(i/4)) — i.e.
+   bytes fill columns. We simply keep the state as the 16 input bytes in
+   order and index accordingly. *)
+
+let add_round_key st (w : key) round =
+  for c = 0 to 3 do
+    let word = w.((round * 4) + c) in
+    st.((4 * c) + 0) <- st.((4 * c) + 0) lxor ((word lsr 24) land 0xff);
+    st.((4 * c) + 1) <- st.((4 * c) + 1) lxor ((word lsr 16) land 0xff);
+    st.((4 * c) + 2) <- st.((4 * c) + 2) lxor ((word lsr 8) land 0xff);
+    st.((4 * c) + 3) <- st.((4 * c) + 3) lxor (word land 0xff)
+  done
+
+let sub_bytes st =
+  for i = 0 to 15 do
+    st.(i) <- sbox.(st.(i))
+  done
+
+(* Row r of the state is the bytes st.(r), st.(r+4), st.(r+8), st.(r+12);
+   ShiftRows rotates row r left by r. *)
+let shift_rows st =
+  let t1 = st.(1) in
+  st.(1) <- st.(5); st.(5) <- st.(9); st.(9) <- st.(13); st.(13) <- t1;
+  let t2 = st.(2) and t6 = st.(6) in
+  st.(2) <- st.(10); st.(10) <- t2; st.(6) <- st.(14); st.(14) <- t6;
+  let t15 = st.(15) in
+  st.(15) <- st.(11); st.(11) <- st.(7); st.(7) <- st.(3); st.(3) <- t15
+
+let mix_columns st =
+  for c = 0 to 3 do
+    let i = 4 * c in
+    let a0 = st.(i) and a1 = st.(i + 1) and a2 = st.(i + 2) and a3 = st.(i + 3) in
+    st.(i) <- xtime a0 lxor (xtime a1 lxor a1) lxor a2 lxor a3;
+    st.(i + 1) <- a0 lxor xtime a1 lxor (xtime a2 lxor a2) lxor a3;
+    st.(i + 2) <- a0 lxor a1 lxor xtime a2 lxor (xtime a3 lxor a3);
+    st.(i + 3) <- (xtime a0 lxor a0) lxor a1 lxor a2 lxor xtime a3
+  done
+
+let encrypt_block key src ~pos dst ~dst_pos =
+  let st = Array.make 16 0 in
+  for i = 0 to 15 do
+    st.(i) <- Char.code (Bytes.get src (pos + i))
+  done;
+  add_round_key st key 0;
+  for round = 1 to 9 do
+    sub_bytes st;
+    shift_rows st;
+    mix_columns st;
+    add_round_key st key round
+  done;
+  sub_bytes st;
+  shift_rows st;
+  add_round_key st key 10;
+  for i = 0 to 15 do
+    Bytes.set dst (dst_pos + i) (Char.chr st.(i))
+  done
+
+let encrypt key block =
+  if String.length block <> 16 then invalid_arg "Aes.encrypt: block must be 16 bytes";
+  let src = Bytes.of_string block in
+  let dst = Bytes.create 16 in
+  encrypt_block key src ~pos:0 dst ~dst_pos:0;
+  Bytes.to_string dst

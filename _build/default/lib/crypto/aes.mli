@@ -1,0 +1,20 @@
+(** AES-128 block cipher (FIPS-197), pure OCaml.
+
+    This replaces the Gladman AES library used by the paper's prototype for
+    its AES-CBC-OMAC message authentication codes. Only encryption is needed
+    (CMAC never decrypts). *)
+
+type key
+(** An expanded AES-128 key schedule. *)
+
+val expand : string -> key
+(** [expand raw] expands a 16-byte raw key. @raise Invalid_argument if
+    [raw] is not exactly 16 bytes. *)
+
+val encrypt_block : key -> bytes -> pos:int -> bytes -> dst_pos:int -> unit
+(** [encrypt_block k src ~pos dst ~dst_pos] encrypts the 16-byte block of
+    [src] at [pos] into [dst] at [dst_pos]. [src] and [dst] may alias. *)
+
+val encrypt : key -> string -> string
+(** [encrypt k block] encrypts a single 16-byte block given as a string.
+    Convenience wrapper for tests. *)

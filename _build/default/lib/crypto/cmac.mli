@@ -1,0 +1,24 @@
+(** CMAC (OMAC1) over AES-128, per RFC 4493 / Iwata-Kurosawa "OMAC: One-Key
+    CBC MAC" — the MAC construction the paper's prototype uses
+    ("AES-CBC-OMAC", producing a 128-bit code). *)
+
+type key
+(** A CMAC key: the expanded AES key plus the two derived subkeys. *)
+
+val of_raw : string -> key
+(** [of_raw raw] derives a CMAC key from a 16-byte raw AES key.
+    @raise Invalid_argument if [raw] is not 16 bytes. *)
+
+val mac : key -> string -> string
+(** [mac k msg] returns the 16-byte CMAC tag of [msg] (any length,
+    including empty). *)
+
+val mac_bytes : key -> bytes -> pos:int -> len:int -> string
+(** [mac_bytes k b ~pos ~len] MACs the slice [b.[pos .. pos+len-1]]. *)
+
+val equal_tags : string -> string -> bool
+(** Constant-time comparison of two 16-byte tags. Returns [false] when
+    lengths differ. *)
+
+val tag_len : int
+(** Length of a tag in bytes (16). *)

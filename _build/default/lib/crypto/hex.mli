@@ -1,0 +1,9 @@
+(** Hexadecimal encoding helpers used by tests, the installer's debug dumps
+    and the audit log. *)
+
+val encode : string -> string
+(** [encode s] is the lowercase hex rendering of [s]. *)
+
+val decode : string -> string
+(** [decode h] parses a hex string (case-insensitive, no separators).
+    @raise Invalid_argument on odd length or non-hex characters. *)

@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Ast Buffer Char Format Hashtbl List Option Printf String

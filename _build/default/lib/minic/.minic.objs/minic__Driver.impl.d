@@ -1,0 +1,1 @@
+lib/minic/driver.ml: Ast Codegen Format Libc List Parser String Svm

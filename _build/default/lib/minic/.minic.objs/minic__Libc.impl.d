@@ -1,0 +1,1 @@
+lib/minic/libc.ml: Buffer List Oskernel Personality Printf Syscall

@@ -1,0 +1,66 @@
+(** Abstract syntax of MiniC, the small C-like language used to write the
+    benchmark workloads.
+
+    MiniC is deliberately C-shaped so the compiled binaries have the
+    structure the paper's installer expects: word-sized [int]s, byte
+    buffers on the stack (overflowable — the attack experiments depend on
+    it), string literals in [.rodata], and system calls made only through
+    libc stubs. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | And | Or | Xor | Shl | Shr
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | LAnd | LOr  (** short-circuit *)
+
+type unop = Neg | Not | BNot
+
+type expr =
+  | Int of int
+  | Chr of char
+  | Str of string            (** address of a NUL-terminated rodata literal *)
+  | Var of string
+  | Index of string * expr   (** array/pointer indexing; scale from type *)
+  | Addr of string           (** &var / bare array name: address *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+  | Assign of lvalue * expr
+
+and lvalue =
+  | LVar of string
+  | LIndex of string * expr
+
+type var_type =
+  | T_int        (** 64-bit word *)
+  | T_char_ptr   (** word holding a byte address; indexing scales by 1 *)
+  | T_int_arr of int
+  | T_char_arr of int
+
+type stmt =
+  | Block of stmt list
+  | Expr of expr
+  | Decl of var_type * string * expr option
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of expr option * expr option * expr option * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+
+type func = {
+  f_name : string;
+  f_params : (var_type * string) list;  (** scalars only: T_int / T_char_ptr *)
+  f_body : stmt list;
+}
+
+type global = {
+  g_type : var_type;
+  g_name : string;
+  g_init : expr option;  (** constant [Int] or [Str] only *)
+}
+
+type program = {
+  globals : global list;
+  funcs : func list;
+}

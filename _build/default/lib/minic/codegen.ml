@@ -1,0 +1,387 @@
+open Ast
+
+exception Gen_error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Gen_error m)) fmt
+
+type var_loc =
+  | Local of int * var_type   (* fp-relative offset (positive), type *)
+  | Global of string * var_type
+
+type env = {
+  buf : Buffer.t;
+  mutable label_counter : int;
+  strings : (string, string) Hashtbl.t;  (* literal -> label *)
+  mutable string_counter : int;
+  mutable vars : (string * var_loc) list; (* current function scope *)
+  globals : (string, var_type) Hashtbl.t;
+  mutable break_labels : string list;
+  mutable continue_labels : string list;
+}
+
+let emit env fmt = Format.kasprintf (fun s -> Buffer.add_string env.buf ("        " ^ s ^ "\n")) fmt
+let emit_label env l = Buffer.add_string env.buf (l ^ ":\n")
+
+let fresh_label env prefix =
+  let n = env.label_counter in
+  env.label_counter <- n + 1;
+  Printf.sprintf "L%s_%d" prefix n
+
+let intern_string env s =
+  match Hashtbl.find_opt env.strings s with
+  | Some l -> l
+  | None ->
+    let l = Printf.sprintf "str_%d" env.string_counter in
+    env.string_counter <- env.string_counter + 1;
+    Hashtbl.replace env.strings s l;
+    l
+
+let lookup env x =
+  match List.assoc_opt x env.vars with
+  | Some loc -> loc
+  | None ->
+    (match Hashtbl.find_opt env.globals x with
+     | Some t -> Global (x, t)
+     | None -> fail "undeclared variable %s" x)
+
+let scale_of = function
+  | T_char_arr _ | T_char_ptr -> 1
+  | T_int_arr _ | T_int -> 8
+
+let is_byte t = scale_of t = 1
+
+(* Address of the array/pointed-to data for variable [x] into r15. For
+   declared arrays this is the storage address; for scalars (pointers) it is
+   the *value* of the variable. *)
+let base_into_r15 env x =
+  match lookup env x with
+  | Local (off, (T_int_arr _ | T_char_arr _)) -> emit env "addi r15, r12, -%d" off
+  | Local (off, (T_int | T_char_ptr)) -> emit env "ld r15, [r12-%d]" off
+  | Global (l, (T_int_arr _ | T_char_arr _)) -> emit env "movi r15, %s" l
+  | Global (l, (T_int | T_char_ptr)) ->
+    emit env "movi r15, %s" l;
+    emit env "ld r15, [r15+0]"
+
+let elem_type env x =
+  match lookup env x with
+  | Local (_, t) | Global (_, t) -> t
+
+let rec gen_expr env (e : expr) =
+  match e with
+  | Int v -> emit env "movi r1, %d" v
+  | Chr c -> emit env "movi r1, %d" (Char.code c)
+  | Str s -> emit env "movi r1, %s" (intern_string env s)
+  | Var x ->
+    (match lookup env x with
+     | Local (off, (T_int | T_char_ptr)) -> emit env "ld r1, [r12-%d]" off
+     | Local (off, (T_int_arr _ | T_char_arr _)) -> emit env "addi r1, r12, -%d" off
+     | Global (l, (T_int | T_char_ptr)) ->
+       emit env "movi r15, %s" l;
+       emit env "ld r1, [r15+0]"
+     | Global (l, (T_int_arr _ | T_char_arr _)) -> emit env "movi r1, %s" l)
+  | Addr x ->
+    (match lookup env x with
+     | Local (off, _) -> emit env "addi r1, r12, -%d" off
+     | Global (l, _) -> emit env "movi r1, %s" l)
+  | Index (x, idx) ->
+    gen_expr env idx;
+    emit env "push r1";
+    base_into_r15 env x;
+    emit env "pop r1";
+    let t = elem_type env x in
+    if not (is_byte t) then begin
+      emit env "movi r2, 3";
+      emit env "shl r1, r1, r2"
+    end;
+    emit env "add r15, r15, r1";
+    if is_byte t then emit env "ldb r1, [r15+0]" else emit env "ld r1, [r15+0]"
+  | Unop (Neg, e) ->
+    gen_expr env e;
+    emit env "movi r2, 0";
+    emit env "sub r1, r2, r1"
+  | Unop (Not, e) ->
+    gen_expr env e;
+    emit env "movi r2, 0";
+    emit env "seq r1, r1, r2"
+  | Unop (BNot, e) ->
+    gen_expr env e;
+    emit env "movi r2, -1";
+    emit env "xor r1, r1, r2"
+  | Binop (LAnd, a, b) ->
+    let l_false = fresh_label env "and_f" and l_end = fresh_label env "and_e" in
+    gen_expr env a;
+    emit env "movi r2, 0";
+    emit env "beq r1, r2, %s" l_false;
+    gen_expr env b;
+    emit env "movi r2, 0";
+    emit env "sne r1, r1, r2";
+    emit env "jmp %s" l_end;
+    emit_label env l_false;
+    emit env "movi r1, 0";
+    emit_label env l_end
+  | Binop (LOr, a, b) ->
+    let l_true = fresh_label env "or_t" and l_end = fresh_label env "or_e" in
+    gen_expr env a;
+    emit env "movi r2, 0";
+    emit env "bne r1, r2, %s" l_true;
+    gen_expr env b;
+    emit env "movi r2, 0";
+    emit env "sne r1, r1, r2";
+    emit env "jmp %s" l_end;
+    emit_label env l_true;
+    emit env "movi r1, 1";
+    emit_label env l_end
+  | Binop (op, a, b) ->
+    gen_expr env a;
+    emit env "push r1";
+    gen_expr env b;
+    emit env "mov r2, r1";
+    emit env "pop r1";
+    (match op with
+     | Add -> emit env "add r1, r1, r2"
+     | Sub -> emit env "sub r1, r1, r2"
+     | Mul -> emit env "mul r1, r1, r2"
+     | Div -> emit env "div r1, r1, r2"
+     | Mod -> emit env "mod r1, r1, r2"
+     | And -> emit env "and r1, r1, r2"
+     | Or -> emit env "or r1, r1, r2"
+     | Xor -> emit env "xor r1, r1, r2"
+     | Shl -> emit env "shl r1, r1, r2"
+     | Shr -> emit env "shr r1, r1, r2"
+     | Eq -> emit env "seq r1, r1, r2"
+     | Ne -> emit env "sne r1, r1, r2"
+     | Lt -> emit env "slt r1, r1, r2"
+     | Le -> emit env "sle r1, r1, r2"
+     | Gt -> emit env "slt r1, r2, r1"
+     | Ge -> emit env "sle r1, r2, r1"
+     | LAnd | LOr -> assert false)
+  | Call (f, args) ->
+    let n = List.length args in
+    if n > 6 then fail "%s: more than 6 arguments" f;
+    (* literal arguments load directly into their registers (after the
+       spill/fill of computed ones), the way real compilers materialize
+       constants — this is what lets the installer's reaching-definitions
+       analysis see constant syscall arguments *)
+    let is_literal = function Int _ | Chr _ | Str _ -> true | _ -> false in
+    let indexed = List.mapi (fun i a -> (i + 1, a)) args in
+    let computed = List.filter (fun (_, a) -> not (is_literal a)) indexed in
+    List.iter
+      (fun (_, a) ->
+        gen_expr env a;
+        emit env "push r1")
+      computed;
+    List.iter (fun (i, _) -> emit env "pop r%d" i) (List.rev computed);
+    List.iter
+      (fun (i, a) ->
+        match a with
+        | Int v -> emit env "movi r%d, %d" i v
+        | Chr c -> emit env "movi r%d, %d" i (Char.code c)
+        | Str s -> emit env "movi r%d, %s" i (intern_string env s)
+        | _ -> ())
+      (List.filter (fun (_, a) -> is_literal a) indexed);
+    emit env "call %s" f;
+    emit env "mov r1, r0"
+  | Assign (LVar x, rhs) ->
+    gen_expr env rhs;
+    (match lookup env x with
+     | Local (off, (T_int | T_char_ptr)) -> emit env "st [r12-%d], r1" off
+     | Global (l, (T_int | T_char_ptr)) ->
+       emit env "movi r15, %s" l;
+       emit env "st [r15+0], r1"
+     | Local (_, (T_int_arr _ | T_char_arr _)) | Global (_, (T_int_arr _ | T_char_arr _)) ->
+       fail "cannot assign to array %s" x)
+  | Assign (LIndex (x, idx), rhs) ->
+    gen_expr env rhs;
+    emit env "push r1";
+    gen_expr env idx;
+    emit env "push r1";
+    base_into_r15 env x;
+    emit env "pop r1";
+    let t = elem_type env x in
+    if not (is_byte t) then begin
+      emit env "movi r2, 3";
+      emit env "shl r1, r1, r2"
+    end;
+    emit env "add r15, r15, r1";
+    emit env "pop r1";
+    if is_byte t then emit env "stb [r15+0], r1" else emit env "st [r15+0], r1"
+
+let gen_cond env cond l_false =
+  gen_expr env cond;
+  emit env "movi r2, 0";
+  emit env "beq r1, r2, %s" l_false
+
+let rec gen_stmt env (s : stmt) =
+  match s with
+  | Block stmts -> List.iter (gen_stmt env) stmts
+  | Expr e -> gen_expr env e
+  | Decl (_, x, init) ->
+    (match init with
+     | None -> ()
+     | Some e -> gen_expr env (Assign (LVar x, e)))
+  | If (cond, then_, else_) ->
+    let l_else = fresh_label env "else" and l_end = fresh_label env "fi" in
+    gen_cond env cond l_else;
+    List.iter (gen_stmt env) then_;
+    emit env "jmp %s" l_end;
+    emit_label env l_else;
+    List.iter (gen_stmt env) else_;
+    emit_label env l_end
+  | While (cond, body) ->
+    let l_top = fresh_label env "wh" and l_end = fresh_label env "od" in
+    env.break_labels <- l_end :: env.break_labels;
+    env.continue_labels <- l_top :: env.continue_labels;
+    emit_label env l_top;
+    gen_cond env cond l_end;
+    List.iter (gen_stmt env) body;
+    emit env "jmp %s" l_top;
+    emit_label env l_end;
+    env.break_labels <- List.tl env.break_labels;
+    env.continue_labels <- List.tl env.continue_labels
+  | For (init, cond, step, body) ->
+    let l_top = fresh_label env "for" in
+    let l_step = fresh_label env "fstep" in
+    let l_end = fresh_label env "rof" in
+    Option.iter (fun e -> gen_expr env e) init;
+    env.break_labels <- l_end :: env.break_labels;
+    env.continue_labels <- l_step :: env.continue_labels;
+    emit_label env l_top;
+    Option.iter (fun c -> gen_cond env c l_end) cond;
+    List.iter (gen_stmt env) body;
+    emit_label env l_step;
+    Option.iter (fun e -> gen_expr env e) step;
+    emit env "jmp %s" l_top;
+    emit_label env l_end;
+    env.break_labels <- List.tl env.break_labels;
+    env.continue_labels <- List.tl env.continue_labels
+  | Return e ->
+    (match e with
+     | Some e ->
+       gen_expr env e;
+       emit env "mov r0, r1"
+     | None -> emit env "movi r0, 0");
+    emit env "mov r13, r12";
+    emit env "pop r12";
+    emit env "ret"
+  | Break ->
+    (match env.break_labels with
+     | l :: _ -> emit env "jmp %s" l
+     | [] -> fail "break outside loop")
+  | Continue ->
+    (match env.continue_labels with
+     | l :: _ -> emit env "jmp %s" l
+     | [] -> fail "continue outside loop")
+
+(* collect every declaration in a function body (flat namespace) *)
+let rec collect_decls acc stmts =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Decl (t, x, _) ->
+        if List.mem_assoc x acc then fail "duplicate local %s" x else (x, t) :: acc
+      | Block b -> collect_decls acc b
+      | If (_, a, b) -> collect_decls (collect_decls acc a) b
+      | While (_, b) -> collect_decls acc b
+      | For (_, _, _, b) -> collect_decls acc b
+      | Expr _ | Return _ | Break | Continue -> acc)
+    acc stmts
+
+let size_of = function
+  | T_int | T_char_ptr -> 8
+  | T_int_arr n -> 8 * n
+  | T_char_arr n -> (n + 7) / 8 * 8
+
+let gen_func env (f : func) =
+  if List.length f.f_params > 6 then fail "%s: more than 6 parameters" f.f_name;
+  (* layout: params first, then locals *)
+  let decls = List.rev (collect_decls [] f.f_body) in
+  let vars = ref [] in
+  let cursor = ref 0 in
+  let place (x, t) =
+    cursor := !cursor + size_of t;
+    vars := (x, Local (!cursor, t)) :: !vars
+  in
+  List.iter (fun (t, x) -> place (x, t)) f.f_params;
+  List.iter place decls;
+  let frame = (!cursor + 7) / 8 * 8 in
+  env.vars <- !vars;
+  emit_label env f.f_name;
+  emit env "push r12";
+  emit env "mov r12, r13";
+  if frame > 0 then emit env "addi r13, r13, -%d" frame;
+  List.iteri
+    (fun i (_, x) ->
+      match List.assoc x !vars with
+      | Local (off, _) -> emit env "st [r12-%d], r%d" off (i + 1)
+      | Global _ -> assert false)
+    f.f_params;
+  List.iter (gen_stmt env) f.f_body;
+  (* default return 0 *)
+  emit env "movi r0, 0";
+  emit env "mov r13, r12";
+  emit env "pop r12";
+  emit env "ret";
+  env.vars <- []
+
+let const_init env (g : global) =
+  match g.g_init with
+  | None -> None
+  | Some (Int v) -> Some (`Int v)
+  | Some (Str s) -> Some (`Str (intern_string env s))
+  | Some (Chr c) -> Some (`Int (Char.code c))
+  | Some _ -> fail "global %s: initializer must be a literal" g.g_name
+
+let compile (p : program) =
+  try
+    let env =
+      { buf = Buffer.create 4096;
+        label_counter = 0;
+        strings = Hashtbl.create 32;
+        string_counter = 0;
+        vars = [];
+        globals = Hashtbl.create 32;
+        break_labels = [];
+        continue_labels = [] }
+    in
+    List.iter (fun g -> Hashtbl.replace env.globals g.g_name g.g_type) p.globals;
+    Buffer.add_string env.buf "        .text\n";
+    List.iter (gen_func env) p.funcs;
+    (* globals with initializers in .data, zeroed ones in .bss *)
+    let inits = List.map (fun g -> (g, const_init env g)) p.globals in
+    Buffer.add_string env.buf "        .data\n";
+    List.iter
+      (fun ((g : global), init) ->
+        match init with
+        | Some (`Int v) -> Buffer.add_string env.buf (Printf.sprintf "%s: .word %d\n" g.g_name v)
+        | Some (`Str l) -> Buffer.add_string env.buf (Printf.sprintf "%s: .addr %s\n" g.g_name l)
+        | None -> ())
+      inits;
+    Buffer.add_string env.buf "        .bss\n";
+    List.iter
+      (fun ((g : global), init) ->
+        if init = None then
+          Buffer.add_string env.buf
+            (Printf.sprintf "%s: .space %d\n" g.g_name (size_of g.g_type)))
+      inits;
+    (* string literals *)
+    Buffer.add_string env.buf "        .rodata\n";
+    let strs = Hashtbl.fold (fun s l acc -> (l, s) :: acc) env.strings [] in
+    List.iter
+      (fun (l, s) ->
+        let escaped =
+          String.concat ""
+            (List.map
+               (fun c ->
+                 match c with
+                 | '\n' -> "\\n"
+                 | '\t' -> "\\t"
+                 | '\000' -> "\\0"
+                 | '"' -> "\\\""
+                 | '\\' -> "\\\\"
+                 | c -> String.make 1 c)
+               (List.init (String.length s) (String.get s)))
+        in
+        Buffer.add_string env.buf (Printf.sprintf "%s: .asciz \"%s\"\n" l escaped))
+      (List.sort compare strs);
+    Ok (Buffer.contents env.buf)
+  with Gen_error m -> Error m

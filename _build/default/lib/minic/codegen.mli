@@ -1,0 +1,17 @@
+(** MiniC → SVM assembly.
+
+    Conventions (shared with the libc stubs and the ASC installer):
+    - arguments and results: args in r1–r6, result in r0;
+    - r12 is the frame pointer, r13 the stack pointer;
+    - expression evaluation uses r1/r2/r15 only, spilling via the stack;
+    - r7–r11 and r14 are never live across a call or system call — they are
+      the scratch registers the installer's inserted policy loads use.
+
+    Stack frames grow buffers upward toward the saved frame pointer and
+    return address, so out-of-bounds writes into a stack buffer can
+    overwrite the return address (the attack experiments rely on this,
+    mirroring the x86 layout the paper assumes). *)
+
+val compile : Ast.program -> (string, string) result
+(** Assembly text for the program's functions and globals (no entry glue,
+    no libc — {!Driver} adds those). *)

@@ -1,0 +1,66 @@
+let entry_glue =
+  {|        .text
+_start: call __os_init
+        call main
+        mov r1, r0
+        call exit
+        halt
+|}
+
+let assembly ~personality src =
+  match Parser.parse (Libc.prelude ^ "\n" ^ src) with
+  | Error e -> Error ("parse error: " ^ e)
+  | Ok ast ->
+    (match Codegen.compile ast with
+     | Error e -> Error ("codegen error: " ^ e)
+     | Ok program_asm ->
+       Ok
+         (entry_glue ^ program_asm ^ Libc.os_init_asm personality
+          ^ Libc.stubs_asm personality))
+
+let compile ?(libs = []) ~personality src =
+  match assembly ~personality src with
+  | Error e -> Error e
+  | Ok asm ->
+    (match Svm.Asm.assemble ~externals:libs asm with
+     | Ok img -> Ok img
+     | Error e -> Error (Format.asprintf "assembly error: %a" Svm.Asm.pp_error e))
+
+let compile_exn ?libs ~personality src =
+  match compile ?libs ~personality src with
+  | Ok img -> img
+  | Error e -> failwith e
+
+(* A library has no entry glue; it is entered only through its exported
+   functions. The assembler still needs an entry symbol, so the library's
+   first function serves (the value is unused at run time). *)
+let compile_library ~personality ~base src =
+  match Parser.parse (Libc.prelude ^ "\n" ^ src) with
+  | Error e -> Error ("parse error: " ^ e)
+  | Ok ast ->
+    (match ast.Ast.funcs with
+     | [] -> Error "library has no functions"
+     | first :: _ ->
+       (match Codegen.compile ast with
+        | Error e -> Error ("codegen error: " ^ e)
+        | Ok program_asm ->
+          let asm = program_asm ^ Libc.stubs_asm personality in
+          (match Svm.Asm.assemble ~text_base:base ~entry:first.Ast.f_name asm with
+           | Ok img -> Ok img
+           | Error e -> Error (Format.asprintf "assembly error: %a" Svm.Asm.pp_error e))))
+
+let exports (img : Svm.Obj_file.t) ~prefix_blacklist =
+  let text = Svm.Obj_file.text_section img in
+  let in_text a = a >= text.Svm.Obj_file.sec_addr
+                  && a < text.Svm.Obj_file.sec_addr + text.Svm.Obj_file.sec_size in
+  List.filter_map
+    (fun (sym : Svm.Obj_file.symbol) ->
+      let hidden =
+        List.exists
+          (fun p ->
+            String.length sym.sym_name >= String.length p
+            && String.sub sym.sym_name 0 (String.length p) = p)
+          prefix_blacklist
+      in
+      if in_text sym.sym_addr && not hidden then Some (sym.sym_name, sym.sym_addr) else None)
+    img.Svm.Obj_file.symbols

@@ -1,0 +1,45 @@
+(** End-to-end MiniC compilation: source → relocatable SEF binary.
+
+    Links, in order: entry glue ([_start] calls the per-OS [__os_init],
+    then [main], then [exit] with main's result), the user program compiled
+    together with the MiniC prelude, and the personality's libc stubs.
+    Unused stubs are removed later by the installer's dead-code
+    elimination, so a program's policy only names the system calls it can
+    actually reach. *)
+
+val compile :
+  ?libs:(string * int) list ->
+  personality:Oskernel.Personality.t ->
+  string ->
+  (Svm.Obj_file.t, string) result
+(** Compile MiniC source text. [libs] is an import table (function name →
+    absolute address, typically a shared library's {!exports}): calls to
+    otherwise-undefined functions resolve against it. *)
+
+val compile_exn :
+  ?libs:(string * int) list -> personality:Oskernel.Personality.t -> string -> Svm.Obj_file.t
+(** @raise Failure with the diagnostic. *)
+
+val compile_library :
+  personality:Oskernel.Personality.t ->
+  base:int ->
+  string ->
+  (Svm.Obj_file.t, string) result
+(** Compile MiniC source as a shared library placed at the fixed code base
+    [base] (our equivalent of a prelinked shared object: call sites have
+    known addresses, which the §5.2 installer needs to protect them). The
+    library is self-contained — it carries its own copies of the prelude
+    and the libc syscall stubs — and has no [_start]; its entry point is
+    its first function. *)
+
+val exports : Svm.Obj_file.t -> prefix_blacklist:string list -> (string * int) list
+(** The importable symbols of a library image: text symbols except internal
+    ones (labels starting with a blacklisted prefix, e.g. ["str_"; "L"]
+    and the libc stubs are kept — callers may want them resolved from the
+    library too). *)
+
+val assembly :
+  personality:Oskernel.Personality.t ->
+  string ->
+  (string, string) result
+(** The full linked assembly text (for inspection and tests). *)

@@ -1,0 +1,130 @@
+type token =
+  | INT of int
+  | CHAR of char
+  | STRING of string
+  | IDENT of string
+  | KW of string
+  | PUNCT of string
+  | EOF
+
+type t = { tok : token; line : int }
+
+let keywords = [ "int"; "char"; "if"; "else"; "while"; "for"; "return"; "break"; "continue" ]
+
+(* longest first *)
+let puncts =
+  [ "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||";
+    "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "<"; ">"; "=";
+    "("; ")"; "{"; "}"; "["; "]"; ";"; ","; "!"; "~" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let error = ref None in
+  let fail msg = error := Some (Printf.sprintf "line %d: %s" !line msg) in
+  let escape c =
+    match c with
+    | 'n' -> Some '\n'
+    | 't' -> Some '\t'
+    | '0' -> Some '\000'
+    | 'r' -> Some '\r'
+    | '\\' -> Some '\\'
+    | '\'' -> Some '\''
+    | '"' -> Some '"'
+    | _ -> None
+  in
+  while !i < n && !error = None do
+    let c = src.[!i] in
+    if c = '\n' then begin incr line; incr i end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while !i + 1 < n && not !closed do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && src.[!i + 1] = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then fail "unterminated comment"
+    end
+    else if is_digit c then begin
+      let start = !i in
+      if c = '0' && !i + 1 < n && (src.[!i + 1] = 'x' || src.[!i + 1] = 'X') then begin
+        i := !i + 2;
+        while !i < n && (is_digit src.[!i] || (Char.lowercase_ascii src.[!i] >= 'a' && Char.lowercase_ascii src.[!i] <= 'f')) do incr i done
+      end
+      else while !i < n && is_digit src.[!i] do incr i done;
+      match int_of_string_opt (String.sub src start (!i - start)) with
+      | Some v -> toks := { tok = INT v; line = !line } :: !toks
+      | None -> fail "bad integer literal"
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && (is_alpha src.[!i] || is_digit src.[!i]) do incr i done;
+      let word = String.sub src start (!i - start) in
+      let tok = if List.mem word keywords then KW word else IDENT word in
+      toks := { tok; line = !line } :: !toks
+    end
+    else if c = '"' then begin
+      incr i;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while !i < n && not !closed && !error = None do
+        if src.[!i] = '"' then begin closed := true; incr i end
+        else if src.[!i] = '\\' && !i + 1 < n then begin
+          (match escape src.[!i + 1] with
+           | Some e -> Buffer.add_char buf e
+           | None -> fail "bad escape in string");
+          i := !i + 2
+        end
+        else begin
+          if src.[!i] = '\n' then incr line;
+          Buffer.add_char buf src.[!i];
+          incr i
+        end
+      done;
+      if not !closed && !error = None then fail "unterminated string";
+      toks := { tok = STRING (Buffer.contents buf); line = !line } :: !toks
+    end
+    else if c = '\'' then begin
+      if !i + 2 < n && src.[!i + 1] = '\\' then begin
+        match escape src.[!i + 2] with
+        | Some e when !i + 3 < n && src.[!i + 3] = '\'' ->
+          toks := { tok = CHAR e; line = !line } :: !toks;
+          i := !i + 4
+        | Some _ | None -> fail "bad character literal"
+      end
+      else if !i + 2 < n && src.[!i + 2] = '\'' then begin
+        toks := { tok = CHAR src.[!i + 1]; line = !line } :: !toks;
+        i := !i + 3
+      end
+      else fail "bad character literal"
+    end
+    else begin
+      match
+        List.find_opt
+          (fun p ->
+            let lp = String.length p in
+            !i + lp <= n && String.sub src !i lp = p)
+          puncts
+      with
+      | Some p ->
+        toks := { tok = PUNCT p; line = !line } :: !toks;
+        i := !i + String.length p
+      | None -> fail (Printf.sprintf "unexpected character %C" c)
+    end
+  done;
+  match !error with
+  | Some e -> Error e
+  | None -> Ok (List.rev ({ tok = EOF; line = !line } :: !toks))

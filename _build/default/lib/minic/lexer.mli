@@ -1,0 +1,15 @@
+(** Hand-rolled lexer for MiniC. *)
+
+type token =
+  | INT of int
+  | CHAR of char
+  | STRING of string
+  | IDENT of string
+  | KW of string     (** int, char, if, else, while, for, return, break, continue *)
+  | PUNCT of string  (** operators and delimiters, longest-match *)
+  | EOF
+
+type t = { tok : token; line : int }
+
+val tokenize : string -> (t list, string) result
+(** Comments are [// ...] and [/* ... */]. Errors carry the line number. *)

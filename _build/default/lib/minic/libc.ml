@@ -1,0 +1,212 @@
+open Oskernel
+
+let plain_stub name number = Printf.sprintf "%s: movi r0, %d\n        sys\n        ret\n" name number
+
+(* OpenBSD mmap: shift the six user arguments up one register, pass the real
+   syscall number (197) as the first argument of __syscall (198). Only five
+   user arguments survive the shift; mmap's offset argument is dropped, as
+   the simulated kernel ignores it. *)
+let openbsd_mmap_stub ~indirect_number ~mmap_number =
+  Printf.sprintf
+    {|mmap:   mov r6, r5
+        mov r5, r4
+        mov r4, r3
+        mov r3, r2
+        mov r2, r1
+        movi r1, %d
+        movi r0, %d
+        sys
+        ret
+|}
+    mmap_number indirect_number
+
+(* OpenBSD close: the sys instruction lives at a misaligned address reached
+   through a computed jump. The 8-byte-aligned disassembler sees junk at
+   +24 (opaque block) and never sees the sys at +28, so `close` is missing
+   from statically generated policies — Table 2's close row. The code is
+   perfectly executable: jr lands at +28 where a valid SYS encoding starts,
+   followed by RET at +36. *)
+let openbsd_close_stub number =
+  Printf.sprintf
+    {|close:  movi r0, %d
+        movi r15, close+28
+        jr r15
+        .byte 0xff,0xff,0xff,0xff
+        .byte 0x37,0,0,0,0,0,0,0
+        .byte 0x34,0,0,0,0,0,0,0
+        .byte 0,0,0,0
+|}
+    number
+
+let stubs_asm pers =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "        .text\n";
+  let is_openbsd = Personality.number_of pers Syscall.Indirect <> None in
+  List.iter
+    (fun sem ->
+      match Personality.number_of pers sem with
+      | None -> ()
+      | Some n ->
+        (match sem with
+         | Syscall.Indirect -> () (* not exposed as a stub *)
+         | Syscall.Close when is_openbsd -> Buffer.add_string buf (openbsd_close_stub n)
+         | _ -> Buffer.add_string buf (plain_stub (Syscall.name sem) n)))
+    Syscall.all;
+  if is_openbsd then begin
+    match
+      ( Personality.number_of pers Syscall.Indirect,
+        Personality.indirect_target pers 197 )
+    with
+    | Some ind, Some Syscall.Mmap ->
+      Buffer.add_string buf (openbsd_mmap_stub ~indirect_number:ind ~mmap_number:197)
+    | _ -> ()
+  end;
+  Buffer.contents buf
+
+let os_init_asm pers =
+  let is_openbsd = Personality.number_of pers Syscall.Indirect <> None in
+  if is_openbsd then
+    {|        .text
+__os_init:
+        call issetugid
+        movi r1, __ctl_buf
+        movi r2, 2
+        movi r3, __ctl_buf
+        movi r4, 8
+        movi r5, 0
+        movi r6, 0
+        call sysctl
+        movi r1, 0
+        call brk
+        ret
+        .bss
+__ctl_buf: .space 64
+|}
+  else
+    {|        .text
+__os_init:
+        movi r1, 0
+        call brk
+        movi r1, __uts_buf
+        call uname
+        ret
+        .bss
+__uts_buf: .space 64
+|}
+
+let prelude =
+  {|
+int strlen(char *s) { int n = 0; while (s[n] != 0) { n = n + 1; } return n; }
+
+int strcpy(char *d, char *s) {
+  int i = 0;
+  while (s[i] != 0) { d[i] = s[i]; i = i + 1; }
+  d[i] = 0;
+  return i;
+}
+
+int strcmp(char *a, char *b) {
+  int i = 0;
+  while (a[i] != 0 && a[i] == b[i]) { i = i + 1; }
+  return a[i] - b[i];
+}
+
+int memset(char *p, int c, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) { p[i] = c; }
+  return 0;
+}
+
+int memcpy(char *d, char *s, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) { d[i] = s[i]; }
+  return 0;
+}
+
+int puts_str(char *s) { return write(1, s, strlen(s)); }
+
+int print_int(int v) {
+  char tmp[32];
+  int i = 31;
+  int neg = 0;
+  if (v < 0) { neg = 1; v = 0 - v; }
+  if (v == 0) { i = i - 1; tmp[i] = '0'; }
+  while (v > 0) { i = i - 1; tmp[i] = '0' + v % 10; v = v / 10; }
+  if (neg) { i = i - 1; tmp[i] = '-'; }
+  return write(1, tmp + i, 31 - i);
+}
+
+int atoi(char *s) {
+  int v = 0;
+  int i = 0;
+  int neg = 0;
+  if (s[0] == '-') { neg = 1; i = 1; }
+  while (s[i] >= '0' && s[i] <= '9') { v = v * 10 + (s[i] - '0'); i = i + 1; }
+  if (neg) { return 0 - v; }
+  return v;
+}
+
+/* deliberately unbounded, like gets(3): the attack experiments overflow
+   stack buffers through this */
+int read_line(int fd, char *buf) {
+  int i = 0;
+  char c[8];
+  while (read(fd, c, 1) == 1) {
+    if (c[0] == '\n') { break; }
+    buf[i] = c[0];
+    i = i + 1;
+  }
+  buf[i] = 0;
+  return i;
+}
+
+/* buffered "argv": one read, then parse fields in memory */
+int read_args(char *buf, int maxn) {
+  int n = read(0, buf, maxn);
+  if (n < 0) { n = 0; }
+  buf[n] = 0;
+  return n;
+}
+
+int arg_field(char *args, int idx, char *out) {
+  int i = 0;
+  int field = 0;
+  while (field < idx && args[i] != 0) {
+    if (args[i] == '\n') { field = field + 1; }
+    i = i + 1;
+  }
+  int o = 0;
+  while (args[i] != 0 && args[i] != '\n') { out[o] = args[i]; i = i + 1; o = o + 1; }
+  out[o] = 0;
+  return o;
+}
+
+int __heap_ptr;
+int __heap_end;
+
+int malloc(int n) {
+  int p;
+  if (__heap_ptr == 0) { __heap_ptr = brk(0); __heap_end = __heap_ptr; }
+  n = (n + 7) / 8 * 8;
+  if (__heap_ptr + n > __heap_end) { __heap_end = brk(__heap_ptr + n + 65536); }
+  p = __heap_ptr;
+  __heap_ptr = __heap_ptr + n;
+  return p;
+}
+
+int free(int p) { return 0; }
+
+int __seed = 123456789;
+
+int srand(int s) { __seed = s; return 0; }
+
+int rand() {
+  __seed = (__seed * 1103515245 + 12345) % 2147483648;
+  if (__seed < 0) { __seed = 0 - __seed; }
+  return __seed;
+}
+
+int abs(int v) { if (v < 0) { return 0 - v; } return v; }
+int min(int a, int b) { if (a < b) { return a; } return b; }
+int max(int a, int b) { if (a > b) { return a; } return b; }
+|}

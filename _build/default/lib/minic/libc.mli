@@ -1,0 +1,24 @@
+(** The MiniC C library.
+
+    Two layers:
+    - {!stubs_asm}: per-personality system-call stubs in assembly — one tiny
+      [movi r0, N; sys; ret] function per syscall, exactly the stub shape
+      the installer detects and inlines. The OpenBSD-like personality has
+      two deliberate quirks from Table 2: [mmap] shifts its arguments and
+      traps through the generic [__syscall] number, and [close] reaches its
+      [sys] instruction through a misaligned computed jump that an aligned
+      disassembler cannot decode (PLTO's "unusual implementation ... that
+      PLTO currently cannot disassemble").
+    - {!prelude}: portable helpers written in MiniC itself (strlen, strcpy,
+      print_int, malloc over [brk], and the deliberately unbounded
+      [read_line] — the buffer-overflow primitive the attack experiments
+      exploit).
+
+    {!os_init_asm} provides the per-OS startup shim ([__os_init]) whose
+    extra system calls (glibc-style [brk]/[uname] vs. BSD-style
+    [issetugid]/[sysctl]) make policies differ across operating systems as
+    in Table 1. *)
+
+val stubs_asm : Oskernel.Personality.t -> string
+val os_init_asm : Oskernel.Personality.t -> string
+val prelude : string

@@ -1,0 +1,334 @@
+open Ast
+
+exception Parse_error of string
+
+type state = { mutable toks : Lexer.t list }
+
+let fail (st : state) fmt =
+  let line = match st.toks with { line; _ } :: _ -> line | [] -> 0 in
+  Format.kasprintf (fun m -> raise (Parse_error (Printf.sprintf "line %d: %s" line m))) fmt
+
+let peek st = match st.toks with t :: _ -> t.Lexer.tok | [] -> Lexer.EOF
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let eat_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when q = p -> advance st
+  | _ -> fail st "expected %S" p
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT x ->
+    advance st;
+    x
+  | _ -> fail st "expected identifier"
+
+let is_punct st p = peek st = Lexer.PUNCT p
+let is_kw st k = peek st = Lexer.KW k
+
+(* ---- expressions: precedence climbing ---- *)
+
+let binop_of = function
+  | "*" -> Some (Mul, 10) | "/" -> Some (Div, 10) | "%" -> Some (Mod, 10)
+  | "+" -> Some (Add, 9) | "-" -> Some (Sub, 9)
+  | "<<" -> Some (Shl, 8) | ">>" -> Some (Shr, 8)
+  | "<" -> Some (Lt, 7) | "<=" -> Some (Le, 7) | ">" -> Some (Gt, 7) | ">=" -> Some (Ge, 7)
+  | "==" -> Some (Eq, 6) | "!=" -> Some (Ne, 6)
+  | "&" -> Some (And, 5)
+  | "^" -> Some (Xor, 4)
+  | "|" -> Some (Or, 3)
+  | "&&" -> Some (LAnd, 2)
+  | "||" -> Some (LOr, 1)
+  | _ -> None
+
+let rec parse_expr st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_binary st 1 in
+  if is_punct st "=" then begin
+    advance st;
+    let rhs = parse_assign st in
+    match lhs with
+    | Var x -> Assign (LVar x, rhs)
+    | Index (x, e) -> Assign (LIndex (x, e), rhs)
+    | _ -> fail st "invalid assignment target"
+  end
+  else lhs
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Lexer.PUNCT p ->
+      (match binop_of p with
+       | Some (op, prec) when prec >= min_prec ->
+         advance st;
+         let rhs = parse_binary st (prec + 1) in
+         lhs := Binop (op, !lhs, rhs)
+       | Some _ | None -> continue := false)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | Lexer.PUNCT "-" ->
+    advance st;
+    Unop (Neg, parse_unary st)
+  | Lexer.PUNCT "!" ->
+    advance st;
+    Unop (Not, parse_unary st)
+  | Lexer.PUNCT "~" ->
+    advance st;
+    Unop (BNot, parse_unary st)
+  | Lexer.PUNCT "&" ->
+    advance st;
+    Addr (ident st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  match peek st with
+  | Lexer.INT v ->
+    advance st;
+    Int v
+  | Lexer.CHAR c ->
+    advance st;
+    Chr c
+  | Lexer.STRING s ->
+    advance st;
+    Str s
+  | Lexer.PUNCT "(" ->
+    advance st;
+    let e = parse_expr st in
+    eat_punct st ")";
+    e
+  | Lexer.IDENT x ->
+    advance st;
+    if is_punct st "(" then begin
+      advance st;
+      let args = ref [] in
+      if not (is_punct st ")") then begin
+        args := [ parse_expr st ];
+        while is_punct st "," do
+          advance st;
+          args := parse_expr st :: !args
+        done
+      end;
+      eat_punct st ")";
+      Call (x, List.rev !args)
+    end
+    else if is_punct st "[" then begin
+      advance st;
+      let e = parse_expr st in
+      eat_punct st "]";
+      Index (x, e)
+    end
+    else Var x
+  | _ -> fail st "expected expression"
+
+(* ---- statements ---- *)
+
+let parse_var_type st =
+  if is_kw st "int" then begin
+    advance st;
+    `Int
+  end
+  else if is_kw st "char" then begin
+    advance st;
+    if is_punct st "*" then begin
+      advance st;
+      `Char_ptr
+    end
+    else `Char
+  end
+  else fail st "expected type"
+
+let rec parse_stmt st =
+  if is_punct st "{" then begin
+    advance st;
+    let stmts = ref [] in
+    while not (is_punct st "}") do
+      stmts := parse_stmt st :: !stmts
+    done;
+    advance st;
+    Block (List.rev !stmts)
+  end
+  else if is_kw st "int" || is_kw st "char" then begin
+    let base = parse_var_type st in
+    let name = ident st in
+    let vt =
+      if is_punct st "[" then begin
+        advance st;
+        let size = match peek st with
+          | Lexer.INT v -> advance st; v
+          | _ -> fail st "array size must be a literal"
+        in
+        eat_punct st "]";
+        match base with
+        | `Int -> T_int_arr size
+        | `Char -> T_char_arr size
+        | `Char_ptr -> fail st "array of pointers not supported"
+      end
+      else
+        match base with
+        | `Int -> T_int
+        | `Char_ptr -> T_char_ptr
+        | `Char -> fail st "plain char variables not supported; use int or char[]"
+    in
+    let init =
+      if is_punct st "=" then begin
+        advance st;
+        Some (parse_expr st)
+      end
+      else None
+    in
+    eat_punct st ";";
+    Decl (vt, name, init)
+  end
+  else if is_kw st "if" then begin
+    advance st;
+    eat_punct st "(";
+    let cond = parse_expr st in
+    eat_punct st ")";
+    let then_ = parse_block_or_stmt st in
+    let else_ =
+      if is_kw st "else" then begin
+        advance st;
+        parse_block_or_stmt st
+      end
+      else []
+    in
+    If (cond, then_, else_)
+  end
+  else if is_kw st "while" then begin
+    advance st;
+    eat_punct st "(";
+    let cond = parse_expr st in
+    eat_punct st ")";
+    While (cond, parse_block_or_stmt st)
+  end
+  else if is_kw st "for" then begin
+    advance st;
+    eat_punct st "(";
+    let init = if is_punct st ";" then None else Some (parse_expr st) in
+    eat_punct st ";";
+    let cond = if is_punct st ";" then None else Some (parse_expr st) in
+    eat_punct st ";";
+    let step = if is_punct st ")" then None else Some (parse_expr st) in
+    eat_punct st ")";
+    For (init, cond, step, parse_block_or_stmt st)
+  end
+  else if is_kw st "return" then begin
+    advance st;
+    let e = if is_punct st ";" then None else Some (parse_expr st) in
+    eat_punct st ";";
+    Return e
+  end
+  else if is_kw st "break" then begin
+    advance st;
+    eat_punct st ";";
+    Break
+  end
+  else if is_kw st "continue" then begin
+    advance st;
+    eat_punct st ";";
+    Continue
+  end
+  else begin
+    let e = parse_expr st in
+    eat_punct st ";";
+    Expr e
+  end
+
+and parse_block_or_stmt st =
+  if is_punct st "{" then begin
+    advance st;
+    let stmts = ref [] in
+    while not (is_punct st "}") do
+      stmts := parse_stmt st :: !stmts
+    done;
+    advance st;
+    List.rev !stmts
+  end
+  else [ parse_stmt st ]
+
+(* ---- top level ---- *)
+
+let parse_program st =
+  let globals = ref [] in
+  let funcs = ref [] in
+  while peek st <> Lexer.EOF do
+    let base = parse_var_type st in
+    let name = ident st in
+    if is_punct st "(" then begin
+      advance st;
+      let params = ref [] in
+      if not (is_punct st ")") then begin
+        let param () =
+          let pt = parse_var_type st in
+          let pname = ident st in
+          let vt =
+            match pt with
+            | `Int -> T_int
+            | `Char_ptr -> T_char_ptr
+            | `Char -> fail st "plain char parameters not supported"
+          in
+          (vt, pname)
+        in
+        params := [ param () ];
+        while is_punct st "," do
+          advance st;
+          params := param () :: !params
+        done
+      end;
+      eat_punct st ")";
+      eat_punct st "{";
+      let body = ref [] in
+      while not (is_punct st "}") do
+        body := parse_stmt st :: !body
+      done;
+      advance st;
+      funcs := { f_name = name; f_params = List.rev !params; f_body = List.rev !body } :: !funcs
+    end
+    else begin
+      let vt =
+        if is_punct st "[" then begin
+          advance st;
+          let size =
+            match peek st with
+            | Lexer.INT v -> advance st; v
+            | _ -> fail st "array size must be a literal"
+          in
+          eat_punct st "]";
+          match base with
+          | `Int -> T_int_arr size
+          | `Char -> T_char_arr size
+          | `Char_ptr -> fail st "array of pointers not supported"
+        end
+        else
+          match base with
+          | `Int -> T_int
+          | `Char_ptr -> T_char_ptr
+          | `Char -> fail st "plain char globals not supported"
+      in
+      let init =
+        if is_punct st "=" then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      eat_punct st ";";
+      globals := { g_type = vt; g_name = name; g_init = init } :: !globals
+    end
+  done;
+  { globals = List.rev !globals; funcs = List.rev !funcs }
+
+let parse src =
+  match Lexer.tokenize src with
+  | Error e -> Error e
+  | Ok toks ->
+    let st = { toks } in
+    (try Ok (parse_program st) with Parse_error m -> Error m)

@@ -1,0 +1,13 @@
+(** Recursive-descent parser for MiniC.
+
+    Grammar sketch:
+    {v
+    program  := (global | func)*
+    global   := type ident ('[' INT ']')? ('=' const)? ';'
+    func     := ('int'|'char' '*') ident '(' params ')' '{' stmt* '}'
+    stmt     := decl | if | while | for | return | break | continue
+              | expr ';' | '{' stmt* '}'
+    expr     := assignment with C-like precedence, short-circuit && and ||
+    v} *)
+
+val parse : string -> (Ast.program, string) result

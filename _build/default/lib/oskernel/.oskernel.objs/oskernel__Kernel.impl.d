@@ -1,0 +1,1 @@
+lib/oskernel/kernel.ml: Array Buffer Bytes Cost_model Errno Format Hashtbl Isa List Loader Machine Obj_file Personality Printf Process String Svm Syscall Vfs

@@ -1,0 +1,1 @@
+lib/oskernel/personality.ml: List Syscall

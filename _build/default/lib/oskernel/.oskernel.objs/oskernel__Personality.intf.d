@@ -1,0 +1,1 @@
+lib/oskernel/personality.mli: Syscall

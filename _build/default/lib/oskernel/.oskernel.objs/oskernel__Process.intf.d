@@ -1,0 +1,1 @@
+lib/oskernel/process.mli: Buffer Hashtbl Svm

@@ -1,0 +1,1 @@
+lib/oskernel/syscall_sig.ml: List Syscall

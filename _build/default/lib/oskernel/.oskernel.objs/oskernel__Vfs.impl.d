@@ -1,0 +1,1 @@
+lib/oskernel/vfs.ml: Bytes Errno Hashtbl List Printf Result String

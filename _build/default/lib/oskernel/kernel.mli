@@ -1,0 +1,83 @@
+(** The simulated kernel: system-call dispatch, the software trap handler,
+    and the monitor hook where the paper's 248-line kernel modification
+    plugs in.
+
+    The kernel exposes a single [monitor] slot invoked on every trap before
+    dispatch. The authenticated-system-call checker ([Asc_core.Checker])
+    registers here, as does the Systrace-style user-space baseline; a
+    machine with no monitor runs unprotected, which is the paper's
+    "original binaries" baseline. *)
+
+type verdict =
+  | Allow
+  | Deny of string  (** process is terminated; reason is audited *)
+
+type monitor = {
+  monitor_name : string;
+  pre_syscall : Process.t -> site:int -> number:int -> verdict;
+      (** Called with the trap site (address of the [Sys] instruction) and
+          raw trap number before dispatch. May read/write process memory
+          (policy state updates) and charge cycles to the machine. *)
+  post_syscall : Process.t -> site:int -> sem:Syscall.sem option -> result:int -> unit;
+      (** Called after dispatch with the resolved operation and its result;
+          used by capability tracking (§5.3) to observe returned file
+          descriptors. *)
+}
+
+val no_post : Process.t -> site:int -> sem:Syscall.sem option -> result:int -> unit
+(** A post hook that does nothing. *)
+
+val compose_monitors : string -> monitor list -> monitor
+(** Run pre hooks in order (first [Deny] wins) and all post hooks. *)
+
+type trace_entry = {
+  t_sem : Syscall.sem option;  (** [None] for unknown trap numbers *)
+  t_number : int;
+  t_site : int;
+  t_args : int array;          (** r1..r6 at trap time *)
+  t_result : int;
+}
+
+type t = {
+  vfs : Vfs.t;
+  pers : Personality.t;
+  mutable next_pid : int;
+  mutable monitor : monitor option;
+  mutable tracing : bool;
+  mutable trace : trace_entry list;  (** newest first; see {!trace} *)
+  mutable audit : string list;       (** newest first *)
+}
+
+val create : ?personality:Personality.t -> unit -> t
+(** Fresh kernel (default personality {!Personality.linux}) with an empty
+    filesystem containing [/], [/tmp], [/etc], [/bin], [/dev]. *)
+
+val set_monitor : t -> monitor option -> unit
+
+val install_binary : t -> path:string -> Svm.Obj_file.t -> unit
+(** Serialize a SEF image into the VFS so [execve] can load it. *)
+
+val spawn :
+  t -> ?stdin:string -> ?libs:Svm.Obj_file.t list -> program:string -> Svm.Obj_file.t ->
+  Process.t
+(** Create a process running the given image. [libs] are shared-library
+    images mapped into the address space at their fixed (prelinked) bases;
+    their sections must not overlap the program's or each other's.
+    @raise Invalid_argument on a malformed image or an overlap. *)
+
+val spawn_path : t -> ?stdin:string -> string -> (Process.t, string) result
+(** Load and spawn the SEF binary installed at a VFS path. *)
+
+val run : t -> Process.t -> max_cycles:int -> Svm.Machine.stop
+(** Run the process to completion (exit, fault, kill or cycle budget). *)
+
+val trace : t -> trace_entry list
+(** Completed trace, oldest first. *)
+
+val clear_trace : t -> unit
+
+val audit_log : t -> string list
+(** Audit entries, oldest first. *)
+
+val stdout_of : Process.t -> string
+val stderr_of : Process.t -> string

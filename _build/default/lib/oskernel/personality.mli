@@ -1,0 +1,37 @@
+(** OS personalities: the syscall-number tables of the two simulated
+    operating systems.
+
+    The paper ports its policy generator from Linux to OpenBSD and finds
+    that "there are significant differences in the system calls needed for
+    the same application running on different operating systems". We model
+    the two relevant differences:
+    - different syscall numbering (and a few operations present on one OS
+      only), and
+    - the OpenBSD quirk that libc implements [mmap] by calling the generic
+      indirect [__syscall] with the real syscall number as first argument
+      (Table 2's [__syscall]/[mmap] rows). *)
+
+type t
+
+val linux : t
+(** Linux-like personality: every operation has a direct number. *)
+
+val openbsd : t
+(** OpenBSD-like personality: [mmap] is reached via {!Syscall.Indirect};
+    additionally its libc start-up uses [issetugid]/[sysctl], which do not
+    exist on the Linux-like personality. *)
+
+val os_name : t -> string
+
+val number_of : t -> Syscall.sem -> int option
+(** Trap number for an operation; [None] if the OS does not expose it
+    directly (e.g. [mmap] on the OpenBSD-like personality, [issetugid] on
+    the Linux-like one). *)
+
+val sem_of : t -> int -> Syscall.sem option
+(** Operation for a trap number. *)
+
+val indirect_target : t -> int -> Syscall.sem option
+(** [indirect_target t n] is the operation selected by first argument [n]
+    of an {!Syscall.Indirect} call (OpenBSD [__syscall] semantics); [None]
+    if the personality has no indirect call or the number is unknown. *)

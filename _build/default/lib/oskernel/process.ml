@@ -1,0 +1,77 @@
+type fd_kind =
+  | Console_in
+  | Console_out
+  | Console_err
+  | File of { path : string; mutable pos : int; append : bool }
+  | Dir of { path : string; mutable consumed : bool }
+  | Sock of { mutable sent : int }
+
+type t = {
+  pid : int;
+  machine : Svm.Machine.t;
+  mutable program : string;
+  mutable brk_addr : int;
+  mutable heap_start : int;
+  mutable mmap_next : int;
+  mutable cwd : string;
+  fds : (int, fd_kind) Hashtbl.t;
+  mutable next_fd : int;
+  mutable counter : int;
+  mutable stdin : string;
+  mutable stdin_pos : int;
+  stdout : Buffer.t;
+  stderr : Buffer.t;
+}
+
+(* The mmap region sits halfway between the heap start and the stack. *)
+let mmap_base machine heap_start =
+  let top = Svm.Machine.stack_top machine in
+  heap_start + ((top - heap_start) / 2)
+
+let std_fds fds =
+  Hashtbl.replace fds 0 Console_in;
+  Hashtbl.replace fds 1 Console_out;
+  Hashtbl.replace fds 2 Console_err
+
+let create ~pid ~program ~machine ~heap_start =
+  let fds = Hashtbl.create 16 in
+  std_fds fds;
+  { pid;
+    machine;
+    program;
+    brk_addr = heap_start;
+    heap_start;
+    mmap_next = mmap_base machine heap_start;
+    cwd = "/";
+    fds;
+    next_fd = 3;
+    counter = 0;
+    stdin = "";
+    stdin_pos = 0;
+    stdout = Buffer.create 256;
+    stderr = Buffer.create 64 }
+
+let fresh_fd t kind =
+  let n = t.next_fd in
+  t.next_fd <- n + 1;
+  Hashtbl.replace t.fds n kind;
+  n
+
+let fd t n = Hashtbl.find_opt t.fds n
+
+let close_fd t n =
+  if Hashtbl.mem t.fds n then begin
+    Hashtbl.remove t.fds n;
+    true
+  end
+  else false
+
+let reset_for_exec t ~program ~heap_start =
+  t.program <- program;
+  t.brk_addr <- heap_start;
+  t.heap_start <- heap_start;
+  t.mmap_next <- mmap_base t.machine heap_start;
+  t.counter <- 0;
+  Hashtbl.reset t.fds;
+  std_fds t.fds;
+  t.next_fd <- 3

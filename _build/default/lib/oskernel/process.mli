@@ -1,0 +1,41 @@
+(** A simulated user process: an SVM machine plus kernel-side state (file
+    descriptors, break, cwd) and the per-process monitor state the paper's
+    kernel keeps — the nonce [counter] used by the online memory checker for
+    the control-flow policy state (§3.2). *)
+
+type fd_kind =
+  | Console_in
+  | Console_out
+  | Console_err
+  | File of { path : string; mutable pos : int; append : bool }
+  | Dir of { path : string; mutable consumed : bool }
+  | Sock of { mutable sent : int }
+
+type t = {
+  pid : int;
+  machine : Svm.Machine.t;
+  mutable program : string;
+  mutable brk_addr : int;
+  mutable heap_start : int;
+  mutable mmap_next : int;
+  mutable cwd : string;
+  fds : (int, fd_kind) Hashtbl.t;
+  mutable next_fd : int;
+  mutable counter : int;     (** ASC per-process nonce (kernel memory) *)
+  mutable stdin : string;
+  mutable stdin_pos : int;
+  stdout : Buffer.t;
+  stderr : Buffer.t;
+}
+
+val create : pid:int -> program:string -> machine:Svm.Machine.t -> heap_start:int -> t
+(** Fresh process with fds 0/1/2 bound to the console, cwd [/], break at
+    [heap_start] and the mmap region above the heap. *)
+
+val fresh_fd : t -> fd_kind -> int
+val fd : t -> int -> fd_kind option
+val close_fd : t -> int -> bool
+
+val reset_for_exec : t -> program:string -> heap_start:int -> unit
+(** State reset performed by a successful [execve]: non-std fds closed,
+    break and mmap region reset, monitor counter cleared. *)

@@ -1,0 +1,122 @@
+type sem =
+  | Exit
+  | Open
+  | Close
+  | Read
+  | Write
+  | Lseek
+  | Brk
+  | Mmap
+  | Munmap
+  | Madvise
+  | Getpid
+  | Getppid
+  | Getuid
+  | Geteuid
+  | Getgid
+  | Issetugid
+  | Gettimeofday
+  | Time
+  | Nanosleep
+  | Kill
+  | Sigaction
+  | Uname
+  | Sysconf
+  | Sysctl
+  | Fstatfs
+  | Mkdir
+  | Rmdir
+  | Unlink
+  | Readlink
+  | Symlink
+  | Rename
+  | Stat
+  | Fstat
+  | Access
+  | Chdir
+  | Getcwd
+  | Chmod
+  | Dup
+  | Dup2
+  | Fcntl
+  | Ioctl
+  | Getdirentries
+  | Socket
+  | Connect
+  | Bind
+  | Sendto
+  | Recvfrom
+  | Writev
+  | Execve
+  | Select
+  | Indirect
+
+let all =
+  [ Exit; Open; Close; Read; Write; Lseek; Brk; Mmap; Munmap; Madvise; Getpid; Getppid;
+    Getuid; Geteuid; Getgid; Issetugid; Gettimeofday; Time; Nanosleep; Kill; Sigaction;
+    Uname; Sysconf; Sysctl; Fstatfs; Mkdir; Rmdir; Unlink; Readlink; Symlink; Rename;
+    Stat; Fstat; Access; Chdir; Getcwd; Chmod; Dup; Dup2; Fcntl; Ioctl; Getdirentries;
+    Socket; Connect; Bind; Sendto; Recvfrom; Writev; Execve; Select; Indirect ]
+
+let name = function
+  | Exit -> "exit"
+  | Open -> "open"
+  | Close -> "close"
+  | Read -> "read"
+  | Write -> "write"
+  | Lseek -> "lseek"
+  | Brk -> "brk"
+  | Mmap -> "mmap"
+  | Munmap -> "munmap"
+  | Madvise -> "madvise"
+  | Getpid -> "getpid"
+  | Getppid -> "getppid"
+  | Getuid -> "getuid"
+  | Geteuid -> "geteuid"
+  | Getgid -> "getgid"
+  | Issetugid -> "issetugid"
+  | Gettimeofday -> "gettimeofday"
+  | Time -> "time"
+  | Nanosleep -> "nanosleep"
+  | Kill -> "kill"
+  | Sigaction -> "sigaction"
+  | Uname -> "uname"
+  | Sysconf -> "sysconf"
+  | Sysctl -> "sysctl"
+  | Fstatfs -> "fstatfs"
+  | Mkdir -> "mkdir"
+  | Rmdir -> "rmdir"
+  | Unlink -> "unlink"
+  | Readlink -> "readlink"
+  | Symlink -> "symlink"
+  | Rename -> "rename"
+  | Stat -> "stat"
+  | Fstat -> "fstat"
+  | Access -> "access"
+  | Chdir -> "chdir"
+  | Getcwd -> "getcwd"
+  | Chmod -> "chmod"
+  | Dup -> "dup"
+  | Dup2 -> "dup2"
+  | Fcntl -> "fcntl"
+  | Ioctl -> "ioctl"
+  | Getdirentries -> "getdirentries"
+  | Socket -> "socket"
+  | Connect -> "connect"
+  | Bind -> "bind"
+  | Sendto -> "sendto"
+  | Recvfrom -> "recvfrom"
+  | Writev -> "writev"
+  | Execve -> "execve"
+  | Select -> "select"
+  | Indirect -> "__syscall"
+
+let of_name n = List.find_opt (fun s -> name s = n) all
+let pp ppf s = Format.pp_print_string ppf (name s)
+let compare = Stdlib.compare
+
+module Set = Set.Make (struct
+  type t = sem
+
+  let compare = Stdlib.compare
+end)

@@ -1,0 +1,58 @@
+type param =
+  | P_int
+  | P_fd
+  | P_path
+  | P_in
+  | P_out
+
+let params (s : Syscall.sem) =
+  match s with
+  | Syscall.Exit -> [ P_int ]
+  | Syscall.Open -> [ P_path; P_int; P_int ]
+  | Syscall.Close -> [ P_fd ]
+  | Syscall.Read -> [ P_fd; P_out; P_int ]
+  | Syscall.Write -> [ P_fd; P_in; P_int ]
+  | Syscall.Lseek -> [ P_fd; P_int; P_int ]
+  | Syscall.Brk -> [ P_int ]
+  | Syscall.Mmap -> [ P_int; P_int; P_int; P_int; P_fd; P_int ]
+  | Syscall.Munmap -> [ P_int; P_int ]
+  | Syscall.Madvise -> [ P_int; P_int; P_int ]
+  | Syscall.Getpid | Syscall.Getppid | Syscall.Getuid | Syscall.Geteuid | Syscall.Getgid
+  | Syscall.Issetugid -> []
+  | Syscall.Gettimeofday -> [ P_out; P_out ]
+  | Syscall.Time -> [ P_out ]
+  | Syscall.Nanosleep -> [ P_in; P_out ]
+  | Syscall.Kill -> [ P_int; P_int ]
+  | Syscall.Sigaction -> [ P_int; P_in; P_out ]
+  | Syscall.Uname -> [ P_out ]
+  | Syscall.Sysconf -> [ P_int ]
+  | Syscall.Sysctl -> [ P_in; P_int; P_out; P_out; P_in; P_int ]
+  | Syscall.Fstatfs -> [ P_fd; P_out ]
+  | Syscall.Mkdir -> [ P_path; P_int ]
+  | Syscall.Rmdir -> [ P_path ]
+  | Syscall.Unlink -> [ P_path ]
+  | Syscall.Readlink -> [ P_path; P_out; P_int ]
+  | Syscall.Symlink -> [ P_path; P_path ]
+  | Syscall.Rename -> [ P_path; P_path ]
+  | Syscall.Stat -> [ P_path; P_out ]
+  | Syscall.Fstat -> [ P_fd; P_out ]
+  | Syscall.Access -> [ P_path; P_int ]
+  | Syscall.Chdir -> [ P_path ]
+  | Syscall.Getcwd -> [ P_out; P_int ]
+  | Syscall.Chmod -> [ P_path; P_int ]
+  | Syscall.Dup -> [ P_fd ]
+  | Syscall.Dup2 -> [ P_fd; P_fd ]
+  | Syscall.Fcntl -> [ P_fd; P_int; P_int ]
+  | Syscall.Ioctl -> [ P_fd; P_int; P_in ]
+  | Syscall.Getdirentries -> [ P_fd; P_out; P_int ]
+  | Syscall.Socket -> [ P_int; P_int; P_int ]
+  | Syscall.Connect -> [ P_fd; P_in; P_int ]
+  | Syscall.Bind -> [ P_fd; P_in; P_int ]
+  | Syscall.Sendto -> [ P_fd; P_in; P_int; P_int; P_in; P_int ]
+  | Syscall.Recvfrom -> [ P_fd; P_out; P_int; P_int; P_out; P_out ]
+  | Syscall.Writev -> [ P_fd; P_in; P_int ]
+  | Syscall.Execve -> [ P_path; P_in; P_in ]
+  | Syscall.Select -> [ P_int; P_out; P_out; P_out; P_in ]
+  | Syscall.Indirect -> [ P_int; P_int; P_int; P_int; P_int; P_int ]
+
+let arity s = List.length (params s)

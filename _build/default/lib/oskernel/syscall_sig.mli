@@ -1,0 +1,19 @@
+(** Per-syscall parameter signatures.
+
+    The installer uses these to interpret what static analysis found for
+    each argument: pathname arguments can be protected as authenticated
+    strings, output-only pointer arguments (where the kernel stores the
+    result) are never constrained, and file-descriptor arguments feed the
+    capability-tracking statistics (Table 3's o/p and fds columns). *)
+
+type param =
+  | P_int    (** plain integer/flags argument *)
+  | P_fd     (** file descriptor from an earlier open/socket *)
+  | P_path   (** NUL-terminated pathname — authenticatable string *)
+  | P_in     (** input buffer pointer (contents vary at runtime) *)
+  | P_out    (** output pointer: the kernel writes the result here *)
+
+val params : Syscall.sem -> param list
+(** Parameter list; its length is the call's arity (≤ 6). *)
+
+val arity : Syscall.sem -> int

@@ -1,0 +1,1 @@
+lib/plto/cfg.ml: Hashtbl Ir List

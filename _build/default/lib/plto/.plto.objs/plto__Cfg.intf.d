@@ -1,0 +1,1 @@
+lib/plto/cfg.mli: Hashtbl Ir

@@ -1,0 +1,1 @@
+lib/plto/dataflow.ml: Array Cfg Hashtbl Ir List Queue Svm

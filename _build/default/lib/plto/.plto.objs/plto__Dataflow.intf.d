@@ -1,0 +1,1 @@
+lib/plto/dataflow.mli: Hashtbl Ir

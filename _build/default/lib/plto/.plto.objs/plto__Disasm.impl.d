@@ -1,0 +1,1 @@
+lib/plto/disasm.ml: Array Bytes Format Hashtbl Ir Isa List Obj_file Svm

@@ -1,0 +1,1 @@
+lib/plto/disasm.mli: Ir Svm

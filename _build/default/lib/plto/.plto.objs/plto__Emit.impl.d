@@ -1,0 +1,1 @@
+lib/plto/emit.ml: Asm Bytes Hashtbl Int32 Ir Isa List Obj_file Printf String Svm

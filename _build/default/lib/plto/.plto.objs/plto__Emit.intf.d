@@ -1,0 +1,1 @@
+lib/plto/emit.mli: Hashtbl Ir Svm

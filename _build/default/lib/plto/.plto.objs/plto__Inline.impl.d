@@ -1,0 +1,1 @@
+lib/plto/inline.ml: Cfg Hashtbl Ir List Svm

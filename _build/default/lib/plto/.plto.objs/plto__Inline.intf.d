@@ -1,0 +1,1 @@
+lib/plto/inline.mli: Ir

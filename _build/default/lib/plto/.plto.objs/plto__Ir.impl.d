@@ -1,0 +1,1 @@
+lib/plto/ir.ml: Format Hashtbl List String Svm

@@ -1,0 +1,1 @@
+lib/plto/ir.mli: Format Hashtbl Svm

@@ -1,0 +1,1 @@
+lib/plto/opt.ml: Cfg Hashtbl Ir List Svm

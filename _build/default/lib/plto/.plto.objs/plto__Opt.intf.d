@@ -1,0 +1,1 @@
+lib/plto/opt.mli: Ir

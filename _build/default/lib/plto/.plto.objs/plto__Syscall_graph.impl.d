@@ -1,0 +1,1 @@
+lib/plto/syscall_graph.ml: Cfg Hashtbl Ir List Queue

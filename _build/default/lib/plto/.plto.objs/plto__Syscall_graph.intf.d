@@ -1,0 +1,1 @@
+lib/plto/syscall_graph.mli: Hashtbl Ir

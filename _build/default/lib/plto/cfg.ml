@@ -1,0 +1,66 @@
+let next_bid_opt t bid =
+  match Ir.next_in_layout t bid with
+  | Some b -> [ b.Ir.bid ]
+  | None -> []
+
+let intra_succs t (b : Ir.block) =
+  match b.term with
+  | Ir.Fall -> next_bid_opt t b.bid
+  | Ir.Jump target -> [ target ]
+  | Ir.Branch (_, _, _, target) -> target :: next_bid_opt t b.bid
+  | Ir.CallT _ | Ir.CallExt _ | Ir.CallInd _ -> next_bid_opt t b.bid
+  | Ir.JumpInd _ -> []
+  | Ir.Return | Ir.Stop -> []
+
+let call_edges t =
+  List.filter_map
+    (fun (b : Ir.block) ->
+      match b.term with Ir.CallT f -> Some (b.bid, f) | _ -> None)
+    t.Ir.blocks
+
+let address_taken t =
+  List.concat_map
+    (fun (b : Ir.block) ->
+      List.filter_map
+        (function Ir.Movi (_, Ir.CodeRef bid) -> Some bid | Ir.Movi _ | Ir.Plain _ | Ir.Sys -> None)
+        b.body)
+    t.Ir.blocks
+
+let function_entries t =
+  let tbl = Hashtbl.create 16 in
+  Hashtbl.replace tbl t.Ir.entry ();
+  List.iter (fun (_, f) -> Hashtbl.replace tbl f ()) (call_edges t);
+  List.iter (fun bid -> Hashtbl.replace tbl bid ()) (address_taken t);
+  Hashtbl.fold (fun k () acc -> k :: acc) tbl [] |> List.sort compare
+
+let function_blocks t entry_bid =
+  let seen = Hashtbl.create 16 in
+  let rec go bid =
+    if not (Hashtbl.mem seen bid) then begin
+      Hashtbl.replace seen bid ();
+      match Ir.find_block t bid with
+      | b -> List.iter go (intra_succs t b)
+      | exception Not_found -> ()
+    end
+  in
+  go entry_bid;
+  Hashtbl.fold (fun k () acc -> k :: acc) seen [] |> List.sort compare
+
+let reachable ?(roots = []) t =
+  let seen = Hashtbl.create 64 in
+  let rec go bid =
+    if not (Hashtbl.mem seen bid) then begin
+      Hashtbl.replace seen bid ();
+      match Ir.find_block t bid with
+      | b ->
+        List.iter go (intra_succs t b);
+        (match b.term with Ir.CallT f -> go f | _ -> ());
+        List.iter
+          (function Ir.Movi (_, Ir.CodeRef c) -> go c | Ir.Movi _ | Ir.Plain _ | Ir.Sys -> ())
+          b.body
+      | exception Not_found -> ()
+    end
+  in
+  go t.Ir.entry;
+  List.iter go roots;
+  seen

@@ -1,0 +1,25 @@
+(** Control-flow queries over {!Ir} programs: intra-procedural successor
+    edges, the call graph, function membership and reachability. *)
+
+val intra_succs : Ir.t -> Ir.block -> int list
+(** Successor block ids within the same function. Calls fall through to
+    their continuation (the next block); [Return]/[Stop] have none;
+    indirect jumps conservatively have none (and are absent from the
+    compiler-generated programs this rewriter targets). *)
+
+val call_edges : Ir.t -> (int * int) list
+(** [(caller block, callee entry block)] for every direct call. *)
+
+val function_entries : Ir.t -> int list
+(** Program entry, direct-call targets, and address-taken blocks. *)
+
+val function_blocks : Ir.t -> int -> int list
+(** Blocks of the function entered at the given bid (intra traversal). *)
+
+val reachable : ?roots:int list -> Ir.t -> (int, unit) Hashtbl.t
+(** Blocks reachable from the entry (plus [roots], e.g. a shared library's
+    exported functions) following intra edges, call edges and address-taken
+    references. *)
+
+val address_taken : Ir.t -> int list
+(** Blocks whose id appears in a [CodeRef] immediate. *)

@@ -1,0 +1,236 @@
+type kind = KConst | KData
+
+type aval = {
+  av_kind : kind;
+  av_val : int;
+  av_defs : (int * int) list;
+}
+
+type reg_state =
+  | Bot
+  | Any
+  | Res
+  | Vals of aval list
+
+type state = reg_state array
+
+let max_vals = 4
+
+let merge_vals xs ys =
+  let add acc v =
+    match List.find_opt (fun w -> w.av_kind = v.av_kind && w.av_val = v.av_val) acc with
+    | Some w ->
+      let merged = { w with av_defs = List.sort_uniq compare (w.av_defs @ v.av_defs) } in
+      merged :: List.filter (fun u -> u != w) acc
+    | None -> v :: acc
+  in
+  let all = List.fold_left add xs ys in
+  if List.length all > max_vals then Any else Vals (List.sort compare all)
+
+let meet a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Any, _ | _, Any -> Any
+  | Res, Res -> Res
+  | Res, Vals _ | Vals _, Res -> Any
+  | Vals xs, Vals ys -> merge_vals xs ys
+
+(* The full abstract state: registers, frame-pointer-relative scalar slots
+   (so constants survive the compiler's store/load of locals), and the spill
+   stack (so constants survive push/pop argument shuffling). Soundness
+   assumptions, both standard for compiled code: stores through computed
+   addresses never hit the spill region below the frame, and functions
+   restore the stack pointer on return. Any store whose base is not the
+   frame pointer kills all slots; calls kill all slots (the callee may hold
+   pointers into the caller's frame). *)
+type full = {
+  f_regs : state;
+  mutable f_slots : (int * reg_state) list; (* negative fp offset -> value *)
+  mutable f_stack : reg_state list option;  (* None = unknown depth *)
+  mutable f_reached : bool; (* false = bottom element: identity for meet *)
+}
+
+let all_any () =
+  { f_regs = Array.make Svm.Isa.num_regs Any; f_slots = []; f_stack = Some []; f_reached = true }
+
+let all_bot () =
+  { f_regs = Array.make Svm.Isa.num_regs Bot; f_slots = []; f_stack = Some []; f_reached = false }
+
+let copy_full f =
+  { f_regs = Array.copy f.f_regs; f_slots = f.f_slots; f_stack = f.f_stack;
+    f_reached = f.f_reached }
+
+let meet_slots a b =
+  List.filter_map
+    (fun (off, v) ->
+      match List.assoc_opt off b with
+      | Some w ->
+        (match meet v w with
+         | Bot -> None
+         | m -> Some (off, m))
+      | None -> None)
+    a
+
+let meet_stack a b =
+  match (a, b) with
+  | None, _ | _, None -> None
+  | Some xs, Some ys ->
+    if List.length xs <> List.length ys then None else Some (List.map2 meet xs ys)
+
+let meet_full a b =
+  if not a.f_reached then copy_full b
+  else if not b.f_reached then copy_full a
+  else
+    { f_regs = Array.init (Array.length a.f_regs) (fun i -> meet a.f_regs.(i) b.f_regs.(i));
+      f_slots = meet_slots a.f_slots b.f_slots;
+      f_stack = meet_stack a.f_stack b.f_stack;
+      f_reached = true }
+
+let equal_full a b =
+  a.f_reached = b.f_reached && a.f_regs = b.f_regs && a.f_slots = b.f_slots
+  && a.f_stack = b.f_stack
+
+let slot_get f off = match List.assoc_opt off f.f_slots with Some v -> v | None -> Any
+let slot_set f off v = f.f_slots <- (off, v) :: List.remove_assoc off f.f_slots
+let kill_slots f = f.f_slots <- []
+
+let transfer_instr bid idx (f : full) instr =
+  let st = f.f_regs in
+  let set r v = st.(r) <- v in
+  match (instr : Ir.tinstr) with
+  | Ir.Sys -> set 0 Res
+  | Ir.Movi (rd, Ir.Const v) ->
+    set rd (Vals [ { av_kind = KConst; av_val = v; av_defs = [ (bid, idx) ] } ])
+  | Ir.Movi (rd, Ir.DataRef a) ->
+    set rd (Vals [ { av_kind = KData; av_val = a; av_defs = [ (bid, idx) ] } ])
+  | Ir.Movi (rd, (Ir.CodeRef _ | Ir.NewRef _)) -> set rd Any
+  | Ir.Plain i ->
+    (match i with
+     | Svm.Isa.Mov (rd, rs) ->
+       if rd = Svm.Isa.fp then kill_slots f;
+       set rd st.(rs)
+     | Svm.Isa.Addi (rd, rs, c) ->
+       if rd = Svm.Isa.fp then kill_slots f;
+       (match st.(rs) with
+        | Vals vs ->
+          set rd (Vals (List.map (fun v -> { v with av_val = v.av_val + c; av_defs = [] }) vs))
+        | Bot -> set rd Bot
+        | Any | Res -> set rd Any)
+     | Svm.Isa.Push rs ->
+       (match f.f_stack with
+        | Some xs -> f.f_stack <- Some (st.(rs) :: xs)
+        | None -> ())
+     | Svm.Isa.Pop rd ->
+       if rd = Svm.Isa.fp then kill_slots f;
+       (match f.f_stack with
+        | Some (v :: rest) ->
+          f.f_stack <- Some rest;
+          set rd v
+        | Some [] | None ->
+          f.f_stack <- None;
+          set rd Any)
+     | Svm.Isa.St (base, off, rs) ->
+       if base = Svm.Isa.fp && off < 0 then slot_set f off st.(rs) else kill_slots f
+     | Svm.Isa.Stb (_, _, _) -> kill_slots f
+     | Svm.Isa.Ld (rd, base, off) ->
+       if rd = Svm.Isa.fp then kill_slots f;
+       if base = Svm.Isa.fp && off < 0 then set rd (slot_get f off) else set rd Any
+     | Svm.Isa.Ldb (rd, _, _) ->
+       if rd = Svm.Isa.fp then kill_slots f;
+       set rd Any
+     | Svm.Isa.Binop (_, rd, _, _) | Svm.Isa.Rdcyc rd | Svm.Isa.Movi (rd, _) ->
+       if rd = Svm.Isa.fp then kill_slots f;
+       set rd Any
+     | Svm.Isa.Nop -> ()
+     | Svm.Isa.Halt | Svm.Isa.Br _ | Svm.Isa.Jmp _ | Svm.Isa.Jr _ | Svm.Isa.Call _
+     | Svm.Isa.Callr _ | Svm.Isa.Ret | Svm.Isa.Sys -> ())
+
+let transfer_block (b : Ir.block) (entry : full) =
+  let f = copy_full entry in
+  List.iteri (fun idx i -> transfer_instr b.Ir.bid idx f i) b.Ir.body;
+  (match b.Ir.term with
+   | Ir.CallT _ | Ir.CallExt _ | Ir.CallInd _ ->
+     Array.fill f.f_regs 0 (Array.length f.f_regs) Any;
+     kill_slots f
+     (* spill-stack values live at or above the caller's stack pointer and
+        survive the call *)
+   | Ir.Fall | Ir.Jump _ | Ir.Branch _ | Ir.JumpInd _ | Ir.Return | Ir.Stop -> ());
+  f
+
+let analyze_full t =
+  let tbl = Ir.block_table t in
+  let entries_any = Hashtbl.create 16 in
+  Hashtbl.replace entries_any t.Ir.entry ();
+  List.iter (fun (_, f) -> Hashtbl.replace entries_any f ()) (Cfg.call_edges t);
+  List.iter (fun bid -> Hashtbl.replace entries_any bid ()) (Cfg.address_taken t);
+  let in_states = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Ir.block) ->
+      Hashtbl.replace in_states b.Ir.bid
+        (if Hashtbl.mem entries_any b.Ir.bid then all_any () else all_bot ()))
+    t.Ir.blocks;
+  let worklist = Queue.create () in
+  let in_queue = Hashtbl.create 64 in
+  List.iter
+    (fun (b : Ir.block) ->
+      Queue.add b.Ir.bid worklist;
+      Hashtbl.replace in_queue b.Ir.bid ())
+    t.Ir.blocks;
+  while not (Queue.is_empty worklist) do
+    let bid = Queue.pop worklist in
+    Hashtbl.remove in_queue bid;
+    match Hashtbl.find_opt tbl bid with
+    | None -> ()
+    | Some b when b.Ir.opaque <> None -> ()
+    | Some b ->
+      let entry_state = Hashtbl.find in_states bid in
+      if entry_state.f_reached then begin
+      let out = transfer_block b entry_state in
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt in_states s with
+          | None -> ()
+          | Some cur ->
+            let merged =
+              if Hashtbl.mem entries_any s then cur (* pinned to all-Any *)
+              else meet_full cur out
+            in
+            if not (equal_full merged cur) then begin
+              Hashtbl.replace in_states s merged;
+              if not (Hashtbl.mem in_queue s) then begin
+                Hashtbl.replace in_queue s ();
+                Queue.add s worklist
+              end
+            end)
+        (Cfg.intra_succs t b)
+      end
+  done;
+  in_states
+
+let analyze t =
+  let full = analyze_full t in
+  let out = Hashtbl.create (Hashtbl.length full) in
+  Hashtbl.iter (fun bid f -> Hashtbl.replace out bid f.f_regs) full;
+  out
+
+let sys_states t =
+  let in_states = analyze_full t in
+  List.concat_map
+    (fun (b : Ir.block) ->
+      if not (Ir.has_sys b) then []
+      else begin
+        let entry =
+          match Hashtbl.find_opt in_states b.Ir.bid with
+          | Some s -> s
+          | None -> all_any ()
+        in
+        let f = copy_full entry in
+        let acc = ref [] in
+        List.iteri
+          (fun idx i ->
+            if i = Ir.Sys then acc := (b.Ir.bid, idx, Array.copy f.f_regs) :: !acc;
+            transfer_instr b.Ir.bid idx f i)
+          b.Ir.body;
+        List.rev !acc
+      end)
+    t.Ir.blocks

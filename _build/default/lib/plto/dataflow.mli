@@ -1,0 +1,43 @@
+(** Forward constant propagation over registers — the "standard reaching
+    definitions analysis" the paper's installer applies to classify system
+    call arguments as [String] / [Immediate] / [Unknown] (§4.1).
+
+    The abstract value of a register is a small set of possible constants,
+    each tagged with whether it came from a plain immediate or a
+    relocation-marked data address, plus the [movi] definition sites that
+    produced it (so the installer can re-point string arguments at their
+    authenticated-string copies). Values merging beyond {!max_vals}
+    alternatives, or flowing from loads, arithmetic or call returns,
+    degrade to [Any]. System call results are tracked as the distinct
+    [Res] value to support the capability-tracking statistics (Table 3's
+    "fds" column). *)
+
+type kind = KConst | KData
+
+type aval = {
+  av_kind : kind;
+  av_val : int;                (** constant, or original data address *)
+  av_defs : (int * int) list;  (** (bid, body index) of defining [movi]s;
+                                   empty when derived (not re-pointable) *)
+}
+
+type reg_state =
+  | Bot          (** unreached *)
+  | Any
+  | Res          (** result of some earlier system call *)
+  | Vals of aval list
+
+type state = reg_state array
+(** One entry per register. *)
+
+val max_vals : int
+
+val meet : reg_state -> reg_state -> reg_state
+
+val analyze : Ir.t -> (int, state) Hashtbl.t
+(** Entry state of every reachable block (fixpoint). *)
+
+val sys_states : Ir.t -> (int * int * state) list
+(** [(bid, body_index, state_before_sys)] for every [Sys] in the program,
+    in layout order. The state reflects all transfers up to (but not
+    including) the [Sys]. *)

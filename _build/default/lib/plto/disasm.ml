@@ -1,0 +1,182 @@
+open Svm
+
+let disassemble ?(first_bid = 1) (img : Obj_file.t) =
+  match Obj_file.text_section img with
+  | exception Not_found -> Error "no text section"
+  | text ->
+    let base = text.sec_addr in
+    let size = text.sec_size in
+    if size mod Isa.instr_size <> 0 then Error "text size not a multiple of 8"
+    else begin
+      let n = size / Isa.instr_size in
+      if n = 0 then Error "empty text section"
+      else begin
+        let payload = Bytes.of_string text.sec_payload in
+        let decoded = Array.init n (fun i -> Isa.decode payload ~pos:(i * Isa.instr_size)) in
+        let warnings = ref [] in
+        let warn fmt = Format.kasprintf (fun s -> warnings := s :: !warnings) fmt in
+        let in_text addr = addr >= base && addr < base + size in
+        let slot_of addr =
+          if in_text addr && (addr - base) mod Isa.instr_size = 0 then
+            Some ((addr - base) / Isa.instr_size)
+          else None
+        in
+        let leader = Array.make (n + 1) false in
+        leader.(0) <- true;
+        let mark addr what =
+          match slot_of addr with
+          | Some s -> leader.(s) <- true
+          | None -> warn "%s target 0x%x is not a valid instruction address" what addr
+        in
+        (* entry and text symbols *)
+        (match slot_of img.entry with
+         | Some s -> leader.(s) <- true
+         | None -> ());
+        List.iter
+          (fun (sym : Obj_file.symbol) ->
+            match slot_of sym.sym_addr with Some s -> leader.(s) <- true | None -> ())
+          img.symbols;
+        (* relocation-marked code addresses in movi immediates *)
+        let reloc_imm = Hashtbl.create 64 in
+        List.iter
+          (fun (r : Obj_file.reloc) ->
+            if in_text r.rel_at then Hashtbl.replace reloc_imm r.rel_at ())
+          img.relocs;
+        Array.iteri
+          (fun i ins ->
+            match ins with
+            | Some (Isa.Movi (_, v)) when Hashtbl.mem reloc_imm (base + (i * Isa.instr_size) + 4) ->
+              (match slot_of v with Some s -> leader.(s) <- true | None -> ())
+            | Some _ | None -> ())
+          decoded;
+        (* control transfers *)
+        Array.iteri
+          (fun i ins ->
+            match ins with
+            | None ->
+              leader.(i) <- true;
+              if i + 1 <= n then leader.(min (i + 1) n) <- true
+            | Some instr ->
+              let break_after () = if i + 1 < n then leader.(i + 1) <- true in
+              (match instr with
+               | Isa.Br (_, _, _, t) ->
+                 mark t "branch";
+                 break_after ()
+               | Isa.Jmp t ->
+                 mark t "jump";
+                 break_after ()
+               | Isa.Call t ->
+                 if in_text t then mark t "call";
+                 break_after ()
+               | Isa.Jr _ | Isa.Callr _ | Isa.Ret | Isa.Halt -> break_after ()
+               | Isa.Nop | Isa.Movi _ | Isa.Mov _ | Isa.Ld _ | Isa.St _ | Isa.Ldb _
+               | Isa.Stb _ | Isa.Binop _ | Isa.Addi _ | Isa.Push _ | Isa.Pop _ | Isa.Sys
+               | Isa.Rdcyc _ -> ()))
+          decoded;
+        (* assign block ids to leader slots in order *)
+        let bid_of_slot = Array.make n (-1) in
+        let count = ref 0 in
+        for i = 0 to n - 1 do
+          if leader.(i) then begin
+            bid_of_slot.(i) <- first_bid + !count;
+            incr count
+          end
+        done;
+        let bid_of_addr addr what =
+          match slot_of addr with
+          | Some s when bid_of_slot.(s) >= 0 -> Some bid_of_slot.(s)
+          | Some _ | None ->
+            warn "%s 0x%x does not resolve to a block" what addr;
+            None
+        in
+        (* build blocks *)
+        let blocks = ref [] in
+        let i = ref 0 in
+        while !i < n do
+          let start = !i in
+          let bid = bid_of_slot.(start) in
+          let stop = ref (start + 1) in
+          while !stop < n && not leader.(!stop) do incr stop done;
+          let addr_of s = base + (s * Isa.instr_size) in
+          (match decoded.(start) with
+           | None ->
+             (* opaque slot: its own block, raw bytes preserved *)
+             warn "cannot disassemble instruction at 0x%x" (addr_of start);
+             let raw = Bytes.sub_string payload (start * Isa.instr_size) Isa.instr_size in
+             blocks :=
+               { Ir.bid; body = []; term = Ir.Stop; orig_addr = Some (addr_of start);
+                 opaque = Some raw }
+               :: !blocks
+           | Some _ ->
+             let body = ref [] in
+             let term = ref Ir.Fall in
+             for s = start to !stop - 1 do
+               match decoded.(s) with
+               | None -> () (* unreachable: undecodable slots are leaders *)
+               | Some instr ->
+                 let imm_relocated = Hashtbl.mem reloc_imm (addr_of s + 4) in
+                 let is_last = s = !stop - 1 in
+                 (match instr with
+                  | Isa.Br (c, rs, rt, t) when is_last ->
+                    (match bid_of_addr t "branch target" with
+                     | Some tb -> term := Ir.Branch (c, rs, rt, tb)
+                     | None -> term := Ir.Stop)
+                  | Isa.Jmp t when is_last ->
+                    (match bid_of_addr t "jump target" with
+                     | Some tb -> term := Ir.Jump tb
+                     | None -> term := Ir.Stop)
+                  | Isa.Call t when is_last ->
+                    if not (in_text t) then term := Ir.CallExt t
+                    else
+                      (match bid_of_addr t "call target" with
+                       | Some tb -> term := Ir.CallT tb
+                       | None -> term := Ir.Stop)
+                  | Isa.Jr r when is_last -> term := Ir.JumpInd r
+                  | Isa.Callr r when is_last -> term := Ir.CallInd r
+                  | Isa.Ret when is_last -> term := Ir.Return
+                  | Isa.Halt when is_last -> term := Ir.Stop
+                  | Isa.Br _ | Isa.Jmp _ | Isa.Call _ | Isa.Jr _ | Isa.Callr _ | Isa.Ret
+                  | Isa.Halt ->
+                    (* transfers are always last: leaders break after them *)
+                    assert false
+                  | Isa.Sys -> body := Ir.Sys :: !body
+                  | Isa.Movi (rd, v) ->
+                    let simm =
+                      if not imm_relocated then Ir.Const v
+                      else
+                        match slot_of v with
+                        | Some s' when bid_of_slot.(s') >= 0 -> Ir.CodeRef bid_of_slot.(s')
+                        | Some _ | None ->
+                          if in_text v then begin
+                            warn "code address 0x%x in movi is not a block start" v;
+                            Ir.Const v
+                          end
+                          else Ir.DataRef v
+                    in
+                    body := Ir.Movi (rd, simm) :: !body
+                  | Isa.Nop | Isa.Mov _ | Isa.Ld _ | Isa.St _ | Isa.Ldb _ | Isa.Stb _
+                  | Isa.Binop _ | Isa.Addi _ | Isa.Push _ | Isa.Pop _ | Isa.Rdcyc _ ->
+                    body := Ir.Plain instr :: !body)
+             done;
+             (* a final block that runs off the end of text must not fall *)
+             let term = if !stop = n && !term = Ir.Fall then Ir.Stop else !term in
+             blocks :=
+               { Ir.bid; body = List.rev !body; term; orig_addr = Some (addr_of start);
+                 opaque = None }
+               :: !blocks);
+          i := !stop
+        done;
+        let blocks = List.rev !blocks in
+        let entry =
+          match slot_of img.entry with
+          | Some s when bid_of_slot.(s) >= 0 -> bid_of_slot.(s)
+          | Some _ | None -> first_bid
+        in
+        Ok
+          { Ir.blocks;
+            entry;
+            source = img;
+            next_bid = first_bid + !count;
+            warnings = List.rev !warnings }
+      end
+    end

@@ -1,0 +1,21 @@
+(** Disassembler: SEF image → {!Ir} program.
+
+    Decodes the text section, discovers basic-block leaders (entry point,
+    branch/call targets, post-transfer instructions, text symbols, and
+    relocation-marked code addresses) and classifies [movi] immediates as
+    plain constants, data addresses or code addresses using the image's
+    relocation table — the information the paper's installer requires
+    ("relocatable binaries ... in which the locations of addresses are
+    marked").
+
+    Undecodable slots become *opaque* blocks and produce warnings instead of
+    failures, mirroring PLTO: "PLTO always reports when it cannot
+    completely disassemble a binary". Programs containing opaque blocks can
+    still be analysed for policies but cannot be re-emitted. *)
+
+val disassemble : ?first_bid:int -> Svm.Obj_file.t -> (Ir.t, string) result
+(** [first_bid] (default 1) is the id given to the first block; the
+    installer passes a program-unique base so that block identifiers are
+    unique across all programs on the machine (the §5.5 Frankenstein
+    countermeasure). Ids [first_bid - 1] and below are reserved (the
+    syscall graph uses [first_bid - 1] as the virtual start node). *)

@@ -1,0 +1,221 @@
+open Svm
+
+type layout = {
+  block_addr : (int, int) Hashtbl.t;
+  section_base : (string * int) list;
+  data_shift : int -> int option;
+}
+
+let addr_of_instr layout ~bid ~idx = Hashtbl.find layout.block_addr bid + (idx * Isa.instr_size)
+let base_of layout name = List.assoc name layout.section_base
+
+let align_to a v = (v + a - 1) / a * a
+
+let term_to_instr layout (term : Ir.term) =
+  let addr bid = Hashtbl.find layout.block_addr bid in
+  match term with
+  | Ir.Fall -> None
+  | Ir.Jump bid -> Some (Isa.Jmp (addr bid))
+  | Ir.Branch (c, rs, rt, bid) -> Some (Isa.Br (c, rs, rt, addr bid))
+  | Ir.CallT bid -> Some (Isa.Call (addr bid))
+  | Ir.CallExt a -> Some (Isa.Call a)
+  | Ir.CallInd r -> Some (Isa.Callr r)
+  | Ir.JumpInd r -> Some (Isa.Jr r)
+  | Ir.Return -> Some Isa.Ret
+  | Ir.Stop -> Some Isa.Halt
+
+let emit ?(extra_sections = []) ?(fill = fun _ -> []) (t : Ir.t) =
+  let exception Fail of string in
+  try
+    (* keep the image's own code base: programs stay at Asm.text_base,
+       shared libraries at their fixed per-library load address *)
+    let out_base =
+      match Obj_file.text_section t.Ir.source with
+      | sec -> sec.Obj_file.sec_addr
+      | exception Not_found -> Asm.text_base
+    in
+    List.iter
+      (fun (b : Ir.block) ->
+        if b.Ir.opaque <> None then
+          raise (Fail (Printf.sprintf "block %d is opaque (undisassembled); cannot rewrite" b.bid)))
+      t.Ir.blocks;
+    (* 1. lay out code *)
+    let block_addr = Hashtbl.create 64 in
+    let text_size =
+      List.fold_left
+        (fun addr (b : Ir.block) ->
+          Hashtbl.replace block_addr b.bid addr;
+          addr + Ir.block_size b)
+        out_base t.Ir.blocks
+      - out_base
+    in
+    (* 2. lay out original data sections, then extra sections *)
+    let data_sections =
+      List.filter (fun (s : Obj_file.section) -> s.sec_kind <> Obj_file.Text) t.Ir.source.sections
+    in
+    let cursor = ref (align_to Asm.page_size (out_base + text_size)) in
+    let moved =
+      List.map
+        (fun (s : Obj_file.section) ->
+          let base = !cursor in
+          cursor := align_to Asm.page_size (base + s.sec_size);
+          (s, base))
+        data_sections
+    in
+    let extras =
+      List.map
+        (fun (name, kind, size) ->
+          let base = !cursor in
+          cursor := align_to Asm.page_size (base + size);
+          (name, kind, size, base))
+        extra_sections
+    in
+    let section_base =
+      ((".text", out_base) :: List.map (fun ((s : Obj_file.section), b) -> (s.sec_name, b)) moved)
+      @ List.map (fun (n, _, _, b) -> (n, b)) extras
+    in
+    let data_shift addr =
+      List.find_map
+        (fun ((s : Obj_file.section), base) ->
+          if addr >= s.sec_addr && addr < s.sec_addr + s.sec_size then
+            Some (addr - s.sec_addr + base)
+          else None)
+        moved
+    in
+    let layout = { block_addr; section_base; data_shift } in
+    (* map any original address (text block start or data) to its new home *)
+    let orig_block_addr = Hashtbl.create 64 in
+    List.iter
+      (fun (b : Ir.block) ->
+        match b.Ir.orig_addr with
+        | Some a -> Hashtbl.replace orig_block_addr a (Hashtbl.find block_addr b.bid)
+        | None -> ())
+      t.Ir.blocks;
+    let map_old_addr a what =
+      match data_shift a with
+      | Some a' -> a'
+      | None ->
+        (match Hashtbl.find_opt orig_block_addr a with
+         | Some a' -> a'
+         | None -> raise (Fail (Printf.sprintf "%s: cannot relocate address 0x%x" what a)))
+    in
+    (* 3. encode text *)
+    let text = Bytes.make text_size '\000' in
+    let relocs = ref [] in
+    let add_reloc at = relocs := { Obj_file.rel_at = at } :: !relocs in
+    let resolve_simm = function
+      | Ir.Const v -> (v, false)
+      | Ir.DataRef a ->
+        (match data_shift a with
+         | Some a' -> (a', true)
+         | None -> raise (Fail (Printf.sprintf "movi data address 0x%x outside data sections" a)))
+      | Ir.CodeRef bid ->
+        (match Hashtbl.find_opt block_addr bid with
+         | Some a -> (a, true)
+         | None -> raise (Fail (Printf.sprintf "movi references unknown block %d" bid)))
+      | Ir.NewRef (sec, off) ->
+        (match List.assoc_opt sec layout.section_base with
+         | Some base -> (base + off, true)
+         | None -> raise (Fail (Printf.sprintf "movi references unknown section %s" sec)))
+    in
+    List.iter
+      (fun (b : Ir.block) ->
+        let addr = Hashtbl.find block_addr b.bid in
+        let pos = ref (addr - out_base) in
+        let put i = Isa.encode i text ~pos:!pos; pos := !pos + Isa.instr_size in
+        List.iter
+          (fun (ti : Ir.tinstr) ->
+            match ti with
+            | Ir.Plain i -> put i
+            | Ir.Sys -> put Isa.Sys
+            | Ir.Movi (rd, simm) ->
+              let v, relocated = resolve_simm simm in
+              if relocated then add_reloc (out_base + !pos + 4);
+              put (Isa.Movi (rd, v)))
+          b.body;
+        match term_to_instr layout b.term with
+        | None -> ()
+        | Some i ->
+          if Isa.imm_is_code_target i then add_reloc (out_base + !pos + 4);
+          put i)
+      t.Ir.blocks;
+    (* 4. rebuild data sections, remapping relocated pointer fields *)
+    let old_relocs_in (s : Obj_file.section) =
+      List.filter
+        (fun (r : Obj_file.reloc) -> r.rel_at >= s.sec_addr && r.rel_at < s.sec_addr + s.sec_size)
+        t.Ir.source.relocs
+    in
+    let new_data_sections =
+      List.map
+        (fun ((s : Obj_file.section), base) ->
+          let payload =
+            if s.sec_kind = Obj_file.Bss then ""
+            else begin
+              let p = Bytes.of_string s.sec_payload in
+              List.iter
+                (fun (r : Obj_file.reloc) ->
+                  let off = r.rel_at - s.sec_addr in
+                  let old_v = Int32.to_int (Bytes.get_int32_le p off) land 0xffff_ffff in
+                  let new_v = map_old_addr old_v (Printf.sprintf "data reloc in %s" s.sec_name) in
+                  Bytes.set_int32_le p off (Int32.of_int new_v);
+                  add_reloc (base + off))
+                (old_relocs_in s);
+              Bytes.to_string p
+            end
+          in
+          { Obj_file.sec_name = s.sec_name; sec_kind = s.sec_kind; sec_addr = base;
+            sec_size = s.sec_size; sec_payload = payload })
+        moved
+    in
+    (* 5. extra sections, filled by the caller with the final layout known *)
+    let payloads = fill layout in
+    let extra_secs =
+      List.map
+        (fun (name, kind, size, base) ->
+          let payload =
+            if kind = Obj_file.Bss then ""
+            else
+              match List.assoc_opt name payloads with
+              | Some p when String.length p = size -> p
+              | Some p ->
+                raise
+                  (Fail
+                     (Printf.sprintf "fill for %s returned %d bytes, expected %d" name
+                        (String.length p) size))
+              | None -> String.make size '\000'
+          in
+          { Obj_file.sec_name = name; sec_kind = kind; sec_addr = base; sec_size = size;
+            sec_payload = payload })
+        extras
+    in
+    (* 6. symbols and entry *)
+    let symbols =
+      List.filter_map
+        (fun (sym : Obj_file.symbol) ->
+          match Hashtbl.find_opt orig_block_addr sym.sym_addr with
+          | Some a -> Some { sym with sym_addr = a }
+          | None ->
+            (match data_shift sym.sym_addr with
+             | Some a -> Some { sym with sym_addr = a }
+             | None -> Some sym))
+        t.Ir.source.symbols
+    in
+    let entry =
+      match Hashtbl.find_opt block_addr t.Ir.entry with
+      | Some a -> a
+      | None -> raise (Fail "entry block missing from layout")
+    in
+    let text_sec =
+      { Obj_file.sec_name = ".text"; sec_kind = Obj_file.Text; sec_addr = out_base;
+        sec_size = text_size; sec_payload = Bytes.to_string text }
+    in
+    let img =
+      { Obj_file.entry;
+        sections = (text_sec :: new_data_sections) @ extra_secs;
+        symbols;
+        relocs = List.rev !relocs }
+    in
+    Ok (img, layout)
+  with
+  | Fail m -> Error m
+  | Not_found -> Error "emit: dangling block reference"

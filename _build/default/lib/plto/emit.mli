@@ -1,0 +1,34 @@
+(** Re-emission of a (possibly transformed) {!Ir} program as a SEF image.
+
+    Code is laid out from {!Svm.Asm.text_base} in block layout order; the
+    original data sections follow (page-aligned, original order), then any
+    sections added by the rewriter. Because rewriting typically grows the
+    text, the data sections move: every relocation-marked address — [movi]
+    immediates, pointers stored in data — is remapped, and a fresh
+    relocation table is produced so the output is itself a relocatable
+    binary that can be disassembled and rewritten again. *)
+
+type layout = {
+  block_addr : (int, int) Hashtbl.t;     (** bid → new address *)
+  section_base : (string * int) list;    (** section name → new base *)
+  data_shift : int -> int option;        (** old data address → new *)
+}
+
+val addr_of_instr : layout -> bid:int -> idx:int -> int
+(** Final address of a body instruction, e.g. of a [Sys] at body index
+    [idx] — the call site the kernel will observe.
+    @raise Not_found if the block is not in the layout. *)
+
+val base_of : layout -> string -> int
+(** Base address of a section by name. @raise Not_found. *)
+
+val emit :
+  ?extra_sections:(string * Svm.Obj_file.section_kind * int) list ->
+  ?fill:(layout -> (string * string) list) ->
+  Ir.t ->
+  (Svm.Obj_file.t * layout, string) result
+(** Emit the program. [extra_sections] reserves named sections (with sizes)
+    after the original data; [fill] is called once the layout is fixed and
+    must return the payload for each non-[Bss] extra section (size must
+    match). Fails if the program contains opaque blocks or an immediate
+    does not fit. *)

@@ -1,0 +1,78 @@
+let max_stub_body = 12
+
+let body_is_setup body =
+  List.for_all
+    (fun (i : Ir.tinstr) ->
+      match i with
+      | Ir.Sys -> true
+      | Ir.Movi _ -> true
+      | Ir.Plain (Svm.Isa.Mov _) -> true
+      | Ir.Plain _ -> false)
+    body
+
+let is_stub t bid =
+  match Ir.find_block t bid with
+  | exception Not_found -> false
+  | b ->
+    b.opaque = None
+    && b.term = Ir.Return
+    && List.length b.body <= max_stub_body
+    && Ir.sys_count b = 1
+    && body_is_setup b.body
+
+let stub_entries t =
+  Cfg.call_edges t
+  |> List.map snd
+  |> List.sort_uniq compare
+  |> List.filter (is_stub t)
+
+let inline_stubs t =
+  let stubs = stub_entries t in
+  let stub_tbl = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace stub_tbl s (Ir.find_block t s)) stubs;
+  let count = ref 0 in
+  List.iter
+    (fun (b : Ir.block) ->
+      match b.term with
+      | Ir.CallT f when Hashtbl.mem stub_tbl f && b.opaque = None ->
+        let stub = Hashtbl.find stub_tbl f in
+        b.body <- b.body @ stub.Ir.body;
+        b.term <- Ir.Fall;
+        incr count
+      | _ -> ())
+    t.Ir.blocks;
+  !count
+
+let split_multi_sys t =
+  let splits = ref 0 in
+  let rec split_block (b : Ir.block) =
+    if Ir.sys_count b >= 2 then begin
+      (* cut immediately after the first Sys *)
+      let rec cut acc = function
+        | [] -> (List.rev acc, [])
+        | Ir.Sys :: rest -> (List.rev (Ir.Sys :: acc), rest)
+        | i :: rest -> cut (i :: acc) rest
+      in
+      let prefix, rest = cut [] b.body in
+      let nb =
+        { Ir.bid = Ir.fresh_bid t;
+          body = rest;
+          term = b.term;
+          orig_addr = None;
+          opaque = None }
+      in
+      b.body <- prefix;
+      b.term <- Ir.Fall;
+      (* insert nb directly after b to preserve fall-through adjacency *)
+      let rec insert = function
+        | [] -> []
+        | x :: rest when x == b -> x :: nb :: rest
+        | x :: rest -> x :: insert rest
+      in
+      t.Ir.blocks <- insert t.Ir.blocks;
+      incr splits;
+      split_block nb
+    end
+  in
+  List.iter split_block (List.filter (fun b -> b.Ir.opaque = None) t.Ir.blocks);
+  !splits

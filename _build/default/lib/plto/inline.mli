@@ -1,0 +1,25 @@
+(** System-call stub inlining.
+
+    Libc makes system calls from small stubs ([open:], [write:], …) invoked
+    by many callers; with one stub per call there would be a single policy
+    per system call. The paper's installer therefore "analyz\[es\] the call
+    graph to identify blocks that invoke these stubs and inline\[s\] the
+    stubs", giving every original call site its own policy (§4.1). *)
+
+val is_stub : Ir.t -> int -> bool
+(** Whether the function entered at this bid is an inlinable syscall stub:
+    a single block ending in [Return] whose body is straight-line register
+    setup around exactly one [Sys]. *)
+
+val stub_entries : Ir.t -> int list
+(** Call targets that are inlinable stubs. *)
+
+val inline_stubs : Ir.t -> int
+(** Inline every direct call to a stub into its call site; returns the
+    number of sites inlined. Unreachable stub bodies are left for
+    {!Opt.remove_unreachable}. *)
+
+val split_multi_sys : Ir.t -> int
+(** Split blocks containing more than one [Sys] so each system call lives
+    in its own basic block (policies identify calls by basic block);
+    returns the number of splits performed. *)

@@ -1,0 +1,114 @@
+type simm =
+  | Const of int
+  | DataRef of int
+  | CodeRef of int
+  | NewRef of string * int
+
+type tinstr =
+  | Plain of Svm.Isa.instr
+  | Movi of Svm.Isa.reg * simm
+  | Sys
+
+type term =
+  | Fall
+  | Jump of int
+  | Branch of Svm.Isa.cond * Svm.Isa.reg * Svm.Isa.reg * int
+  | CallT of int
+  | CallExt of int
+  | CallInd of Svm.Isa.reg
+  | JumpInd of Svm.Isa.reg
+  | Return
+  | Stop
+
+type block = {
+  bid : int;
+  mutable body : tinstr list;
+  mutable term : term;
+  orig_addr : int option;
+  opaque : string option;
+}
+
+type t = {
+  mutable blocks : block list;
+  entry : int;
+  source : Svm.Obj_file.t;
+  mutable next_bid : int;
+  mutable warnings : string list;
+}
+
+let find_block t bid = List.find (fun b -> b.bid = bid) t.blocks
+
+let block_table t =
+  let tbl = Hashtbl.create (List.length t.blocks) in
+  List.iter (fun b -> Hashtbl.replace tbl b.bid b) t.blocks;
+  tbl
+
+let fresh_bid t =
+  let b = t.next_bid in
+  t.next_bid <- b + 1;
+  b
+
+let index_of t bid =
+  let rec go i = function
+    | [] -> raise Not_found
+    | b :: _ when b.bid = bid -> i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 t.blocks
+
+let next_in_layout t bid =
+  let rec go = function
+    | [] | [ _ ] -> None
+    | b :: next :: _ when b.bid = bid -> Some next
+    | _ :: rest -> go rest
+  in
+  go t.blocks
+
+let term_instrs = function
+  | Fall -> 0
+  | Jump _ | Branch _ | CallT _ | CallExt _ | CallInd _ | JumpInd _ | Return | Stop -> 1
+
+let block_size b =
+  match b.opaque with
+  | Some raw -> String.length raw
+  | None -> Svm.Isa.instr_size * (List.length b.body + term_instrs b.term)
+
+let has_sys b = List.exists (fun i -> i = Sys) b.body
+let sys_count b = List.length (List.filter (fun i -> i = Sys) b.body)
+
+let instr_count t =
+  List.fold_left (fun acc b -> acc + (block_size b / Svm.Isa.instr_size)) 0 t.blocks
+
+let pp_simm ppf = function
+  | Const v -> Format.fprintf ppf "%d" v
+  | DataRef a -> Format.fprintf ppf "data:0x%x" a
+  | CodeRef bid -> Format.fprintf ppf "block:%d" bid
+  | NewRef (sec, off) -> Format.fprintf ppf "%s+%d" sec off
+
+let pp_tinstr ppf = function
+  | Plain i -> Svm.Isa.pp ppf i
+  | Movi (r, s) -> Format.fprintf ppf "movi r%d, %a" r pp_simm s
+  | Sys -> Format.fprintf ppf "sys"
+
+let pp_term ppf = function
+  | Fall -> Format.fprintf ppf "fall"
+  | Jump bid -> Format.fprintf ppf "jump B%d" bid
+  | Branch (_, rs, rt, bid) -> Format.fprintf ppf "branch r%d,r%d -> B%d (else fall)" rs rt bid
+  | CallT bid -> Format.fprintf ppf "call B%d" bid
+  | CallExt addr -> Format.fprintf ppf "call ext:0x%x" addr
+  | CallInd r -> Format.fprintf ppf "callr r%d" r
+  | JumpInd r -> Format.fprintf ppf "jr r%d" r
+  | Return -> Format.fprintf ppf "ret"
+  | Stop -> Format.fprintf ppf "halt"
+
+let pp_block ppf b =
+  (match b.opaque with
+   | Some raw -> Format.fprintf ppf "B%d: <opaque %d bytes>@\n" b.bid (String.length raw)
+   | None ->
+     Format.fprintf ppf "B%d:@\n" b.bid;
+     List.iter (fun i -> Format.fprintf ppf "  %a@\n" pp_tinstr i) b.body;
+     Format.fprintf ppf "  => %a@\n" pp_term b.term)
+
+let pp ppf t =
+  Format.fprintf ppf "entry B%d@\n" t.entry;
+  List.iter (pp_block ppf) t.blocks

@@ -1,0 +1,80 @@
+(** Intermediate representation used by the binary rewriter.
+
+    A program is a sequence of basic blocks in layout order. Code addresses
+    are symbolic ([CodeRef] block ids), so blocks can be moved, split and
+    extended freely; data addresses stay literal ([DataRef]) and are
+    remapped by the emitter when sections move; [NewRef] addresses point
+    into sections the rewriter itself adds (the installer's [.asc] section).
+
+    Invariants:
+    - a block's [body] contains no control transfers; the single transfer is
+      the block's [term];
+    - [Branch]'s fall-through successor and [CallT]'s return continuation
+      are the next block in layout order, so transformations must preserve
+      adjacency when they matter (they all do here: we never reorder). *)
+
+type simm =
+  | Const of int            (** plain constant; never remapped *)
+  | DataRef of int          (** original virtual address in a data section *)
+  | CodeRef of int          (** block id; resolves to the block's address *)
+  | NewRef of string * int  (** offset into a rewriter-added section *)
+
+type tinstr =
+  | Plain of Svm.Isa.instr  (** no control flow, no address immediate *)
+  | Movi of Svm.Isa.reg * simm
+  | Sys
+
+type term =
+  | Fall                    (** fall through to the next block *)
+  | Jump of int
+  | Branch of Svm.Isa.cond * Svm.Isa.reg * Svm.Isa.reg * int  (** taken bid *)
+  | CallT of int            (** direct call; continue at next block *)
+  | CallExt of int          (** call to a fixed address outside this image
+                                (a shared-library export); continue at next
+                                block *)
+  | CallInd of Svm.Isa.reg
+  | JumpInd of Svm.Isa.reg
+  | Return
+  | Stop
+
+type block = {
+  bid : int;
+  mutable body : tinstr list;
+  mutable term : term;
+  orig_addr : int option;       (** original address (provenance) *)
+  opaque : string option;       (** raw bytes when undisassemblable *)
+}
+
+type t = {
+  mutable blocks : block list;  (** layout order *)
+  entry : int;
+  source : Svm.Obj_file.t;
+  mutable next_bid : int;
+  mutable warnings : string list;
+}
+
+val find_block : t -> int -> block
+(** @raise Not_found on an unknown id. *)
+
+val block_table : t -> (int, block) Hashtbl.t
+(** Fresh id → block index; build once before hot loops. *)
+
+val fresh_bid : t -> int
+
+val index_of : t -> int -> int
+(** Position of a block in layout order. *)
+
+val next_in_layout : t -> int -> block option
+(** The block after the given one in layout order (fall-through target). *)
+
+val block_size : block -> int
+(** Encoded size in bytes (body + terminator, or opaque payload). *)
+
+val has_sys : block -> bool
+val sys_count : block -> int
+
+val instr_count : t -> int
+(** Total encodable instructions (opaque blocks count their slots). *)
+
+val pp_block : Format.formatter -> block -> unit
+val pp : Format.formatter -> t -> unit

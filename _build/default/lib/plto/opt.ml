@@ -1,0 +1,23 @@
+let remove_unreachable ?roots t =
+  let live = Cfg.reachable ?roots t in
+  let before = List.length t.Ir.blocks in
+  t.Ir.blocks <- List.filter (fun (b : Ir.block) -> Hashtbl.mem live b.bid) t.Ir.blocks;
+  before - List.length t.Ir.blocks
+
+let remove_nops t =
+  let removed = ref 0 in
+  List.iter
+    (fun (b : Ir.block) ->
+      let keep =
+        List.filter
+          (fun (i : Ir.tinstr) ->
+            match i with
+            | Ir.Plain Svm.Isa.Nop ->
+              incr removed;
+              false
+            | Ir.Plain _ | Ir.Movi _ | Ir.Sys -> true)
+          b.body
+      in
+      b.body <- keep)
+    t.Ir.blocks;
+  !removed

@@ -1,0 +1,13 @@
+(** Post-inlining cleanups, standing in for PLTO's optimizations (the paper
+    uses PLTO-optimized binaries as its measurement baseline so that
+    authenticated and unauthenticated binaries differ only in the
+    authentication machinery). *)
+
+val remove_unreachable : ?roots:int list -> Ir.t -> int
+(** Delete blocks unreachable from the entry (considering calls and
+    address-taken references); returns the number removed. Safe with
+    respect to fall-through adjacency: an unreachable block is never a
+    live fall-through target. *)
+
+val remove_nops : Ir.t -> int
+(** Drop [nop] body instructions; returns the number removed. *)

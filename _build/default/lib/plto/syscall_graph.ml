@@ -1,0 +1,85 @@
+let supergraph t =
+  let adj = Hashtbl.create 64 in
+  let add src dst =
+    Hashtbl.replace adj src (dst :: (try Hashtbl.find adj src with Not_found -> []))
+  in
+  List.iter (fun (b : Ir.block) -> Hashtbl.replace adj b.bid []) t.Ir.blocks;
+  List.iter
+    (fun (b : Ir.block) -> List.iter (fun s -> add b.bid s) (Cfg.intra_succs t b))
+    t.Ir.blocks;
+  (* call edges *)
+  List.iter (fun (caller, f) -> add caller f) (Cfg.call_edges t);
+  (* return edges: f's return blocks -> continuations of calls to f *)
+  let entries = Cfg.function_entries t in
+  let members = List.map (fun f -> (f, Cfg.function_blocks t f)) entries in
+  let tbl = Ir.block_table t in
+  let return_blocks f =
+    match List.assoc_opt f members with
+    | None -> []
+    | Some blocks ->
+      List.filter
+        (fun bid ->
+          match Hashtbl.find_opt tbl bid with
+          | Some b -> b.Ir.term = Ir.Return
+          | None -> false)
+        blocks
+  in
+  List.iter
+    (fun (b : Ir.block) ->
+      match b.term with
+      | Ir.CallT f ->
+        (match Ir.next_in_layout t b.bid with
+         | Some cont -> List.iter (fun r -> add r cont.Ir.bid) (return_blocks f)
+         | None -> ())
+      | Ir.CallInd _ ->
+        (* conservative: an indirect call may reach any function *)
+        (match Ir.next_in_layout t b.bid with
+         | Some cont ->
+           List.iter
+             (fun f ->
+               add b.bid f;
+               List.iter (fun r -> add r cont.Ir.bid) (return_blocks f))
+             entries
+         | None -> List.iter (fun f -> add b.bid f) entries)
+      | _ -> ())
+    t.Ir.blocks;
+  adj
+
+let compute t ~start_bid =
+  let adj = supergraph t in
+  let tbl = Ir.block_table t in
+  let sys_blocks =
+    List.filter_map
+      (fun (b : Ir.block) -> if Ir.has_sys b then Some b.Ir.bid else None)
+      t.Ir.blocks
+  in
+  let is_sys = Hashtbl.create 16 in
+  List.iter (fun bid -> Hashtbl.replace is_sys bid ()) sys_blocks;
+  let preds = Hashtbl.create 16 in
+  List.iter (fun bid -> Hashtbl.replace preds bid []) sys_blocks;
+  let record target src =
+    Hashtbl.replace preds target (src :: (try Hashtbl.find preds target with Not_found -> []))
+  in
+  let succs bid = try Hashtbl.find adj bid with Not_found -> [] in
+  (* Propagate source [s] forward until hitting system-call blocks. *)
+  let flood source starts =
+    let seen = Hashtbl.create 64 in
+    let q = Queue.create () in
+    List.iter (fun b -> Queue.add b q) starts;
+    while not (Queue.is_empty q) do
+      let bid = Queue.pop q in
+      if not (Hashtbl.mem seen bid) then begin
+        Hashtbl.replace seen bid ();
+        if Hashtbl.mem is_sys bid then record bid source
+        else if Hashtbl.mem tbl bid then List.iter (fun s -> Queue.add s q) (succs bid)
+      end
+    done
+  in
+  flood start_bid [ t.Ir.entry ];
+  List.iter (fun s -> flood s (succs s)) sys_blocks;
+  List.filter_map
+    (fun (b : Ir.block) ->
+      if Ir.has_sys b then
+        Some (b.Ir.bid, List.sort_uniq compare (try Hashtbl.find preds b.Ir.bid with Not_found -> []))
+      else None)
+    t.Ir.blocks

@@ -1,0 +1,20 @@
+(** The system-call graph: which system calls can immediately precede a
+    given system call.
+
+    "The graph giving all possible system call orderings is calculated
+    from the full call graph, which gives all possible orderings of all
+    basic blocks" (§4.1). The computation runs over the interprocedural
+    supergraph (intra edges, call edges, and return edges from each
+    function's return blocks to its call continuations) and is
+    conservative: every path in an execution's block sequence is a path
+    here. The virtual start node [start_bid] precedes every system call
+    reachable before any other system call executes. *)
+
+val compute : Ir.t -> start_bid:int -> (int * int list) list
+(** For every block containing a [Sys] (callers must have run
+    {!Inline.split_multi_sys} so there is at most one per block), the
+    sorted list of possible predecessor system-call blocks, possibly
+    including [start_bid]. Result is in layout order. *)
+
+val supergraph : Ir.t -> (int, int list) Hashtbl.t
+(** Adjacency of the interprocedural block graph (exposed for tests). *)

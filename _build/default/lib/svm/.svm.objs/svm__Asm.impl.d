@@ -1,0 +1,1 @@
+lib/svm/asm.ml: Buffer Bytes Char Format Hashtbl Int64 Isa List Obj_file String

@@ -1,0 +1,1 @@
+lib/svm/asm.mli: Format Obj_file

@@ -1,0 +1,1 @@
+lib/svm/cost_model.ml: Isa

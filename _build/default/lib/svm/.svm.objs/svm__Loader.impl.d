@@ -1,0 +1,1 @@
+lib/svm/loader.ml: Array Asm Isa List Machine Obj_file Printf

@@ -1,0 +1,1 @@
+lib/svm/loader.mli: Machine Obj_file

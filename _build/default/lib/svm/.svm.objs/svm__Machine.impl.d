@@ -1,0 +1,1 @@
+lib/svm/machine.ml: Array Bytes Char Cost_model Int64 Isa String

@@ -1,0 +1,1 @@
+lib/svm/machine.mli: Bytes

@@ -1,0 +1,1 @@
+lib/svm/obj_file.ml: Buffer Char Format List Printf String

@@ -1,0 +1,1 @@
+lib/svm/obj_file.mli: Format

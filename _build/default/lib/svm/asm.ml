@@ -1,0 +1,444 @@
+let text_base = 0x1000
+let page_size = 0x1000
+
+type error = { line : int; msg : string }
+
+let pp_error ppf e = Format.fprintf ppf "line %d: %s" e.line e.msg
+
+exception Err of error
+
+let err line fmt = Format.kasprintf (fun msg -> raise (Err { line; msg })) fmt
+
+(* ----- lexical helpers ----- *)
+
+let strip_comment line =
+  let cut = ref (String.length line) in
+  (try
+     String.iteri
+       (fun i c -> if (c = ';' || c = '#') && i < !cut then begin cut := i; raise Exit end)
+       line
+   with Exit -> ());
+  String.sub line 0 !cut
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+  || c = '.' || c = '$'
+
+let parse_int ~line s =
+  let s = String.trim s in
+  let neg, s = if String.length s > 0 && s.[0] = '-' then (true, String.sub s 1 (String.length s - 1)) else (false, s) in
+  let v =
+    if String.length s > 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X') then
+      int_of_string_opt ("0x" ^ String.sub s 2 (String.length s - 2))
+    else int_of_string_opt s
+  in
+  match v with
+  | Some v -> if neg then -v else v
+  | None -> err line "bad integer %S" s
+
+(* An immediate operand: either a literal value or a label (plus offset)
+   that resolves to an address and yields a relocation. *)
+type imm = Lit of int | Ref of string * int
+
+let parse_imm ~line s =
+  let s = String.trim s in
+  if s = "" then err line "empty operand"
+  else if s.[0] = '-' || (s.[0] >= '0' && s.[0] <= '9') then Lit (parse_int ~line s)
+  else
+    match String.index_opt s '+' with
+    | Some i ->
+      let base = String.trim (String.sub s 0 i) in
+      let off = parse_int ~line (String.sub s (i + 1) (String.length s - i - 1)) in
+      Ref (base, off)
+    | None ->
+      if String.for_all is_ident_char s then Ref (s, 0) else err line "bad operand %S" s
+
+let parse_reg ~line s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n >= 2 && (s.[0] = 'r' || s.[0] = 'R') then
+    match int_of_string_opt (String.sub s 1 (n - 1)) with
+    | Some r when r >= 0 && r < Isa.num_regs -> r
+    | Some _ | None -> err line "bad register %S" s
+  else if s = "sp" then Isa.sp
+  else if s = "fp" then Isa.fp
+  else err line "bad register %S" s
+
+(* Memory operand: [rN], [rN+off], [rN-off], [rN+label]? offsets only. *)
+let parse_mem ~line s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n < 3 || s.[0] <> '[' || s.[n - 1] <> ']' then err line "bad memory operand %S" s
+  else begin
+    let inner = String.sub s 1 (n - 2) in
+    let split_at i =
+      let reg = parse_reg ~line (String.sub inner 0 i) in
+      let sign = if inner.[i] = '-' then -1 else 1 in
+      let off = parse_int ~line (String.sub inner (i + 1) (String.length inner - i - 1)) in
+      (reg, sign * off)
+    in
+    match String.index_opt inner '+' with
+    | Some i -> split_at i
+    | None ->
+      (match String.index_opt inner '-' with
+       | Some i -> split_at i
+       | None -> (parse_reg ~line inner, 0))
+  end
+
+let split_operands s =
+  (* split on commas not inside brackets or quotes *)
+  let out = ref [] and buf = Buffer.create 16 and depth = ref 0 and in_str = ref false in
+  String.iter
+    (fun c ->
+      if !in_str then begin
+        Buffer.add_char buf c;
+        if c = '"' then in_str := false
+      end
+      else
+        match c with
+        | '"' -> in_str := true; Buffer.add_char buf c
+        | '[' -> incr depth; Buffer.add_char buf c
+        | ']' -> decr depth; Buffer.add_char buf c
+        | ',' when !depth = 0 -> out := Buffer.contents buf :: !out; Buffer.clear buf
+        | _ -> Buffer.add_char buf c)
+    s;
+  out := Buffer.contents buf :: !out;
+  List.rev_map String.trim !out
+
+let parse_string_lit ~line s =
+  let s = String.trim s in
+  let n = String.length s in
+  if n < 2 || s.[0] <> '"' || s.[n - 1] <> '"' then err line "expected string literal"
+  else begin
+    let buf = Buffer.create n in
+    let i = ref 1 in
+    while !i < n - 1 do
+      let c = s.[!i] in
+      if c = '\\' && !i + 1 < n - 1 then begin
+        (match s.[!i + 1] with
+         | 'n' -> Buffer.add_char buf '\n'
+         | 't' -> Buffer.add_char buf '\t'
+         | '0' -> Buffer.add_char buf '\000'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '"' -> Buffer.add_char buf '"'
+         | c -> err line "bad escape \\%c" c);
+        i := !i + 2
+      end
+      else begin
+        Buffer.add_char buf c;
+        incr i
+      end
+    done;
+    Buffer.contents buf
+  end
+
+(* ----- statement representation ----- *)
+
+type operand_instr = {
+  mnemonic : string;
+  operands : string list;
+  src_line : int;
+}
+
+type item =
+  | Instr of operand_instr
+  | Bytes_item of string              (* literal bytes *)
+  | Word_item of imm list * int       (* 8-byte words; line *)
+  | Space of int
+  | Align of int
+
+type statement = { sec : Obj_file.section_kind; labels : string list; item : item option; line : int }
+
+(* ----- pass 1: parse lines into statements ----- *)
+
+let parse_line ~line sec text =
+  let text = String.trim (strip_comment text) in
+  if text = "" then (sec, [])
+  else begin
+    (* peel leading labels *)
+    let rec peel acc rest =
+      match String.index_opt rest ':' with
+      | Some i when i > 0 && rest.[0] <> '.' && String.for_all is_ident_char (String.sub rest 0 i) ->
+        let label = String.sub rest 0 i in
+        let rest' = String.trim (String.sub rest (i + 1) (String.length rest - i - 1)) in
+        peel (label :: acc) rest'
+      | Some _ | None -> (List.rev acc, rest)
+    in
+    let labels, rest = peel [] text in
+    if rest = "" then (sec, [ { sec; labels; item = None; line } ])
+    else if rest.[0] = '.' then begin
+      let dir, arg =
+        match String.index_opt rest ' ' with
+        | Some i -> (String.sub rest 0 i, String.trim (String.sub rest (i + 1) (String.length rest - i - 1)))
+        | None -> (rest, "")
+      in
+      match dir with
+      | ".text" -> (Obj_file.Text, [ { sec = Obj_file.Text; labels; item = None; line } ])
+      | ".rodata" -> (Obj_file.Rodata, [ { sec = Obj_file.Rodata; labels; item = None; line } ])
+      | ".data" -> (Obj_file.Data, [ { sec = Obj_file.Data; labels; item = None; line } ])
+      | ".bss" -> (Obj_file.Bss, [ { sec = Obj_file.Bss; labels; item = None; line } ])
+      | ".global" | ".globl" -> (sec, [ { sec; labels; item = None; line } ])
+      | ".word" ->
+        let imms = List.map (parse_imm ~line) (split_operands arg) in
+        (sec, [ { sec; labels; item = Some (Word_item (imms, line)); line } ])
+      | ".addr" ->
+        let imms = List.map (parse_imm ~line) (split_operands arg) in
+        (sec, [ { sec; labels; item = Some (Word_item (imms, line)); line } ])
+      | ".byte" ->
+        let bytes =
+          List.map (fun s -> Char.chr (parse_int ~line s land 0xff)) (split_operands arg)
+        in
+        (sec, [ { sec; labels; item = Some (Bytes_item (String.init (List.length bytes) (List.nth bytes))); line } ])
+      | ".ascii" ->
+        (sec, [ { sec; labels; item = Some (Bytes_item (parse_string_lit ~line arg)); line } ])
+      | ".asciz" ->
+        (sec, [ { sec; labels; item = Some (Bytes_item (parse_string_lit ~line arg ^ "\000")); line } ])
+      | ".space" -> (sec, [ { sec; labels; item = Some (Space (parse_int ~line arg)); line } ])
+      | ".align" -> (sec, [ { sec; labels; item = Some (Align (parse_int ~line arg)); line } ])
+      | d -> err line "unknown directive %s" d
+    end
+    else begin
+      let mnemonic, arg =
+        match String.index_opt rest ' ' with
+        | Some i -> (String.sub rest 0 i, String.trim (String.sub rest (i + 1) (String.length rest - i - 1)))
+        | None -> (rest, "")
+      in
+      let operands = if arg = "" then [] else split_operands arg in
+      (sec, [ { sec; labels; item = Some (Instr { mnemonic; operands; src_line = line }); line } ])
+    end
+  end
+
+(* ----- instruction assembly ----- *)
+
+type penc = {
+  instr : imm option -> Isa.instr;  (* given resolved imm (if any) build instr *)
+  imm_ref : imm option;             (* unresolved immediate, if symbolic *)
+}
+
+let binop_of_mnemonic = function
+  | "add" -> Some Isa.Add | "sub" -> Some Isa.Sub | "mul" -> Some Isa.Mul
+  | "div" -> Some Isa.Div | "mod" -> Some Isa.Mod | "and" -> Some Isa.And
+  | "or" -> Some Isa.Or | "xor" -> Some Isa.Xor | "shl" -> Some Isa.Shl
+  | "shr" -> Some Isa.Shr | "slt" -> Some Isa.Slt | "sle" -> Some Isa.Sle
+  | "seq" -> Some Isa.Seq | "sne" -> Some Isa.Sne
+  | _ -> None
+
+let cond_of_mnemonic = function
+  | "beq" -> Some Isa.Eq | "bne" -> Some Isa.Ne | "blt" -> Some Isa.Lt
+  | "bge" -> Some Isa.Ge | "ble" -> Some Isa.Le | "bgt" -> Some Isa.Gt
+  | _ -> None
+
+let value_of = function Lit v -> Some v | Ref _ -> None
+
+let encode_instr ~line { mnemonic; operands; _ } =
+  let reg = parse_reg ~line in
+  let mem = parse_mem ~line in
+  let imm = parse_imm ~line in
+  let fixed i = { instr = (fun _ -> i); imm_ref = None } in
+  match (binop_of_mnemonic mnemonic, cond_of_mnemonic mnemonic, mnemonic, operands) with
+  | Some op, _, _, [ a; b; c ] -> fixed (Isa.Binop (op, reg a, reg b, reg c))
+  | Some _, _, _, _ -> err line "%s expects 3 registers" mnemonic
+  | None, Some c, _, [ a; b; t ] ->
+    let rs = reg a and rt = reg b and target = imm t in
+    (match value_of target with
+     | Some v -> fixed (Isa.Br (c, rs, rt, v))
+     | None ->
+       { instr =
+           (function
+            | Some (Lit v) -> Isa.Br (c, rs, rt, v)
+            | _ -> assert false);
+         imm_ref = Some target })
+  | None, Some _, _, _ -> err line "%s expects rs, rt, target" mnemonic
+  | None, None, "halt", [] -> fixed Isa.Halt
+  | None, None, "nop", [] -> fixed Isa.Nop
+  | None, None, "ret", [] -> fixed Isa.Ret
+  | None, None, "sys", [] -> fixed Isa.Sys
+  | None, None, "movi", [ a; b ] ->
+    let rd = reg a and v = imm b in
+    (match value_of v with
+     | Some v -> fixed (Isa.Movi (rd, v))
+     | None ->
+       { instr = (function Some (Lit v) -> Isa.Movi (rd, v) | _ -> assert false);
+         imm_ref = Some v })
+  | None, None, "mov", [ a; b ] -> fixed (Isa.Mov (reg a, reg b))
+  | None, None, "ld", [ a; b ] ->
+    let rd = reg a and rs, off = mem b in
+    fixed (Isa.Ld (rd, rs, off))
+  | None, None, "ldb", [ a; b ] ->
+    let rd = reg a and rs, off = mem b in
+    fixed (Isa.Ldb (rd, rs, off))
+  | None, None, "st", [ a; b ] ->
+    let rd, off = mem a and rs = reg b in
+    fixed (Isa.St (rd, off, rs))
+  | None, None, "stb", [ a; b ] ->
+    let rd, off = mem a and rs = reg b in
+    fixed (Isa.Stb (rd, off, rs))
+  | None, None, "addi", [ a; b; c ] ->
+    (match imm c with
+     | Lit v -> fixed (Isa.Addi (reg a, reg b, v))
+     | Ref _ -> err line "addi immediate must be literal")
+  | None, None, "jmp", [ t ] ->
+    (match imm t with
+     | Lit v -> fixed (Isa.Jmp v)
+     | Ref _ as r ->
+       { instr = (function Some (Lit v) -> Isa.Jmp v | _ -> assert false); imm_ref = Some r })
+  | None, None, "call", [ t ] ->
+    (match imm t with
+     | Lit v -> fixed (Isa.Call v)
+     | Ref _ as r ->
+       { instr = (function Some (Lit v) -> Isa.Call v | _ -> assert false); imm_ref = Some r })
+  | None, None, "jr", [ a ] -> fixed (Isa.Jr (reg a))
+  | None, None, "callr", [ a ] -> fixed (Isa.Callr (reg a))
+  | None, None, "push", [ a ] -> fixed (Isa.Push (reg a))
+  | None, None, "pop", [ a ] -> fixed (Isa.Pop (reg a))
+  | None, None, "rdcyc", [ a ] -> fixed (Isa.Rdcyc (reg a))
+  | None, None, m, _ -> err line "unknown instruction %S" m
+
+(* ----- assembly driver ----- *)
+
+type chunk =
+  | C_instr of penc * int (* line *)
+  | C_bytes of string
+  | C_word of imm * int   (* one 8-byte word; line *)
+  | C_space of int
+  | C_align of int
+
+let align_to a v = if a <= 1 then v else (v + a - 1) / a * a
+
+let chunk_parsed_size offset = function
+  | C_instr _ -> Isa.instr_size
+  | C_bytes s -> String.length s
+  | C_word _ -> 8
+  | C_space n -> n
+  | C_align a -> align_to a offset - offset
+
+let assemble ?text_base:(base_override = text_base) ?(entry = "_start")
+    ?(externals = []) source =
+  try
+    let lines = String.split_on_char '\n' source in
+    let statements = ref [] in
+    let _ =
+      List.fold_left
+        (fun (sec, lineno) text ->
+          let sec', stmts = parse_line ~line:lineno sec text in
+          List.iter (fun s -> statements := s :: !statements) stmts;
+          (sec', lineno + 1))
+        (Obj_file.Text, 1) lines
+    in
+    let statements = List.rev !statements in
+    (* Collect chunks per section, with labels bound to offsets. *)
+    let sections = [ Obj_file.Text; Obj_file.Rodata; Obj_file.Data; Obj_file.Bss ] in
+    let chunks = Hashtbl.create 8 (* kind -> chunk list ref (reversed) *) in
+    let offsets = Hashtbl.create 8 in
+    List.iter
+      (fun k ->
+        Hashtbl.replace chunks k (ref []);
+        Hashtbl.replace offsets k (ref 0))
+      sections;
+    let labels = Hashtbl.create 64 (* name -> (kind, offset) *) in
+    let add_chunk sec c =
+      let off = Hashtbl.find offsets sec in
+      let lst = Hashtbl.find chunks sec in
+      lst := (!off, c) :: !lst;
+      off := !off + chunk_parsed_size !off c
+    in
+    List.iter
+      (fun st ->
+        let off = Hashtbl.find offsets st.sec in
+        List.iter
+          (fun l ->
+            if Hashtbl.mem labels l then err st.line "duplicate label %s" l;
+            Hashtbl.replace labels l (st.sec, !off))
+          st.labels;
+        match st.item with
+        | None -> ()
+        | Some (Instr oi) -> add_chunk st.sec (C_instr (encode_instr ~line:st.line oi, st.line))
+        | Some (Bytes_item s) ->
+          if st.sec = Obj_file.Bss then err st.line "data bytes in .bss"
+          else add_chunk st.sec (C_bytes s)
+        | Some (Word_item (imms, line)) ->
+          if st.sec = Obj_file.Bss then err st.line "data words in .bss"
+          else List.iter (fun i -> add_chunk st.sec (C_word (i, line))) imms
+        | Some (Space n) -> add_chunk st.sec (C_space n)
+        | Some (Align a) -> add_chunk st.sec (C_align a))
+      statements;
+    (* Lay out sections. *)
+    let size_of k = !(Hashtbl.find offsets k) in
+    let text_addr = base_override in
+    let rodata_addr = align_to page_size (text_addr + size_of Obj_file.Text) in
+    let data_addr = align_to page_size (rodata_addr + size_of Obj_file.Rodata) in
+    let bss_addr = align_to page_size (data_addr + size_of Obj_file.Data) in
+    let base_of = function
+      | Obj_file.Text -> text_addr
+      | Obj_file.Rodata -> rodata_addr
+      | Obj_file.Data -> data_addr
+      | Obj_file.Bss -> bss_addr
+    in
+    let resolve ~line = function
+      | Lit v -> v
+      | Ref (name, off) ->
+        (match Hashtbl.find_opt labels name with
+         | Some (k, o) -> base_of k + o + off
+         | None ->
+           (match List.assoc_opt name externals with
+            | Some addr -> addr + off
+            | None -> err line "undefined label %s" name))
+    in
+    (* Emit payloads and relocations. *)
+    let relocs = ref [] in
+    let emit_section kind name =
+      let size = size_of kind in
+      let base = base_of kind in
+      let payload = Bytes.make size '\000' in
+      let items = List.rev !(Hashtbl.find chunks kind) in
+      List.iter
+        (fun (off, c) ->
+          match c with
+          | C_instr (p, line) ->
+            let resolved =
+              match p.imm_ref with
+              | None -> None
+              | Some r ->
+                let v = resolve ~line r in
+                (* symbolic immediates are addresses: mark for relocation *)
+                relocs := { Obj_file.rel_at = base + off + 4 } :: !relocs;
+                Some (Lit v)
+            in
+            Isa.encode (p.instr resolved) payload ~pos:off
+          | C_bytes s -> Bytes.blit_string s 0 payload off (String.length s)
+          | C_word (i, line) ->
+            let v = resolve ~line i in
+            Bytes.set_int64_le payload off (Int64.of_int v);
+            (match i with
+             | Ref _ -> relocs := { Obj_file.rel_at = base + off } :: !relocs
+             | Lit _ -> ())
+          | C_space _ | C_align _ -> ())
+        items;
+      { Obj_file.sec_name = name; sec_kind = kind; sec_addr = base; sec_size = size;
+        sec_payload = (if kind = Obj_file.Bss then "" else Bytes.to_string payload) }
+    in
+    let secs =
+      [ emit_section Obj_file.Text ".text";
+        emit_section Obj_file.Rodata ".rodata";
+        emit_section Obj_file.Data ".data";
+        emit_section Obj_file.Bss ".bss" ]
+    in
+    let secs = List.filter (fun s -> s.Obj_file.sec_size > 0 || s.Obj_file.sec_kind = Obj_file.Text) secs in
+    let symbols =
+      Hashtbl.fold
+        (fun name (k, off) acc -> { Obj_file.sym_name = name; sym_addr = base_of k + off } :: acc)
+        labels []
+      |> List.sort (fun a b -> compare a.Obj_file.sym_addr b.Obj_file.sym_addr)
+    in
+    let entry =
+      match Hashtbl.find_opt labels entry with
+      | Some (k, off) -> base_of k + off
+      | None -> err 0 "no %s symbol" entry
+    in
+    Ok { Obj_file.entry; sections = secs; symbols; relocs = List.rev !relocs }
+  with Err e -> Error e
+
+let assemble_exn ?text_base ?entry ?externals source =
+  match assemble ?text_base ?entry ?externals source with
+  | Ok t -> t
+  | Error e -> failwith (Format.asprintf "assembly failed: %a" pp_error e)

@@ -1,0 +1,38 @@
+(** Two-pass assembler for SVM assembly, producing relocatable SEF images.
+
+    Accepted syntax (one statement per line; [;] or [#] start a comment):
+    - sections: [.text] [.rodata] [.data] [.bss]
+    - labels: [ident:] (may share a line with an instruction or directive)
+    - data directives: [.word v,...] (8-byte little-endian words),
+      [.addr label] (8-byte word holding a relocated address),
+      [.byte v,...], [.ascii "s"], [.asciz "s"], [.space n], [.align n]
+    - instructions exactly as printed by {!Isa.pp}; immediate operands may be
+      decimal, [0x] hex, negative, a [label], or [label+off].
+
+    Label references used as immediates produce relocation entries, so the
+    output is a relocatable binary in the paper's sense. The entry point is
+    the [_start] symbol. Section layout: [.text] at {!text_base}, then
+    [.rodata], [.data], [.bss], each aligned to {!page_size}. *)
+
+val text_base : int
+val page_size : int
+
+type error = { line : int; msg : string }
+
+val assemble :
+  ?text_base:int ->
+  ?entry:string ->
+  ?externals:(string * int) list ->
+  string ->
+  (Obj_file.t, error) result
+(** [text_base] overrides the default code base (used to place shared
+    libraries at their fixed, per-library load addresses). [entry] names
+    the entry symbol (default [_start]). [externals] resolves otherwise
+    undefined labels to absolute addresses — the import table against a
+    library's exports. *)
+
+val assemble_exn :
+  ?text_base:int -> ?entry:string -> ?externals:(string * int) list -> string -> Obj_file.t
+(** @raise Failure with a formatted message on assembly errors. *)
+
+val pp_error : Format.formatter -> error -> unit

@@ -1,0 +1,52 @@
+(** Deterministic cycle-cost model.
+
+    The paper measures CPU cycles with the Pentium [rdtsc] instruction. Our
+    substitute is a deterministic model: the machine charges each instruction
+    a fixed cost, and the simulated kernel charges trap entry, per-byte copy
+    and per-AES-block costs. Constants are calibrated so the *shape* of
+    Table 4 holds: an unmodified trivial system call (getpid) costs ≈1100
+    cycles, and full authenticated-call verification adds ≈4000 cycles. *)
+
+val instr_cost : Isa.instr -> int
+(** Cost charged by the machine for one executed instruction. *)
+
+val rdcyc_cost : int
+(** Extra cost of reading the cycle counter (the paper reports an rdtsc cost
+    of 84 cycles). *)
+
+val trap_entry : int
+(** Kernel trap entry + return (mode switch, register save/restore). *)
+
+val syscall_dispatch : int
+(** Base cost of syscall-number dispatch inside the trap handler. *)
+
+val per_byte_copy : int
+(** Cost per byte of copying between user and kernel space (numerator of a
+    fixed-point ratio with {!per_byte_copy_denom}). *)
+
+val per_byte_copy_denom : int
+
+val write_buffer_per_byte : int
+(** Additional per-byte cost on the write path (buffer-cache bookkeeping
+    dominates writes in the paper's Table 4). *)
+
+val aes_block : int
+(** Cost of one AES block operation inside the kernel's MAC computation. *)
+
+val mac_setup : int
+(** Fixed cost of one MAC computation (subkey selection, finalization). *)
+
+val check_fixed : int
+(** Fixed bookkeeping cost of the authenticated-call check (argument fetch,
+    policy-descriptor decoding, control-flow set membership). *)
+
+val context_switch : int
+(** Cost of one context switch; used by the user-space-daemon ablation (the
+    Systrace-style monitor pays two of these per checked call). *)
+
+val mac_cost : int -> int
+(** [mac_cost len] is the modeled cost of MACing [len] bytes:
+    [mac_setup + aes_block * ceil((len+1)/16)] (+1 for padding block). *)
+
+val copy_cost : int -> int
+(** [copy_cost len] is the modeled user/kernel copy cost for [len] bytes. *)

@@ -1,0 +1,189 @@
+type reg = int
+
+let num_regs = 16
+let sp = 13
+let fp = 12
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | And | Or | Xor | Shl | Shr
+  | Slt | Sle | Seq | Sne
+
+type cond = Eq | Ne | Lt | Ge | Le | Gt
+
+type instr =
+  | Halt
+  | Nop
+  | Movi of reg * int
+  | Mov of reg * reg
+  | Ld of reg * reg * int
+  | St of reg * int * reg
+  | Ldb of reg * reg * int
+  | Stb of reg * int * reg
+  | Binop of binop * reg * reg * reg
+  | Addi of reg * reg * int
+  | Br of cond * reg * reg * int
+  | Jmp of int
+  | Jr of reg
+  | Call of int
+  | Callr of reg
+  | Ret
+  | Push of reg
+  | Pop of reg
+  | Sys
+  | Rdcyc of reg
+
+let instr_size = 8
+
+(* Opcode assignments. Binops occupy 0x10..0x1d, branches 0x20..0x25. *)
+let op_halt = 0x00
+let op_nop = 0x01
+let op_movi = 0x02
+let op_mov = 0x03
+let op_ld = 0x04
+let op_st = 0x05
+let op_ldb = 0x06
+let op_stb = 0x07
+let op_addi = 0x08
+let op_jmp = 0x30
+let op_jr = 0x31
+let op_call = 0x32
+let op_callr = 0x33
+let op_ret = 0x34
+let op_push = 0x35
+let op_pop = 0x36
+let op_sys = 0x37
+let op_rdcyc = 0x38
+
+let binop_code = function
+  | Add -> 0x10 | Sub -> 0x11 | Mul -> 0x12 | Div -> 0x13 | Mod -> 0x14
+  | And -> 0x15 | Or -> 0x16 | Xor -> 0x17 | Shl -> 0x18 | Shr -> 0x19
+  | Slt -> 0x1a | Sle -> 0x1b | Seq -> 0x1c | Sne -> 0x1d
+
+let binop_of_code = function
+  | 0x10 -> Some Add | 0x11 -> Some Sub | 0x12 -> Some Mul | 0x13 -> Some Div
+  | 0x14 -> Some Mod | 0x15 -> Some And | 0x16 -> Some Or | 0x17 -> Some Xor
+  | 0x18 -> Some Shl | 0x19 -> Some Shr | 0x1a -> Some Slt | 0x1b -> Some Sle
+  | 0x1c -> Some Seq | 0x1d -> Some Sne | _ -> None
+
+let cond_code = function Eq -> 0x20 | Ne -> 0x21 | Lt -> 0x22 | Ge -> 0x23 | Le -> 0x24 | Gt -> 0x25
+
+let cond_of_code = function
+  | 0x20 -> Some Eq | 0x21 -> Some Ne | 0x22 -> Some Lt | 0x23 -> Some Ge
+  | 0x24 -> Some Le | 0x25 -> Some Gt | _ -> None
+
+let check_reg r = if r < 0 || r >= num_regs then invalid_arg "Isa.encode: bad register"
+
+let check_imm v =
+  if v < -0x8000_0000 || v > 0xffff_ffff then invalid_arg "Isa.encode: immediate out of range"
+
+(* Layout: [opcode][ (rd<<4)|rs ][rt][0][imm32 LE]. Immediates are stored as
+   their low 32 bits and decoded with sign extension, except that addresses
+   in [0, 2^31) round-trip unchanged either way. *)
+let put b ~pos ~opcode ~rd ~rs ~rt ~imm =
+  check_reg rd; check_reg rs; check_reg rt; check_imm imm;
+  Bytes.set b pos (Char.chr opcode);
+  Bytes.set b (pos + 1) (Char.chr ((rd lsl 4) lor rs));
+  Bytes.set b (pos + 2) (Char.chr rt);
+  Bytes.set b (pos + 3) '\000';
+  Bytes.set_int32_le b (pos + 4) (Int32.of_int imm)
+
+let encode i b ~pos =
+  match i with
+  | Halt -> put b ~pos ~opcode:op_halt ~rd:0 ~rs:0 ~rt:0 ~imm:0
+  | Nop -> put b ~pos ~opcode:op_nop ~rd:0 ~rs:0 ~rt:0 ~imm:0
+  | Movi (rd, v) -> put b ~pos ~opcode:op_movi ~rd ~rs:0 ~rt:0 ~imm:v
+  | Mov (rd, rs) -> put b ~pos ~opcode:op_mov ~rd ~rs ~rt:0 ~imm:0
+  | Ld (rd, rs, off) -> put b ~pos ~opcode:op_ld ~rd ~rs ~rt:0 ~imm:off
+  | St (rd, off, rs) -> put b ~pos ~opcode:op_st ~rd ~rs ~rt:0 ~imm:off
+  | Ldb (rd, rs, off) -> put b ~pos ~opcode:op_ldb ~rd ~rs ~rt:0 ~imm:off
+  | Stb (rd, off, rs) -> put b ~pos ~opcode:op_stb ~rd ~rs ~rt:0 ~imm:off
+  | Binop (op, rd, rs, rt) -> put b ~pos ~opcode:(binop_code op) ~rd ~rs ~rt ~imm:0
+  | Addi (rd, rs, v) -> put b ~pos ~opcode:op_addi ~rd ~rs ~rt:0 ~imm:v
+  | Br (c, rs, rt, target) -> put b ~pos ~opcode:(cond_code c) ~rd:0 ~rs ~rt ~imm:target
+  | Jmp target -> put b ~pos ~opcode:op_jmp ~rd:0 ~rs:0 ~rt:0 ~imm:target
+  | Jr rs -> put b ~pos ~opcode:op_jr ~rd:0 ~rs ~rt:0 ~imm:0
+  | Call target -> put b ~pos ~opcode:op_call ~rd:0 ~rs:0 ~rt:0 ~imm:target
+  | Callr rs -> put b ~pos ~opcode:op_callr ~rd:0 ~rs ~rt:0 ~imm:0
+  | Ret -> put b ~pos ~opcode:op_ret ~rd:0 ~rs:0 ~rt:0 ~imm:0
+  | Push rs -> put b ~pos ~opcode:op_push ~rd:0 ~rs ~rt:0 ~imm:0
+  | Pop rd -> put b ~pos ~opcode:op_pop ~rd ~rs:0 ~rt:0 ~imm:0
+  | Sys -> put b ~pos ~opcode:op_sys ~rd:0 ~rs:0 ~rt:0 ~imm:0
+  | Rdcyc rd -> put b ~pos ~opcode:op_rdcyc ~rd ~rs:0 ~rt:0 ~imm:0
+
+let decode b ~pos =
+  if pos + instr_size > Bytes.length b then None
+  else begin
+    let opcode = Char.code (Bytes.get b pos) in
+    let regs = Char.code (Bytes.get b (pos + 1)) in
+    let rd = regs lsr 4 and rs = regs land 0xf in
+    let rt = Char.code (Bytes.get b (pos + 2)) in
+    let imm = Int32.to_int (Bytes.get_int32_le b (pos + 4)) in
+    (* The rt byte names a register only for binops and branches; validate it
+       there so garbage bytes decode to None instead of a bad register. *)
+    let rt_valid = rt < num_regs in
+    if opcode = op_halt then Some Halt
+    else if opcode = op_nop then Some Nop
+    else if opcode = op_movi then Some (Movi (rd, imm))
+    else if opcode = op_mov then Some (Mov (rd, rs))
+    else if opcode = op_ld then Some (Ld (rd, rs, imm))
+    else if opcode = op_st then Some (St (rd, imm, rs))
+    else if opcode = op_ldb then Some (Ldb (rd, rs, imm))
+    else if opcode = op_stb then Some (Stb (rd, imm, rs))
+    else if opcode = op_addi then Some (Addi (rd, rs, imm))
+    else
+      match binop_of_code opcode with
+      | Some op -> if rt_valid then Some (Binop (op, rd, rs, rt)) else None
+      | None ->
+        match cond_of_code opcode with
+        | Some c -> if rt_valid then Some (Br (c, rs, rt, imm land 0xffff_ffff)) else None
+        | None ->
+          if opcode = op_jmp then Some (Jmp (imm land 0xffff_ffff))
+          else if opcode = op_jr then Some (Jr rs)
+          else if opcode = op_call then Some (Call (imm land 0xffff_ffff))
+          else if opcode = op_callr then Some (Callr rs)
+          else if opcode = op_ret then Some Ret
+          else if opcode = op_push then Some (Push rs)
+          else if opcode = op_pop then Some (Pop rd)
+          else if opcode = op_sys then Some Sys
+          else if opcode = op_rdcyc then Some (Rdcyc rd)
+          else None
+  end
+
+let imm_is_code_target = function
+  | Br _ | Jmp _ | Call _ -> true
+  | Halt | Nop | Movi _ | Mov _ | Ld _ | St _ | Ldb _ | Stb _ | Binop _ | Addi _
+  | Jr _ | Callr _ | Ret | Push _ | Pop _ | Sys | Rdcyc _ -> false
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Mod -> "mod"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+  | Slt -> "slt" | Sle -> "sle" | Seq -> "seq" | Sne -> "sne"
+
+let cond_name = function
+  | Eq -> "beq" | Ne -> "bne" | Lt -> "blt" | Ge -> "bge" | Le -> "ble" | Gt -> "bgt"
+
+let pp ppf i =
+  let r n = Format.sprintf "r%d" n in
+  match i with
+  | Halt -> Format.fprintf ppf "halt"
+  | Nop -> Format.fprintf ppf "nop"
+  | Movi (rd, v) -> Format.fprintf ppf "movi %s, %d" (r rd) v
+  | Mov (rd, rs) -> Format.fprintf ppf "mov %s, %s" (r rd) (r rs)
+  | Ld (rd, rs, off) -> Format.fprintf ppf "ld %s, [%s%+d]" (r rd) (r rs) off
+  | St (rd, off, rs) -> Format.fprintf ppf "st [%s%+d], %s" (r rd) off (r rs)
+  | Ldb (rd, rs, off) -> Format.fprintf ppf "ldb %s, [%s%+d]" (r rd) (r rs) off
+  | Stb (rd, off, rs) -> Format.fprintf ppf "stb [%s%+d], %s" (r rd) off (r rs)
+  | Binop (op, rd, rs, rt) ->
+    Format.fprintf ppf "%s %s, %s, %s" (binop_name op) (r rd) (r rs) (r rt)
+  | Addi (rd, rs, v) -> Format.fprintf ppf "addi %s, %s, %d" (r rd) (r rs) v
+  | Br (c, rs, rt, t) -> Format.fprintf ppf "%s %s, %s, 0x%x" (cond_name c) (r rs) (r rt) t
+  | Jmp t -> Format.fprintf ppf "jmp 0x%x" t
+  | Jr rs -> Format.fprintf ppf "jr %s" (r rs)
+  | Call t -> Format.fprintf ppf "call 0x%x" t
+  | Callr rs -> Format.fprintf ppf "callr %s" (r rs)
+  | Ret -> Format.fprintf ppf "ret"
+  | Push rs -> Format.fprintf ppf "push %s" (r rs)
+  | Pop rd -> Format.fprintf ppf "pop %s" (r rd)
+  | Sys -> Format.fprintf ppf "sys"
+  | Rdcyc rd -> Format.fprintf ppf "rdcyc %s" (r rd)

@@ -1,0 +1,25 @@
+let initial_brk (img : Obj_file.t) =
+  let top =
+    List.fold_left
+      (fun acc s -> max acc (s.Obj_file.sec_addr + s.Obj_file.sec_size))
+      Asm.text_base img.Obj_file.sections
+  in
+  (top + Asm.page_size - 1) / Asm.page_size * Asm.page_size
+
+let load ?(mem_size = Machine.default_mem_size) (img : Obj_file.t) =
+  let m = Machine.create ~mem_size in
+  List.iter
+    (fun (s : Obj_file.section) ->
+      if s.sec_addr < 0 || s.sec_addr + s.sec_size > mem_size then
+        invalid_arg
+          (Printf.sprintf "Loader.load: section %s [0x%x, +%d] outside memory" s.sec_name
+             s.sec_addr s.sec_size);
+      match s.sec_kind with
+      | Obj_file.Bss -> () (* memory is already zeroed *)
+      | Obj_file.Text | Obj_file.Rodata | Obj_file.Data ->
+        if not (Machine.write_mem m ~addr:s.sec_addr s.sec_payload) then
+          invalid_arg "Loader.load: section write failed")
+    img.sections;
+  m.pc <- img.entry;
+  m.regs.(Isa.sp) <- Machine.stack_top m;
+  m

@@ -1,0 +1,12 @@
+(** Program loader: places a SEF image into a fresh machine.
+
+    Layout matches {!Asm}: sections at their linked addresses, stack at the
+    top of memory growing down, heap (managed by the kernel's [brk]) starting
+    at the first page boundary past the highest section. *)
+
+val load : ?mem_size:int -> Obj_file.t -> Machine.t
+(** Machine with the image loaded, [pc] at the entry point and [sp] at the
+    stack top. @raise Invalid_argument if a section falls outside memory. *)
+
+val initial_brk : Obj_file.t -> int
+(** First heap address: the page boundary after the highest section end. *)

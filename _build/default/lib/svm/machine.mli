@@ -1,0 +1,56 @@
+(** The SVM interpreter: a flat-memory machine with a deterministic cycle
+    counter (standing in for [rdtsc]) and a kernel trap hook for [Sys].
+
+    There is deliberately no W^X protection and return addresses live on the
+    in-memory stack, so stack-smashing attacks behave as on the paper's
+    x86/Linux platform: an overflowed buffer can overwrite a return address
+    and divert control into injected code. System call *monitoring*, not
+    memory safety, is the defense under evaluation. *)
+
+type fault =
+  | Bad_opcode of int        (** undecodable instruction byte at address *)
+  | Bad_address of int       (** out-of-bounds load/store/fetch *)
+  | Div_by_zero
+
+type stop =
+  | Halted of int            (** [Halt] executed; value of r0 as exit status *)
+  | Faulted of fault * int   (** fault and faulting pc *)
+  | Killed of string         (** terminated by the kernel (policy violation) *)
+  | Cycle_limit
+
+type t = {
+  mem : Bytes.t;
+  regs : int array;
+  mutable pc : int;
+  mutable cycles : int;
+  mutable stopped : stop option;
+}
+
+type sys_action =
+  | Sys_continue           (** kernel handled the call; r0 holds the result *)
+  | Sys_kill of string     (** kernel terminates the process *)
+
+val create : mem_size:int -> t
+(** Fresh machine with zeroed memory and registers, pc = 0. *)
+
+val default_mem_size : int
+(** 4 MiB. *)
+
+val stack_top : t -> int
+
+val run : t -> on_sys:(t -> sys_action) -> max_cycles:int -> stop
+(** Execute until halt, fault, kill or cycle budget exhaustion. [on_sys] is
+    invoked for every [Sys] with pc already advanced past the instruction,
+    so the call site is [t.pc - Isa.instr_size]. *)
+
+(** {2 Memory accessors (bounds-checked; [None] on out-of-range)} *)
+
+val read_word : t -> int -> int option
+val write_word : t -> int -> int -> bool
+val read_byte : t -> int -> int option
+val write_byte : t -> int -> int -> bool
+val read_mem : t -> addr:int -> len:int -> string option
+val write_mem : t -> addr:int -> string -> bool
+val read_cstring : t -> addr:int -> max:int -> string option
+(** NUL-terminated string at [addr]; [None] if unterminated within [max]
+    bytes or out of range. *)

@@ -1,0 +1,154 @@
+type section_kind = Text | Rodata | Data | Bss
+
+type section = {
+  sec_name : string;
+  sec_kind : section_kind;
+  sec_addr : int;
+  sec_size : int;
+  sec_payload : string;
+}
+
+type symbol = { sym_name : string; sym_addr : int }
+type reloc = { rel_at : int }
+
+type t = {
+  entry : int;
+  sections : section list;
+  symbols : symbol list;
+  relocs : reloc list;
+}
+
+let magic = "SEF1"
+
+let kind_code = function Text -> 0 | Rodata -> 1 | Data -> 2 | Bss -> 3
+
+let kind_of_code = function
+  | 0 -> Ok Text | 1 -> Ok Rodata | 2 -> Ok Data | 3 -> Ok Bss
+  | n -> Error (Printf.sprintf "bad section kind %d" n)
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+
+let put_str buf s =
+  put_u32 buf (String.length s);
+  Buffer.add_string buf s
+
+let serialize t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  put_u32 buf t.entry;
+  put_u32 buf (List.length t.sections);
+  List.iter
+    (fun s ->
+      put_str buf s.sec_name;
+      Buffer.add_char buf (Char.chr (kind_code s.sec_kind));
+      put_u32 buf s.sec_addr;
+      put_u32 buf s.sec_size;
+      if s.sec_kind <> Bss then Buffer.add_string buf s.sec_payload)
+    t.sections;
+  put_u32 buf (List.length t.symbols);
+  List.iter
+    (fun s ->
+      put_str buf s.sym_name;
+      put_u32 buf s.sym_addr)
+    t.symbols;
+  put_u32 buf (List.length t.relocs);
+  List.iter (fun r -> put_u32 buf r.rel_at) t.relocs;
+  Buffer.contents buf
+
+exception Malformed of string
+
+let parse s =
+  let pos = ref 0 in
+  let need n what =
+    if !pos + n > String.length s then raise (Malformed ("truncated at " ^ what))
+  in
+  let u32 what =
+    need 4 what;
+    let v =
+      Char.code s.[!pos]
+      lor (Char.code s.[!pos + 1] lsl 8)
+      lor (Char.code s.[!pos + 2] lsl 16)
+      lor (Char.code s.[!pos + 3] lsl 24)
+    in
+    pos := !pos + 4;
+    v
+  in
+  let str what =
+    let n = u32 what in
+    need n what;
+    let v = String.sub s !pos n in
+    pos := !pos + n;
+    v
+  in
+  let byte what =
+    need 1 what;
+    let v = Char.code s.[!pos] in
+    incr pos;
+    v
+  in
+  try
+    need 4 "magic";
+    if String.sub s 0 4 <> magic then Error "bad magic"
+    else begin
+      pos := 4;
+      let entry = u32 "entry" in
+      let nsec = u32 "section count" in
+      let sections =
+        List.init nsec (fun _ ->
+            let sec_name = str "section name" in
+            let kind =
+              match kind_of_code (byte "section kind") with
+              | Ok k -> k
+              | Error e -> raise (Malformed e)
+            in
+            let sec_addr = u32 "section addr" in
+            let sec_size = u32 "section size" in
+            let sec_payload =
+              if kind = Bss then ""
+              else begin
+                need sec_size "section payload";
+                let p = String.sub s !pos sec_size in
+                pos := !pos + sec_size;
+                p
+              end
+            in
+            { sec_name; sec_kind = kind; sec_addr; sec_size; sec_payload })
+      in
+      let nsym = u32 "symbol count" in
+      let symbols =
+        List.init nsym (fun _ ->
+            let sym_name = str "symbol name" in
+            let sym_addr = u32 "symbol addr" in
+            { sym_name; sym_addr })
+      in
+      let nrel = u32 "reloc count" in
+      let relocs = List.init nrel (fun _ -> { rel_at = u32 "reloc" }) in
+      Ok { entry; sections; symbols; relocs }
+    end
+  with Malformed m -> Error m
+
+let find_symbol t name =
+  List.find_map (fun s -> if s.sym_name = name then Some s.sym_addr else None) t.symbols
+
+let section_named t name = List.find_opt (fun s -> s.sec_name = name) t.sections
+
+let section_containing t addr =
+  List.find_opt (fun s -> addr >= s.sec_addr && addr < s.sec_addr + s.sec_size) t.sections
+
+let text_section t = List.find (fun s -> s.sec_kind = Text) t.sections
+
+let pp_summary ppf t =
+  Format.fprintf ppf "entry=0x%x@\n" t.entry;
+  List.iter
+    (fun s ->
+      let kind =
+        match s.sec_kind with Text -> "text" | Rodata -> "rodata" | Data -> "data" | Bss -> "bss"
+      in
+      Format.fprintf ppf "%-10s %-6s addr=0x%06x size=%d@\n" s.sec_name kind s.sec_addr
+        s.sec_size)
+    t.sections;
+  Format.fprintf ppf "%d symbols, %d relocs" (List.length t.symbols) (List.length t.relocs)

@@ -1,0 +1,54 @@
+(** SEF — the SVM executable format.
+
+    SEF stands in for ELF. A SEF image is a set of sections placed at fixed
+    virtual addresses, a symbol table, an entry point, and — crucially for
+    this reproduction — a relocation table marking every 32-bit field (in
+    code immediates or in data) that holds an absolute virtual address. The
+    paper's installer "requires relocatable binaries (binaries in which the
+    locations of addresses are marked), so that addresses can be adjusted as
+    code transformations move data and code locations"; the relocation table
+    provides exactly that. *)
+
+type section_kind = Text | Rodata | Data | Bss
+
+type section = {
+  sec_name : string;
+  sec_kind : section_kind;
+  sec_addr : int;           (** virtual base address *)
+  sec_size : int;           (** size in bytes *)
+  sec_payload : string;     (** [sec_size] bytes; empty for [Bss] *)
+}
+
+type symbol = { sym_name : string; sym_addr : int }
+
+type reloc = { rel_at : int }
+(** Virtual address of a 32-bit little-endian field whose value is an
+    absolute virtual address. *)
+
+type t = {
+  entry : int;
+  sections : section list;
+  symbols : symbol list;
+  relocs : reloc list;
+}
+
+val serialize : t -> string
+(** Flat binary encoding (magic ["SEF1"]). *)
+
+val parse : string -> (t, string) result
+(** Inverse of {!serialize}. Returns [Error] with a diagnostic on a
+    malformed image. *)
+
+val find_symbol : t -> string -> int option
+(** Address of a symbol by name. *)
+
+val section_named : t -> string -> section option
+
+val section_containing : t -> int -> section option
+(** The section whose address range contains the given virtual address. *)
+
+val text_section : t -> section
+(** The [Text] section. @raise Not_found if the image has none. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** One-line-per-section human-readable summary. *)

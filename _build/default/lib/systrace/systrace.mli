@@ -1,0 +1,51 @@
+(** The Systrace-style baseline monitor (Provos, USENIX Security 2003),
+    reproduced for the policy-comparison experiments (Tables 1–2) and the
+    user-space-daemon cost ablation.
+
+    Policies are produced by {e training}: the application is run under a
+    tracer on sample inputs and every observed operation becomes a permit
+    rule. As in the published Project Hairy Eyeball policies, filesystem
+    reads and writes are then hand-generalized to the [fsread] / [fswrite]
+    aliases, which implicitly grant {e every} member of those sets —
+    including calls the application never makes (Table 2's mkdir /
+    readlink / rmdir / unlink rows).
+
+    Enforcement runs in a user-space policy daemon, so every checked call
+    pays two context switches ({!Svm.Cost_model.context_switch}) — the cost
+    structure the paper contrasts with in-kernel authenticated checking. *)
+
+type policy = {
+  named : Oskernel.Syscall.Set.t;  (** operations observed during training *)
+  use_aliases : bool;              (** fsread/fswrite hand-edit applied *)
+}
+
+val fsread_sems : Oskernel.Syscall.sem list
+(** Read-related filesystem calls covered by the [fsread] alias. *)
+
+val fswrite_sems : Oskernel.Syscall.sem list
+(** Write-related filesystem calls covered by the [fswrite] alias. *)
+
+val train :
+  personality:Oskernel.Personality.t ->
+  image:Svm.Obj_file.t ->
+  runs:(Oskernel.Kernel.t -> unit) list ->
+  stdins:string list ->
+  use_aliases:bool ->
+  policy
+(** Run the program once per setup/stdin pair under the tracer and collect
+    the observed operations. *)
+
+val granted : policy -> Oskernel.Syscall.Set.t
+(** Everything the policy permits: the named set plus, with aliases, the
+    full fsread/fswrite sets. *)
+
+val named_rule_count : policy -> int
+(** Number of rules as a published policy would list them: named non-alias
+    operations, with the alias-covered ones collapsed into the two alias
+    rules (Table 1's Systrace column counts these). *)
+
+val monitor :
+  personality:Oskernel.Personality.t -> policy -> Oskernel.Kernel.monitor
+(** User-space enforcement of the trained policy. *)
+
+val pp_policy : Format.formatter -> policy -> unit

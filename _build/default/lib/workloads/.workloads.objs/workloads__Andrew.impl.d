@@ -1,0 +1,1 @@
+lib/workloads/andrew.ml: Asc_core Asc_crypto Buffer Char Errno Kernel Lazy List Minic Oskernel Personality Printf Process String Svm Vfs W_tools

@@ -1,0 +1,1 @@
+lib/workloads/andrew.mli: Asc_crypto

@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Buffer Char Errno Kernel List Minic Oskernel Printf Process Svm Vfs W_cpu W_mixed W_policy W_tools

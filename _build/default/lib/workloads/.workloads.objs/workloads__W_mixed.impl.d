@@ -1,0 +1,1 @@
+lib/workloads/w_mixed.ml: Printf

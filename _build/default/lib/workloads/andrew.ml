@@ -1,0 +1,116 @@
+open Oskernel
+
+type result = {
+  iterations : int;
+  tasks : int;
+  syscalls : int;
+  cycles : int;
+  failures : int;
+}
+
+let tools =
+  [ ("cat", W_tools.cat); ("cp", W_tools.cp); ("mv", W_tools.mv); ("rm", W_tools.rm);
+    ("chmod", W_tools.chmod_tool); ("mkdir", W_tools.mkdir_tool); ("sort", W_tools.sort_tool);
+    ("gzip", W_tools.gzip_rle); ("gunzip", W_tools.gunzip_rle) ]
+
+let tool_names = List.map fst tools
+let tool_source name = List.assoc name tools
+
+let default_key = lazy (Asc_crypto.Cmac.of_raw "andrew-bench-key") (* 16 bytes *)
+
+let compressible_text n =
+  let buf = Buffer.create n in
+  for i = 0 to n - 1 do
+    let c =
+      if i mod 80 = 79 then '\n'
+      else if i mod 160 < 100 then Char.chr (97 + (i / 23 mod 26))
+      else ' '
+    in
+    Buffer.add_char buf c
+  done;
+  Buffer.contents buf
+
+let file_count = 16
+let file_bytes = 4096
+
+(* One iteration's task script: (tool, stdin lines). *)
+let script iter =
+  let d i = Printf.sprintf "/work/i%d/d%d" iter (i mod 4) in
+  let seed i = Printf.sprintf "/data/seed%d" (i mod file_count) in
+  let f i = Printf.sprintf "%s/f%d" (d i) i in
+  List.concat
+    [ (* directory creation *)
+      List.init 4 (fun i -> ("mkdir", [ Printf.sprintf "/work/i%d/d%d" iter i ]));
+      (* file creation (copy in) *)
+      List.init file_count (fun i -> ("cp", [ seed i; f i ]));
+      (* permission checking *)
+      List.init file_count (fun i -> ("chmod", [ "420"; f i ]));
+      (* compression *)
+      List.init file_count (fun i -> ("gzip", [ f i; f i ^ ".rle" ]));
+      (* decompression *)
+      List.init file_count (fun i -> ("gunzip", [ f i ^ ".rle"; f i ^ ".out" ]));
+      (* read back *)
+      List.init 4 (fun i -> ("cat", [ f i ]));
+      (* sorting file contents *)
+      [ ("sort", [ f 0 ]); ("sort", [ f 1 ]) ];
+      (* moving files *)
+      List.init file_count (fun i -> ("mv", [ f i ^ ".out"; f i ^ ".final" ]));
+      (* deletion *)
+      List.init file_count (fun i -> ("rm", [ f i ^ ".rle" ]));
+      List.init file_count (fun i -> ("rm", [ f i ^ ".final" ])) ]
+
+let run ?(authenticated = false) ?key ~iterations () =
+  let key = match key with Some k -> k | None -> Lazy.force default_key in
+  let personality = Personality.linux in
+  (* compile (and optionally install) each tool once *)
+  let images =
+    List.mapi
+      (fun idx (name, src) ->
+        let img =
+          match Minic.Driver.compile ~personality src with
+          | Ok img -> img
+          | Error e -> failwith (Printf.sprintf "tool %s: %s" name e)
+        in
+        if not authenticated then (name, img)
+        else
+          let options = { Asc_core.Installer.default_options with program_id = idx + 1 } in
+          match Asc_core.Installer.install ~key ~personality ~options ~program:name img with
+          | Ok inst -> (name, inst.Asc_core.Installer.image)
+          | Error e -> failwith (Printf.sprintf "install %s: %s" name e))
+      tools
+  in
+  let kernel = Kernel.create ~personality () in
+  if authenticated then
+    Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ()));
+  kernel.Kernel.tracing <- true;
+  Vfs.mkdir_p kernel.Kernel.vfs "/data";
+  Vfs.mkdir_p kernel.Kernel.vfs "/work";
+  for i = 0 to file_count - 1 do
+    match
+      Vfs.create_file kernel.Kernel.vfs ~cwd:"/" (Printf.sprintf "/data/seed%d" i)
+        ~contents:(compressible_text file_bytes)
+    with
+    | Ok () -> ()
+    | Error e -> failwith (Errno.name e)
+  done;
+  let tasks = ref 0 in
+  let cycles = ref 0 in
+  let failures = ref 0 in
+  for iter = 0 to iterations - 1 do
+    Vfs.mkdir_p kernel.Kernel.vfs (Printf.sprintf "/work/i%d" iter);
+    List.iter
+      (fun (tool, args) ->
+        let img = List.assoc tool images in
+        let stdin = String.concat "\n" args ^ "\n" in
+        let proc = Kernel.spawn kernel ~stdin ~program:tool img in
+        (match Kernel.run kernel proc ~max_cycles:200_000_000 with
+         | Svm.Machine.Halted 0 -> ()
+         | Svm.Machine.Halted _ -> incr failures
+         | Svm.Machine.Killed _ | Svm.Machine.Faulted _ | Svm.Machine.Cycle_limit ->
+           incr failures);
+        incr tasks;
+        cycles := !cycles + proc.Process.machine.Svm.Machine.cycles)
+      (script iter)
+  done;
+  let syscalls = List.length (Kernel.trace kernel) in
+  { iterations; tasks = !tasks; syscalls; cycles = !cycles; failures = !failures }

@@ -1,0 +1,29 @@
+(** The Andrew-style multiprogram benchmark (§4.3): "a series of tasks that
+    perform routine operations such as file creation, directory creation,
+    file compression, file archival, permission checking, moving files,
+    deleting files, and sorting the content of files", executed with the
+    general-purpose tools (gzip, gunzip, rm, mv, chmod, cat, cp, mkdir,
+    sort) in either their original or their authenticated form. *)
+
+type result = {
+  iterations : int;
+  tasks : int;            (** tool invocations performed *)
+  syscalls : int;         (** total system calls across all invocations *)
+  cycles : int;           (** total machine cycles *)
+  failures : int;         (** tool runs that did not exit 0 *)
+}
+
+val tool_names : string list
+
+val tool_source : string -> string
+(** MiniC source of a tool. @raise Not_found for unknown names. *)
+
+val run :
+  ?authenticated:bool ->
+  ?key:Asc_crypto.Cmac.key ->
+  iterations:int ->
+  unit ->
+  result
+(** Compile the tool set (installing authenticated versions under
+    enforcement when [authenticated], default false), then run
+    [iterations] of the task script against a fresh kernel. *)

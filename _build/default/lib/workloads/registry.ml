@@ -1,0 +1,123 @@
+open Oskernel
+
+type kind = Cpu | Mixed | Syscall
+
+type t = {
+  name : string;
+  kind : kind;
+  source : string;
+  setup : Kernel.t -> unit;
+  stdin : string;
+}
+
+let no_setup (_ : Kernel.t) = ()
+
+let put_file kernel path contents =
+  match Vfs.create_file kernel.Kernel.vfs ~cwd:"/" path ~contents with
+  | Ok () -> ()
+  | Error e -> invalid_arg (Printf.sprintf "workload setup %s: %s" path (Errno.name e))
+
+let mkdirs kernel path = Vfs.mkdir_p kernel.Kernel.vfs path
+
+(* deterministic pseudo-text for inputs *)
+let synth_text n =
+  let buf = Buffer.create n in
+  let seed = ref 123 in
+  for i = 0 to n - 1 do
+    seed := ((!seed * 1103515245) + 12345) land 0x3fffffff;
+    let c =
+      if i mod 64 = 63 then '\n'
+      else if !seed mod 7 = 0 then ' '
+      else Char.chr (97 + (!seed mod 26))
+    in
+    Buffer.add_char buf c
+  done;
+  Buffer.contents buf
+
+let expr_source n =
+  let buf = Buffer.create (n * 12) in
+  let seed = ref 5 in
+  for _ = 1 to n do
+    seed := ((!seed * 48271) mod 0x7fffffff) land max_int;
+    Buffer.add_string buf
+      (Printf.sprintf "%d+%d*(%d+%d)\n" (!seed mod 50) (!seed mod 9) (!seed mod 13)
+         ((!seed / 7) mod 17))
+  done;
+  Buffer.contents buf
+
+let table5 ~scale =
+  let s = max 1 scale in
+  [ { name = "gzip-spec"; kind = Cpu; source = W_cpu.gzip_spec ~scale:(12 * s);
+      setup = no_setup; stdin = "" };
+    { name = "crafty"; kind = Cpu; source = W_cpu.crafty ~scale:(2 * s); setup = no_setup;
+      stdin = "" };
+    { name = "mcf"; kind = Cpu; source = W_cpu.mcf ~scale:(3 * s); setup = no_setup;
+      stdin = "" };
+    { name = "vpr"; kind = Cpu; source = W_cpu.vpr ~scale:(60 * s); setup = no_setup;
+      stdin = "" };
+    { name = "twolf"; kind = Cpu; source = W_cpu.twolf ~scale:(12 * s); setup = no_setup;
+      stdin = "" };
+    { name = "gcc"; kind = Mixed; source = W_mixed.gcc_like ~scale:(4 * s);
+      setup = (fun k -> mkdirs k "/src"; put_file k "/src/input.mc" (expr_source 120));
+      stdin = "" };
+    { name = "vortex"; kind = Mixed; source = W_mixed.vortex ~scale:(2 * s);
+      setup = no_setup; stdin = "" };
+    { name = "pyramid"; kind = Syscall; source = W_mixed.pyramid ~scale:(min 7 (4 + s));
+      setup = no_setup; stdin = "" };
+    { name = "gzip"; kind = Syscall;
+      source = W_mixed.gzip_tool ~input:"/data/big.txt" ~output:"/tmp/big.rle";
+      setup =
+        (fun k ->
+          mkdirs k "/data";
+          put_file k "/data/big.txt" (synth_text (4096 * min 4 s)));
+      stdin = "" } ]
+
+let policy_programs =
+  [ { name = "bison"; kind = Mixed; source = W_policy.bison;
+      setup = (fun k -> mkdirs k "/src"; put_file k "/src/grammar.y" (synth_text 1024));
+      stdin = "" };
+    { name = "calc"; kind = Mixed; source = W_policy.calc;
+      setup = (fun k -> put_file k "/etc/calcrc" "scale=10\n");
+      stdin = "1+2*3\n10-4\n100/5\n" };
+    { name = "screen"; kind = Mixed; source = W_policy.screen; setup = no_setup;
+      stdin = "window one\nwindow two\n" };
+    { name = "tar"; kind = Syscall; source = W_policy.tar;
+      setup =
+        (fun k ->
+          mkdirs k "/data";
+          List.iter
+            (fun i -> put_file k (Printf.sprintf "/data/file%d" i) (synth_text 200))
+            [ 0; 1; 2; 3 ]);
+      stdin = "" } ]
+
+let victim =
+  { name = "victim"; kind = Syscall; source = W_tools.victim;
+    setup =
+      (fun k ->
+        mkdirs k "/bin";
+        put_file k "/bin/ls" "placeholder";
+        put_file k "/bin/sh" "placeholder");
+    stdin = "notes.txt\n" }
+
+let ls = { name = "ls"; kind = Syscall; source = W_tools.ls; setup = no_setup; stdin = "" }
+let sh = { name = "sh"; kind = Syscall; source = W_tools.sh; setup = no_setup; stdin = "" }
+
+let by_name ~scale name =
+  List.find_opt
+    (fun w -> w.name = name)
+    (table5 ~scale @ policy_programs @ [ victim; ls; sh ])
+
+let compile ~personality w =
+  match Minic.Driver.compile ~personality w.source with
+  | Ok img -> img
+  | Error e -> failwith (Printf.sprintf "workload %s does not compile: %s" w.name e)
+
+let run ?monitor ~personality ~image w =
+  let kernel = Kernel.create ~personality () in
+  w.setup kernel;
+  Kernel.set_monitor kernel monitor;
+  let proc = Kernel.spawn kernel ~stdin:w.stdin ~program:w.name image in
+  let stop = Kernel.run kernel proc ~max_cycles:2_000_000_000 in
+  (kernel, proc, stop)
+
+let cycles_of (p : Process.t) = p.Process.machine.Svm.Machine.cycles

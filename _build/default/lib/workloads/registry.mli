@@ -1,0 +1,43 @@
+(** The benchmark workload registry.
+
+    Mirrors the paper's Table 5 suite: five CPU-bound SPECint analogues
+    (gzip-spec, crafty, mcf, vpr, twolf), two mixed programs (gcc, vortex)
+    and two syscall-bound programs (pyramid, gzip), plus the four
+    policy-experiment programs of Tables 1–3 (bison, calc, screen, tar)
+    and the §4.1 attack victim with its /bin/ls and /bin/sh companions. *)
+
+type kind = Cpu | Mixed | Syscall
+
+type t = {
+  name : string;
+  kind : kind;
+  source : string;                      (** MiniC source *)
+  setup : Oskernel.Kernel.t -> unit;    (** input files in the VFS *)
+  stdin : string;
+}
+
+val table5 : scale:int -> t list
+(** The nine programs of Table 5, work scaled by [scale] (≥ 1). *)
+
+val policy_programs : t list
+(** bison, calc, screen, tar. *)
+
+val victim : t
+val ls : t
+val sh : t
+
+val by_name : scale:int -> string -> t option
+
+val compile : personality:Oskernel.Personality.t -> t -> Svm.Obj_file.t
+(** @raise Failure on a compilation error (workload sources are fixed, so
+    this indicates a bug). *)
+
+val run :
+  ?monitor:Oskernel.Kernel.monitor ->
+  personality:Oskernel.Personality.t ->
+  image:Svm.Obj_file.t ->
+  t ->
+  Oskernel.Kernel.t * Oskernel.Process.t * Svm.Machine.stop
+(** Fresh kernel + inputs, run to completion (generous cycle budget). *)
+
+val cycles_of : Oskernel.Process.t -> int

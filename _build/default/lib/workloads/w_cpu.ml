@@ -1,0 +1,234 @@
+(* CPU-bound SPECint-2000 analogues (Table 5: gzip-spec, crafty, mcf, vpr,
+   twolf). Each does real algorithmic work over in-memory data and makes few
+   system calls, so authenticated-call overhead is amortized (Table 6 shows
+   0.7–1.7% for this class). The [scale] parameter lets the benches trade
+   runtime for precision. *)
+
+(* LZ-style compression of a pseudorandom buffer, multiple passes. *)
+let gzip_spec ~scale =
+  Printf.sprintf
+    {|
+int src[4096];
+int out[8192];
+
+int fill(int n) {
+  int i;
+  srand(42);
+  for (i = 0; i < n; i = i + 1) {
+    if (rand() %% 4 == 0) { src[i] = rand() %% 256; }
+    else { if (i > 0) { src[i] = src[i - 1]; } else { src[i] = 65; } }
+  }
+  return 0;
+}
+
+/* run-length + backref-lite compression; returns compressed length */
+int compress(int n) {
+  int i = 0;
+  int o = 0;
+  while (i < n) {
+    int run = 1;
+    while (i + run < n && src[i + run] == src[i] && run < 255) { run = run + 1; }
+    if (run > 3) {
+      out[o] = 256 + run;
+      out[o + 1] = src[i];
+      o = o + 2;
+      i = i + run;
+    } else {
+      out[o] = src[i];
+      o = o + 1;
+      i = i + 1;
+    }
+  }
+  return o;
+}
+
+int main() {
+  int pass;
+  int total = 0;
+  int n = 4096;
+  fill(n);
+  for (pass = 0; pass < %d; pass = pass + 1) {
+    total = total + compress(n);
+    src[pass %% n] = pass %% 251;
+  }
+  print_int(total);
+  puts_str("\n");
+  return 0;
+}
+|}
+    scale
+
+(* Alpha-beta game search (crafty, the chess program): negamax over a
+   synthetic game tree defined by a mixing function. *)
+let crafty ~scale =
+  Printf.sprintf
+    {|
+int nodes = 0;
+
+int eval(int state) {
+  int h = state * 2654435761;
+  h = h ^ (h >> 13);
+  if (h < 0) { h = 0 - h; }
+  return h %% 201 - 100;
+}
+
+int child(int state, int mv) { return state * 31 + mv + 7; }
+
+int negamax(int state, int depth, int alpha, int beta) {
+  nodes = nodes + 1;
+  if (depth == 0) { return eval(state); }
+  int best = -10000;
+  int mv;
+  for (mv = 0; mv < 5; mv = mv + 1) {
+    int v = 0 - negamax(child(state, mv), depth - 1, 0 - beta, 0 - alpha);
+    if (v > best) { best = v; }
+    if (best > alpha) { alpha = best; }
+    if (alpha >= beta) { break; }
+  }
+  return best;
+}
+
+int main() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < %d; i = i + 1) {
+    acc = acc + negamax(i * 1000 + 1, 6, -10000, 10000);
+  }
+  print_int(nodes);
+  puts_str(" nodes\n");
+  return 0;
+}
+|}
+    scale
+
+(* Bellman-Ford relaxation over a synthetic network (mcf, combinatorial
+   optimization). *)
+let mcf ~scale =
+  Printf.sprintf
+    {|
+int dist[512];
+int esrc[2048];
+int edst[2048];
+int ecost[2048];
+
+int main() {
+  int n = 512;
+  int m = 2048;
+  int i;
+  int round;
+  srand(7);
+  for (i = 0; i < m; i = i + 1) {
+    esrc[i] = rand() %% n;
+    edst[i] = rand() %% n;
+    ecost[i] = rand() %% 100 + 1;
+  }
+  int total = 0;
+  for (round = 0; round < %d; round = round + 1) {
+    for (i = 0; i < n; i = i + 1) { dist[i] = 1000000; }
+    dist[round %% n] = 0;
+    int changed = 1;
+    int iter = 0;
+    while (changed && iter < 30) {
+      changed = 0;
+      for (i = 0; i < m; i = i + 1) {
+        int nd = dist[esrc[i]] + ecost[i];
+        if (nd < dist[edst[i]]) { dist[edst[i]] = nd; changed = 1; }
+      }
+      iter = iter + 1;
+    }
+    total = total + dist[(round + 100) %% n];
+  }
+  print_int(total);
+  puts_str("\n");
+  return 0;
+}
+|}
+    scale
+
+(* Simulated-annealing placement on a grid (vpr, FPGA placement & routing). *)
+let vpr ~scale =
+  Printf.sprintf
+    {|
+int px[256];
+int py[256];
+int net_a[512];
+int net_b[512];
+
+int cost() {
+  int c = 0;
+  int i;
+  for (i = 0; i < 512; i = i + 1) {
+    c = c + abs(px[net_a[i]] - px[net_b[i]]) + abs(py[net_a[i]] - py[net_b[i]]);
+  }
+  return c;
+}
+
+int main() {
+  int i;
+  srand(99);
+  for (i = 0; i < 256; i = i + 1) { px[i] = rand() %% 32; py[i] = rand() %% 32; }
+  for (i = 0; i < 512; i = i + 1) { net_a[i] = rand() %% 256; net_b[i] = rand() %% 256; }
+  int temp = 1000;
+  int best = cost();
+  int moves;
+  for (moves = 0; moves < %d; moves = moves + 1) {
+    int cell = rand() %% 256;
+    int ox = px[cell];
+    int oy = py[cell];
+    px[cell] = rand() %% 32;
+    py[cell] = rand() %% 32;
+    int c = cost();
+    if (c < best + temp) { best = c; }
+    else { px[cell] = ox; py[cell] = oy; }
+    if (temp > 1 && moves %% 50 == 0) { temp = temp * 9 / 10; }
+  }
+  print_int(best);
+  puts_str("\n");
+  return 0;
+}
+|}
+    scale
+
+(* Force-directed standard-cell placement iterations (twolf). *)
+let twolf ~scale =
+  Printf.sprintf
+    {|
+int posx[400];
+int posy[400];
+int fx[400];
+int fy[400];
+
+int main() {
+  int n = 400;
+  int i;
+  int j;
+  int iter;
+  srand(3);
+  for (i = 0; i < n; i = i + 1) { posx[i] = rand() %% 1000; posy[i] = rand() %% 1000; }
+  int disp = 0;
+  for (iter = 0; iter < %d; iter = iter + 1) {
+    for (i = 0; i < n; i = i + 1) { fx[i] = 0; fy[i] = 0; }
+    for (i = 0; i < n; i = i + 1) {
+      j = (i * 7 + iter) %% n;
+      if (j != i) {
+        fx[i] = fx[i] + (posx[j] - posx[i]) / 8;
+        fy[i] = fy[i] + (posy[j] - posy[i]) / 8;
+      }
+      j = (i * 13 + iter * 5) %% n;
+      if (j != i) {
+        fx[i] = fx[i] - (posx[j] - posx[i]) / 16;
+        fy[i] = fy[i] - (posy[j] - posy[i]) / 16;
+      }
+    }
+    for (i = 0; i < n; i = i + 1) {
+      posx[i] = posx[i] + fx[i];
+      posy[i] = posy[i] + fy[i];
+      disp = disp + abs(fx[i]) + abs(fy[i]);
+    }
+  }
+  print_int(disp);
+  puts_str("\n");
+  return 0;
+}
+|}
+    scale

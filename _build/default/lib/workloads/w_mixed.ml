@@ -1,0 +1,268 @@
+(* Mixed CPU/syscall programs (Table 5: gcc, vortex) and the syscall-bound
+   ones (pyramid, gzip). *)
+
+(* A toy compiler: reads a source file of integer expression statements,
+   constant-folds them, writes an "object" file (gcc). *)
+let gcc_like ~scale =
+  Printf.sprintf
+    {|
+char line[256];
+char outbuf[4096];
+int opos;
+int pos;
+int len;
+char src[8192];
+
+int peekc() { if (pos < len) { return src[pos]; } return 0; }
+int nextc() { int c = peekc(); pos = pos + 1; return c; }
+
+int parse_num() {
+  int v = 0;
+  while (peekc() >= '0' && peekc() <= '9') { v = v * 10 + (nextc() - '0'); }
+  return v;
+}
+
+int parse_factor() {
+  if (peekc() == '(') { nextc(); int v = parse_expr_(); nextc(); return v; }
+  return parse_num();
+}
+
+int parse_term() {
+  int v = parse_factor();
+  while (peekc() == '*' || peekc() == '/') {
+    int op = nextc();
+    int r = parse_factor();
+    if (op == '*') { v = v * r; } else { if (r != 0) { v = v / r; } }
+  }
+  return v;
+}
+
+int parse_expr_() {
+  int v = parse_term();
+  while (peekc() == '+' || peekc() == '-') {
+    int op = nextc();
+    int r = parse_term();
+    if (op == '+') { v = v + r; } else { v = v - r; }
+  }
+  return v;
+}
+
+int main() {
+  int fd = open("/src/input.mc", 0, 0);
+  if (fd < 0) { kill(getpid(), 6); return 1; }
+  len = read(fd, src, 8192);
+  close(fd);
+  int out = open("/tmp/a.out", 65, 420);
+  int round;
+  int sum = 0;
+  for (round = 0; round < %d; round = round + 1) {
+    pos = 0;
+    while (pos < len) {
+      int v = parse_expr_();
+      if (peekc() == '\n' || peekc() == ';') { nextc(); }
+      sum = sum + v;
+      if (round == 0) {
+        int o = v;
+        if (o < 0) { o = 0 - o; }
+        while (o > 0 && opos < 4000) { outbuf[opos] = 'A' + o %% 26; o = o / 26; opos = opos + 1; }
+        outbuf[opos] = '\n';
+        opos = opos + 1;
+        if (opos > 3500) { write(out, outbuf, opos); opos = 0; }
+      }
+    }
+  }
+  if (opos > 0) { write(out, outbuf, opos); }
+  close(out);
+  print_int(sum);
+  puts_str("\n");
+  return 0;
+}
+|}
+    scale
+
+(* An object-oriented-database analogue (vortex): an in-memory hash table of
+   records with periodic checkpoints to disk. *)
+let vortex ~scale =
+  Printf.sprintf
+    {|
+int keys[1024];
+int vals[1024];
+int used[1024];
+char rec[32];
+
+int hput(int k, int v) {
+  int h = (k * 2654435761) %% 1024;
+  if (h < 0) { h = 0 - h; }
+  int probe = 0;
+  while (used[h] && keys[h] != k && probe < 1024) { h = (h + 1) %% 1024; probe = probe + 1; }
+  used[h] = 1;
+  keys[h] = k;
+  vals[h] = v;
+  return h;
+}
+
+int hget(int k) {
+  int h = (k * 2654435761) %% 1024;
+  if (h < 0) { h = 0 - h; }
+  int probe = 0;
+  while (used[h] && probe < 1024) {
+    if (keys[h] == k) { return vals[h]; }
+    h = (h + 1) %% 1024;
+    probe = probe + 1;
+  }
+  return -1;
+}
+
+char ckbuf[2048];
+
+int checkpoint(int gen) {
+  int fd = open("/tmp/vortex.ckpt", 65, 420);
+  int i;
+  int n = 0;
+  int o = 0;
+  for (i = 0; i < 1024; i = i + 1) {
+    if (used[i]) {
+      ckbuf[o] = 'R';
+      ckbuf[o + 1] = keys[i] %% 256;
+      ckbuf[o + 2] = vals[i] %% 256;
+      ckbuf[o + 3] = gen %% 256;
+      o = o + 4;
+      if (o > 2000) { write(fd, ckbuf, o); o = 0; }
+      n = n + 1;
+    }
+  }
+  if (o > 0) { write(fd, ckbuf, o); }
+  close(fd);
+  return n;
+}
+
+int main() {
+  int round;
+  int hits = 0;
+  srand(11);
+  for (round = 0; round < %d; round = round + 1) {
+    int i;
+    for (i = 0; i < 4000; i = i + 1) { hput(rand() %% 700, rand()); }
+    for (i = 0; i < 4000; i = i + 1) { if (hget(rand() %% 700) >= 0) { hits = hits + 1; } }
+    checkpoint(round);
+  }
+  print_int(hits);
+  puts_str("\n");
+  return 0;
+}
+|}
+    scale
+
+(* Multidimensional database index creation (pyramid): builds a directory
+   pyramid with one small record file per cell — syscall-dominated. *)
+let pyramid ~scale =
+  Printf.sprintf
+    {|
+char path[64];
+char rec[16];
+
+int build_name(int level, int cell) {
+  strcpy(path, "/tmp/idx/L");
+  int n = strlen(path);
+  path[n] = '0' + level;
+  path[n + 1] = 0;
+  mkdir(path, 493);
+  n = n + 1;
+  path[n] = '/';
+  path[n + 1] = 'c';
+  n = n + 2;
+  int c = cell;
+  if (c == 0) { path[n] = '0'; n = n + 1; }
+  while (c > 0) { path[n] = '0' + c %% 10; c = c / 10; n = n + 1; }
+  path[n] = 0;
+  return n;
+}
+
+int main() {
+  mkdir("/tmp/idx", 493);
+  int level;
+  int total = 0;
+  for (level = 0; level < %d; level = level + 1) {
+    int cells = 1 << level;
+    if (cells > 64) { cells = 64; }
+    int cell;
+    for (cell = 0; cell < cells; cell = cell + 1) {
+      build_name(level, cell);
+      /* digest of the cell's data points: the index computation itself */
+      int acc = level * 77 + cell;
+      int k;
+      for (k = 0; k < 5000; k = k + 1) { acc = acc * 31 + (k ^ acc >> 7); }
+      int fd = open(path, 65, 420);
+      if (fd >= 0) {
+        rec[0] = 'I';
+        rec[1] = level;
+        rec[2] = cell %% 256;
+        rec[3] = acc %% 256;
+        write(fd, rec, 4);
+        close(fd);
+        total = total + 1;
+      }
+    }
+  }
+  /* verify a few entries by stat */
+  int i;
+  char st[16];
+  for (i = 0; i < 5; i = i + 1) {
+    build_name(i %% %d, 0);
+    stat(path, st);
+  }
+  print_int(total);
+  puts_str("\n");
+  return 0;
+}
+|}
+    scale (max 1 scale)
+
+(* File compression tool (gzip the application, not the SPEC variant):
+   RLE-compresses an input file in chunks — syscall-heavy per unit of CPU. *)
+let gzip_tool ~input ~output =
+  Printf.sprintf
+    {|
+char inbuf[512];
+char outbuf[1040];
+
+int main() {
+  int fd = open(%S, 0, 0);
+  if (fd < 0) { return 1; }
+  int out = open(%S, 65, 420);
+  int n = read(fd, inbuf, 512);
+  int total = 0;
+  while (n > 0) {
+    int i = 0;
+    int o = 0;
+    while (i < n) {
+      /* the LZ window search that dominates real gzip's CPU profile *
+         (output stays plain RLE for a trivially correct decoder) */
+      int w = i - 96;
+      if (w < 0) { w = 0; }
+      int j;
+      int bestlen = 0;
+      for (j = w; j < i; j = j + 1) {
+        int l = 0;
+        while (i + l < n && inbuf[j + l] == inbuf[i + l] && l < 63) { l = l + 1; }
+        if (l > bestlen) { bestlen = l; }
+      }
+      int run = 1;
+      while (i + run < n && inbuf[i + run] == inbuf[i] && run < 200) { run = run + 1; }
+      outbuf[o] = run;
+      outbuf[o + 1] = inbuf[i];
+      o = o + 2;
+      i = i + run;
+    }
+    write(out, outbuf, o);
+    total = total + o;
+    n = read(fd, inbuf, 512);
+  }
+  close(fd);
+  close(out);
+  print_int(total);
+  puts_str("\n");
+  return 0;
+}
+|}
+    input output

@@ -1,0 +1,278 @@
+(* The policy-experiment programs of Tables 1–3: analogues of bison, calc,
+   screen and tar. What matters for the reproduction is the *variety* of
+   system calls each can reach, and that several calls sit on rarely
+   executed paths (error handling, uncommon options): a conservative static
+   analysis includes them, while Systrace-style training on normal inputs
+   does not — the source of Table 2's rows. Relative breadth follows the
+   paper: screen > calc > bison. *)
+
+(* bison: parser generator — read a grammar, compute token statistics,
+   write a table file. Error paths: kill/sigaction/nanosleep/unlink. *)
+let bison =
+  {|
+char gram[4096];
+char tok[64];
+int counts[128];
+char outline[64];
+
+int main() {
+  sigaction(6, 0, 0);
+  int fd = open("/src/grammar.y", 0, 0);
+  if (fd < 0) {
+    /* rare: input missing -> complain and abort via kill */
+    write(2, "bison: no grammar\n", 18);
+    kill(getpid(), 6);
+    return 2;
+  }
+  int n = read(fd, gram, 4096);
+  close(fd);
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    int c = gram[i];
+    if (c >= 0 && c < 128) { counts[c] = counts[c] + 1; }
+  }
+  /* stale output from a previous crashed run? (rare path) */
+  char stbuf[16];
+  if (stat("/tmp/grammar.tab.lock", stbuf) == 0) {
+    unlink("/tmp/grammar.tab.lock");
+    nanosleep(0, 0);
+  }
+  int out = open("/tmp/grammar.tab", 65, 420);
+  if (out < 0) { return 3; }
+  for (i = 'a'; i <= 'z'; i = i + 1) {
+    outline[0] = i;
+    outline[1] = '=';
+    int v = counts[i];
+    int p = 2;
+    if (v == 0) { outline[p] = '0'; p = p + 1; }
+    while (v > 0) { outline[p] = '0' + v % 10; v = v / 10; p = p + 1; }
+    outline[p] = '\n';
+    write(out, outline, p + 1);
+  }
+  close(out);
+  int t = time(0);
+  if (t < 0) { return 4; }
+  return 0;
+}
+|}
+
+(* calc: arbitrary-precision calculator — interactive loop over stdin with
+   a rc-file, history file, environment probing; wider call surface. *)
+let calc =
+  {|
+char line[128];
+char rcbuf[256];
+char hist[512];
+int histlen;
+
+int eval_line(char *s) {
+  int i = 0;
+  int acc = 0;
+  int cur = 0;
+  int op = '+';
+  while (s[i] != 0) {
+    int c = s[i];
+    if (c >= '0' && c <= '9') { cur = cur * 10 + (c - '0'); }
+    else {
+      if (op == '+') { acc = acc + cur; }
+      if (op == '-') { acc = acc - cur; }
+      if (op == '*') { acc = acc * cur; }
+      if (op == '/') { if (cur != 0) { acc = acc / cur; } }
+      op = c;
+      cur = 0;
+    }
+    i = i + 1;
+  }
+  if (op == '+') { acc = acc + cur; }
+  if (op == '-') { acc = acc - cur; }
+  if (op == '*') { acc = acc * cur; }
+  if (op == '/') { if (cur != 0) { acc = acc / cur; } }
+  return acc;
+}
+
+int main() {
+  /* environment probing at startup */
+  getuid();
+  geteuid();
+  getpid();
+  sysconf(30);
+  char tv[16];
+  gettimeofday(tv, 0);
+  /* rc file is optional: access on the common path, open rarely */
+  if (access("/etc/calcrc", 4) == 0) {
+    int rc = open("/etc/calcrc", 0, 0);
+    read(rc, rcbuf, 256);
+    close(rc);
+  }
+  int hfd = open("/tmp/calc.history", 65, 420);
+  int n = read_line(0, line);
+  while (n > 0) {
+    int v = eval_line(line);
+    print_int(v);
+    puts_str("\n");
+    /* diagnostics go to stdout or stderr depending on sign: the fd is a
+       two-value set for the static analysis (Table 3's mv column) */
+    int diagfd;
+    if (v < 0) { diagfd = 2; } else { diagfd = 1; }
+    write(diagfd, "", 0);
+    write(hfd, line, n);
+    write(hfd, "\n", 1);
+    n = read_line(0, line);
+  }
+  close(hfd);
+  /* rare: history rotation when it grows too large */
+  char st[16];
+  if (stat("/tmp/calc.history", st) == 0) {
+    int size = st[0];
+    if (size > 100) {
+      rename("/tmp/calc.history", "/tmp/calc.history.old");
+      unlink("/tmp/calc.history.old");
+    }
+  }
+  /* rare: signal cleanup path */
+  if (histlen < 0) { sigaction(2, 0, 0); kill(getpid(), 2); }
+  return 0;
+}
+|}
+
+(* screen: terminal manager — the widest surface: tty ioctls, select,
+   sockets for the multi-display protocol, directory scanning for sessions,
+   symlinks for the "current" session, fcntl, dup2, chdir/getcwd, madvise
+   on its scrollback buffer, writev for burst output. *)
+let screen =
+  {|
+char buf[256];
+char sockdir[64];
+char names[256];
+char iov[32];
+char cwd[64];
+
+int setup_session_dir() {
+  mkdir("/tmp/screens", 448);
+  mkdir("/tmp/screens/S-user", 448);
+  int fd = open("/tmp/screens/S-user/control", 65, 384);
+  return fd;
+}
+
+int main() {
+  /* terminal setup */
+  ioctl(0, 21505, buf);
+  ioctl(1, 21506, buf);
+  fcntl(0, 2, 1);
+  sigaction(28, 0, 0);
+  getpid();
+  getppid();
+  uname(buf);
+  char tv[16];
+  gettimeofday(tv, 0);
+  int ctl = setup_session_dir();
+  /* session registry: scan, link "current" */
+  int dirfd = open("/tmp/screens/S-user", 0, 0);
+  getdirentries(dirfd, names, 256);
+  close(dirfd);
+  symlink("/tmp/screens/S-user/control", "/tmp/screens/current");
+  readlink("/tmp/screens/current", buf, 64);
+  /* multi-display socket */
+  int s = socket(1, 1, 0);
+  if (s >= 0) {
+    bind(s, buf, 16);
+    connect(s, buf, 16);
+    sendto(s, "attach", 6, 0, 0, 0);
+    recvfrom(s, buf, 16, 0, 0, 0);
+    close(s);
+  }
+  /* main multiplexing loop over stdin */
+  chdir("/tmp");
+  getcwd(cwd, 64);
+  madvise(0, 4096, 1);
+  int lines = 0;
+  /* bell goes to the session log or the terminal depending on mode *
+     (two-value descriptor set) */
+  int bellfd;
+  if (lines == 0) { bellfd = 1; } else { bellfd = 2; }
+  write(bellfd, "", 0);
+  int n = read_line(0, buf);
+  while (n > 0) {
+    select(1, 0, 0, 0, 0);
+    /* writev burst: header + payload */
+    int p = 0;
+    write(ctl, buf, n);
+    iov[p] = n;
+    writev(1, iov, 0);
+    write(1, buf, n);
+    write(1, "\n", 1);
+    lines = lines + 1;
+    n = read_line(0, buf);
+  }
+  close(ctl);
+  /* rare: session teardown */
+  if (lines > 1000) {
+    unlink("/tmp/screens/current");
+    rmdir("/tmp/screens/S-user");
+    nanosleep(0, 0);
+    dup2(2, 1);
+    kill(getpid(), 1);
+  }
+  print_int(lines);
+  puts_str("\n");
+  return 0;
+}
+|}
+
+(* tar: archiver — directory traversal, stat, chmod on extract, lseek in
+   the archive. Used for Table 3's coverage statistics. *)
+let tar =
+  {|
+char names[512];
+char path[128];
+char fbuf[512];
+char hdr[64];
+
+int add_file(int out, char *dir, char *name) {
+  strcpy(path, dir);
+  int n = strlen(path);
+  path[n] = '/';
+  strcpy(path + n + 1, name);
+  char st[16];
+  if (stat(path, st) != 0) { return 0; }
+  int fd = open(path, 0, 0);
+  if (fd < 0) { return 0; }
+  int len = read(fd, fbuf, 512);
+  close(fd);
+  int h = 0;
+  while (path[h] != 0 && h < 60) { hdr[h] = path[h]; h = h + 1; }
+  hdr[h] = '\n';
+  write(out, hdr, h + 1);
+  write(out, fbuf, len);
+  write(out, "\n", 1);
+  return 1;
+}
+
+int main() {
+  int out = open("/tmp/archive.tar", 65, 420);
+  if (out < 0) { return 1; }
+  int dirfd = open("/data", 0, 0);
+  if (dirfd < 0) {
+    write(2, "tar: no input dir\n", 18);
+    close(out);
+    unlink("/tmp/archive.tar");
+    return 2;
+  }
+  int n = getdirentries(dirfd, names, 512);
+  close(dirfd);
+  int count = 0;
+  int i = 0;
+  while (i < n) {
+    count = count + add_file(out, "/data", names + i);
+    while (i < n && names[i] != 0) { i = i + 1; }
+    i = i + 1;
+  }
+  /* archive finalization: pad to block, fix mode */
+  lseek(out, 0, 2);
+  close(out);
+  chmod("/tmp/archive.tar", 420);
+  print_int(count);
+  puts_str("\n");
+  return 0;
+}
+|}

@@ -1,0 +1,356 @@
+(* General-purpose tools for the Andrew-style multiprogram benchmark (§4.3):
+   gzip, gunzip, rm, mv, chmod, tar, cat, cp, mkdir, sort. Each tool reads
+   its "command line" from stdin (one argument per line), since the
+   simulated kernel passes no argv. *)
+
+let cat =
+  {|
+char argbuf[160];
+char arg[128];
+char buf[1024];
+
+int main() {
+  read_args(argbuf, 159);
+  arg_field(argbuf, 0, arg);
+  int fd = open(arg, 0, 0);
+  if (fd < 0) { write(2, "cat: no file\n", 13); return 1; }
+  int n = read(fd, buf, 1024);
+  while (n > 0) {
+    write(1, buf, n);
+    n = read(fd, buf, 1024);
+  }
+  close(fd);
+  return 0;
+}
+|}
+
+let cp =
+  {|
+char argbuf[300];
+char src[128];
+char dst[128];
+char buf[1024];
+
+int main() {
+  read_args(argbuf, 299);
+  arg_field(argbuf, 0, src);
+  arg_field(argbuf, 1, dst);
+  int in = open(src, 0, 0);
+  if (in < 0) { return 1; }
+  int out = open(dst, 65, 420);
+  if (out < 0) { close(in); return 1; }
+  int sum = 0;
+  int n = read(in, buf, 1024);
+  while (n > 0) {
+    int i;
+    for (i = 0; i < n; i = i + 1) { sum = sum + buf[i]; }
+    write(out, buf, n);
+    n = read(in, buf, 1024);
+  }
+  close(in);
+  close(out);
+  return sum % 1;
+}
+|}
+
+let mv =
+  {|
+char argbuf[300];
+char src[128];
+char dst[128];
+
+int main() {
+  read_args(argbuf, 299);
+  arg_field(argbuf, 0, src);
+  arg_field(argbuf, 1, dst);
+  if (rename(src, dst) != 0) { return 1; }
+  return 0;
+}
+|}
+
+let rm =
+  {|
+char argbuf[160];
+char arg[128];
+
+int main() {
+  read_args(argbuf, 159);
+  arg_field(argbuf, 0, arg);
+  if (unlink(arg) != 0) { write(2, "rm: failed\n", 11); return 1; }
+  return 0;
+}
+|}
+
+let chmod_tool =
+  {|
+char argbuf[300];
+char mode[16];
+char arg[128];
+
+int main() {
+  read_args(argbuf, 299);
+  arg_field(argbuf, 0, mode);
+  arg_field(argbuf, 1, arg);
+  if (chmod(arg, atoi(mode)) != 0) { return 1; }
+  return 0;
+}
+|}
+
+let mkdir_tool =
+  {|
+char argbuf[160];
+char arg[128];
+
+int main() {
+  read_args(argbuf, 159);
+  arg_field(argbuf, 0, arg);
+  if (mkdir(arg, 493) != 0) { return 1; }
+  return 0;
+}
+|}
+
+let sort_tool =
+  {|
+char argbuf[160];
+char arg[128];
+char data[4096];
+int starts[256];
+int lens[256];
+char tmp[128];
+
+int line_lt(int a, int b) {
+  int i = 0;
+  while (i < lens[a] && i < lens[b]) {
+    if (data[starts[a] + i] != data[starts[b] + i]) {
+      return data[starts[a] + i] < data[starts[b] + i];
+    }
+    i = i + 1;
+  }
+  return lens[a] < lens[b];
+}
+
+int main() {
+  read_args(argbuf, 159);
+  arg_field(argbuf, 0, arg);
+  int fd = open(arg, 0, 0);
+  if (fd < 0) { return 1; }
+  int n = read(fd, data, 4096);
+  close(fd);
+  int count = 0;
+  int i = 0;
+  while (i < n && count < 256) {
+    starts[count] = i;
+    int l = 0;
+    while (i < n && data[i] != '\n') { i = i + 1; l = l + 1; }
+    lens[count] = l;
+    count = count + 1;
+    i = i + 1;
+  }
+  /* selection sort on line indices via swap of starts/lens */
+  int a;
+  int b;
+  for (a = 0; a < count; a = a + 1) {
+    int m = a;
+    for (b = a + 1; b < count; b = b + 1) { if (line_lt(b, m)) { m = b; } }
+    int ts = starts[a]; starts[a] = starts[m]; starts[m] = ts;
+    int tl = lens[a]; lens[a] = lens[m]; lens[m] = tl;
+  }
+  for (a = 0; a < count; a = a + 1) {
+    memcpy(tmp, data + starts[a], lens[a]);
+    tmp[lens[a]] = '\n';
+    write(1, tmp, lens[a] + 1);
+  }
+  return 0;
+}
+|}
+
+let gunzip_tool ~input ~output =
+  Printf.sprintf
+    {|
+char inbuf[1040];
+char outbuf[2048];
+
+int main() {
+  int fd = open(%S, 0, 0);
+  if (fd < 0) { return 1; }
+  int out = open(%S, 65, 420);
+  int n = read(fd, inbuf, 1040);
+  while (n > 1) {
+    int i = 0;
+    int o = 0;
+    while (i + 1 < n) {
+      int run = inbuf[i];
+      int c = inbuf[i + 1];
+      int k;
+      for (k = 0; k < run && o < 2048; k = k + 1) { outbuf[o] = c; o = o + 1; }
+      i = i + 2;
+    }
+    write(out, outbuf, o);
+    n = read(fd, inbuf, 1040);
+  }
+  close(fd);
+  close(out);
+  return 0;
+}
+|}
+    input output
+
+(* §4.1's victim: "a simple program that reads in a file name and invokes
+   the /bin/ls program on the input. The file name is read into a stack
+   allocated buffer, which can be overflowed by an attacker." *)
+let victim =
+  {|
+int run_ls(char *name) {
+  char msg[16];
+  strcpy(msg, "listing:");
+  write(1, msg, 8);
+  write(1, name, strlen(name));
+  write(1, "\n", 1);
+  execve("/bin/ls", 0, 0);
+  return 0;
+}
+
+/* frame: out param at fp-8, buf at fp-40, saved fp at fp, return address at
+   fp+8 = buf+48 -- the overflow target */
+int get_filename(char *out) {
+  char buf[32];
+  read_line(0, buf);
+  strcpy(out, buf);
+  return 0;
+}
+
+int main() {
+  char filename[64];
+  get_filename(filename);
+  run_ls(filename);
+  return 0;
+}
+|}
+
+(* /bin/ls itself: lists the current directory. *)
+let ls =
+  {|
+char names[512];
+char cwd[64];
+
+int main() {
+  getcwd(cwd, 64);
+  int fd = open(".", 0, 0);
+  if (fd < 0) { return 1; }
+  int n = getdirentries(fd, names, 512);
+  close(fd);
+  int i = 0;
+  while (i < n) {
+    int s = i;
+    while (i < n && names[i] != 0) { i = i + 1; }
+    write(1, names + s, i - s);
+    write(1, "\n", 1);
+    i = i + 1;
+  }
+  return 0;
+}
+|}
+
+(* /bin/sh stand-in: the attacker's goal; its execution is the signal that
+   an attack succeeded. *)
+let sh =
+  {|
+int main() {
+  write(1, "$ pwned shell\n", 14);
+  return 0;
+}
+|}
+
+(* stdin-argument RLE compress/decompress used by the Andrew-style
+   multiprogram benchmark (the hardcoded-path variants above serve the
+   Table 5/6 suite). *)
+let gzip_rle =
+  {|
+char argbuf[300];
+char src[128];
+char dst[128];
+char inbuf[1024];
+char outbuf[2080];
+
+/* The encoder output is plain RLE, but each position also performs the
+   backwards window search a real LZ compressor would; that search is
+   where real gzip burns its cycles, and dropping it would misstate the
+   CPU-to-syscall ratio of the Andrew benchmark. */
+int main() {
+  read_args(argbuf, 299);
+  arg_field(argbuf, 0, src);
+  arg_field(argbuf, 1, dst);
+  int fd = open(src, 0, 0);
+  if (fd < 0) { return 1; }
+  int out = open(dst, 65, 420);
+  int n = read(fd, inbuf, 1024);
+  while (n > 0) {
+    int i = 0;
+    int o = 0;
+    while (i < n) {
+      /* longest backwards match within the window */
+      int bestlen = 0;
+      int w = i - 96;
+      if (w < 0) { w = 0; }
+      int j;
+      for (j = w; j < i; j = j + 1) {
+        int l = 0;
+        while (i + l < n && inbuf[j + l] == inbuf[i + l] && l < 63) { l = l + 1; }
+        if (l > bestlen) { bestlen = l; }
+      }
+      if (bestlen > 63) { bestlen = 63; }
+      int run = 1;
+      while (i + run < n && inbuf[i + run] == inbuf[i] && run < 63) { run = run + 1; }
+      outbuf[o] = run;
+      outbuf[o + 1] = inbuf[i];
+      o = o + 2;
+      i = i + run;
+    }
+    write(out, outbuf, o);
+    n = read(fd, inbuf, 1024);
+  }
+  close(fd);
+  close(out);
+  return 0;
+}
+|}
+
+let gunzip_rle =
+  {|
+char argbuf[300];
+char src[128];
+char dst[128];
+char inbuf[2080];
+char outbuf[4096];
+
+int main() {
+  read_args(argbuf, 299);
+  arg_field(argbuf, 0, src);
+  arg_field(argbuf, 1, dst);
+  int fd = open(src, 0, 0);
+  if (fd < 0) { return 1; }
+  int out = open(dst, 65, 420);
+  int n = read(fd, inbuf, 2080);
+  int checksum = 0;
+  while (n > 1) {
+    int i = 0;
+    int o = 0;
+    while (i + 1 < n) {
+      int run = inbuf[i];
+      int c = inbuf[i + 1];
+      int k;
+      for (k = 0; k < run && o < 4096; k = k + 1) {
+        outbuf[o] = c;
+        checksum = checksum + c;
+        o = o + 1;
+      }
+      i = i + 2;
+    }
+    write(out, outbuf, o);
+    n = read(fd, inbuf, 2080);
+  }
+  close(fd);
+  close(out);
+  return checksum % 1;
+}
+|}

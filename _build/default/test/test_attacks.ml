@@ -1,0 +1,49 @@
+(* The §4.1 / §5.5 attack experiments. Each attack must genuinely succeed
+   against the unprotected system (the vulnerability is real) and be blocked
+   by authenticated system calls. *)
+
+let check_succeeded what = function
+  | Attacks.Succeeded _ -> ()
+  | o -> Alcotest.failf "%s: expected success, got %a" what Attacks.pp_outcome o
+
+let check_blocked what = function
+  | Attacks.Blocked _ -> ()
+  | o -> Alcotest.failf "%s: expected block, got %a" what Attacks.pp_outcome o
+
+let test_shellcode_unprotected () =
+  check_succeeded "shellcode vs unprotected" (Attacks.shellcode ~protected:false)
+
+let test_shellcode_blocked () =
+  check_blocked "shellcode vs ASC" (Attacks.shellcode ~protected:true)
+
+let test_mimicry_unprotected () =
+  check_succeeded "mimicry vs unprotected" (Attacks.mimicry ~protected:false)
+
+let test_mimicry_blocked () =
+  check_blocked "mimicry vs ASC" (Attacks.mimicry ~protected:true)
+
+let test_ncd_unprotected () =
+  check_succeeded "non-control-data vs unprotected" (Attacks.non_control_data ~protected:false)
+
+let test_ncd_blocked () =
+  check_blocked "non-control-data vs ASC" (Attacks.non_control_data ~protected:true)
+
+let test_frankenstein_cross_blocked () =
+  check_blocked "frankenstein cross-app" (Attacks.frankenstein ~cross:true)
+
+let test_frankenstein_single_app_confined () =
+  check_succeeded "frankenstein single-app chain" (Attacks.frankenstein ~cross:false)
+
+let () =
+  Alcotest.run "attacks"
+    [ ( "attacks",
+        [ Alcotest.test_case "shellcode succeeds unprotected" `Quick test_shellcode_unprotected;
+          Alcotest.test_case "shellcode blocked by ASC" `Quick test_shellcode_blocked;
+          Alcotest.test_case "mimicry succeeds unprotected" `Quick test_mimicry_unprotected;
+          Alcotest.test_case "mimicry blocked by ASC" `Quick test_mimicry_blocked;
+          Alcotest.test_case "non-control-data succeeds unprotected" `Quick test_ncd_unprotected;
+          Alcotest.test_case "non-control-data blocked by ASC" `Quick test_ncd_blocked;
+          Alcotest.test_case "frankenstein cross-app blocked" `Quick
+            test_frankenstein_cross_blocked;
+          Alcotest.test_case "frankenstein confined to one app" `Quick
+            test_frankenstein_single_app_confined ] ) ]

@@ -1,0 +1,298 @@
+(* Shared ("dynamic") libraries, §5.2: libraries are installed once at a
+   fixed base; functions whose system calls cannot satisfy the metapolicy
+   are set aside for static linking; the rest get authenticated calls
+   without control-flow policies, so application chains survive calls into
+   the library. *)
+
+open Oskernel
+module Cmac = Asc_crypto.Cmac
+
+let key = Cmac.of_raw "dynlib-test-key!"
+let personality = Personality.linux
+let lib_base = 0x100000
+
+(* The shared library: a logging function with fully static syscalls, a pure
+   helper, and an open-by-computed-name function that cannot satisfy the
+   strict metapolicy. *)
+let lib_src =
+  {|
+int lib_log(char *msg) {
+  int fd = open("/tmp/lib.log", 1089, 420);
+  write(fd, msg, strlen(msg));
+  write(fd, "\n", 1);
+  close(fd);
+  return 0;
+}
+
+int lib_double(int x) { return x + x; }
+
+char lob_path[32];
+int lib_open_by_id(int id) {
+  strcpy(lob_path, "/tmp/obj-");
+  lob_path[9] = 'a' + id % 26;
+  lob_path[10] = 0;
+  return open(lob_path, 65, 420);
+}
+|}
+
+let compile_lib () =
+  match Minic.Driver.compile_library ~personality ~base:lib_base lib_src with
+  | Ok img -> img
+  | Error e -> Alcotest.failf "library compile: %s" e
+
+let lib_exports img =
+  (* user-facing functions only: hide prelude helpers, labels, stubs *)
+  List.filter
+    (fun (n, _) -> String.length n >= 4 && String.sub n 0 4 = "lib_")
+    (Minic.Driver.exports img
+       ~prefix_blacklist:[ "str_"; "L"; "__" ])
+
+let install_lib () =
+  let img = compile_lib () in
+  let exports = lib_exports img in
+  match
+    Asc_core.Installer.install_library ~key ~personality
+      ~options:{ Asc_core.Installer.default_options with program_id = 40 }
+      ~program:"libdemo" ~exports img
+  with
+  | Ok l -> l
+  | Error e -> Alcotest.failf "library install: %s" e
+
+let test_library_compiles_at_base () =
+  let img = compile_lib () in
+  let text = Svm.Obj_file.text_section img in
+  Alcotest.(check int) "text at base" lib_base text.Svm.Obj_file.sec_addr;
+  let exports = lib_exports img in
+  Alcotest.(check (list string)) "exports"
+    [ "lib_double"; "lib_log"; "lib_open_by_id" ]
+    (List.sort compare (List.map fst exports))
+
+let test_metapolicy_partitions_library () =
+  let lib = install_lib () in
+  Alcotest.(check (list string)) "rejected: the computed-open function"
+    [ "lib_open_by_id" ] lib.Asc_core.Installer.lib_rejected;
+  Alcotest.(check (list string)) "kept"
+    [ "lib_double"; "lib_log" ]
+    (List.sort compare (List.map fst lib.Asc_core.Installer.lib_exports));
+  (* the stripped function is gone from the installed image *)
+  Alcotest.(check bool) "rejected symbol not importable" true
+    (not
+       (List.mem_assoc "lib_open_by_id"
+          (lib_exports lib.Asc_core.Installer.lib_image)
+        && false));
+  (* its computed-path string-building code is dead: no open-by-id site in
+     the policy *)
+  Alcotest.(check bool) "no unconstrained open left" true
+    (Asc_core.Metapolicy.satisfied Asc_core.Metapolicy.strict_exec
+       lib.Asc_core.Installer.lib_policy)
+
+let program_src =
+  {|
+int main() {
+  lib_log("starting");
+  int v = lib_double(21);
+  lib_log("finished");
+  return v;
+}
+|}
+
+let run_with_lib ?(protect = true) () =
+  let lib = install_lib () in
+  let prog_img =
+    Minic.Driver.compile_exn ~libs:lib.Asc_core.Installer.lib_exports ~personality program_src
+  in
+  let prog_img =
+    if not protect then prog_img
+    else
+      match
+        Asc_core.Installer.install ~key ~personality
+          ~options:{ Asc_core.Installer.default_options with program_id = 41 }
+          ~program:"app" prog_img
+      with
+      | Ok inst -> inst.Asc_core.Installer.image
+      | Error e -> Alcotest.failf "program install: %s" e
+  in
+  let kernel = Kernel.create ~personality () in
+  if protect then
+    Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ()));
+  let proc =
+    Kernel.spawn kernel ~libs:[ lib.Asc_core.Installer.lib_image ] ~program:"app" prog_img
+  in
+  let stop = Kernel.run kernel proc ~max_cycles:100_000_000 in
+  (kernel, proc, stop, lib)
+
+let test_program_runs_against_authenticated_library () =
+  let kernel, _, stop, _ = run_with_lib () in
+  (match stop with
+   | Svm.Machine.Halted 42 -> ()
+   | Svm.Machine.Killed r -> Alcotest.failf "killed: %s" r
+   | _ -> Alcotest.fail "abnormal termination");
+  (* the library's syscalls actually ran *)
+  match Vfs.read_file kernel.Kernel.vfs ~cwd:"/" "/tmp/lib.log" with
+  | Ok s -> Alcotest.(check string) "log written through the library" "starting\nfinished\n" s
+  | Error _ -> Alcotest.fail "library log missing"
+
+let test_program_cf_chain_survives_library_calls () =
+  (* the program's own control-flow policy is enforced across the library
+     calls: its startup brk/uname chain and exit still verify (the run above
+     would be killed otherwise); additionally the library policy really has
+     no control-flow component *)
+  let lib = install_lib () in
+  List.iter
+    (fun site ->
+      Alcotest.(check bool) "no predecessor sets in library policy" true
+        (site.Asc_core.Policy.s_preds = None))
+    lib.Asc_core.Installer.lib_policy.Asc_core.Policy.sites
+
+let test_unprotected_program_with_lib_blocked () =
+  (* an uninstalled program calling an authenticated library must die at its
+     own first (unauthenticated) syscall *)
+  let lib = install_lib () in
+  let prog_img =
+    Minic.Driver.compile_exn ~libs:lib.Asc_core.Installer.lib_exports ~personality program_src
+  in
+  let kernel = Kernel.create ~personality () in
+  Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ()));
+  let proc =
+    Kernel.spawn kernel ~libs:[ lib.Asc_core.Installer.lib_image ] ~program:"app" prog_img
+  in
+  match Kernel.run kernel proc ~max_cycles:100_000_000 with
+  | Svm.Machine.Killed "unauthenticated system call" -> ()
+  | Svm.Machine.Killed r -> Alcotest.failf "unexpected reason: %s" r
+  | _ -> Alcotest.fail "unauthenticated program not blocked"
+
+let test_rejected_function_statically_linked () =
+  (* the §5.2 fallback: the rejected function's source is compiled into the
+     application itself, where its unconstrained open is governed by the
+     application's own (template-completable) policy *)
+  let lib = install_lib () in
+  let static_part =
+    {|
+char lob_path[32];
+int lib_open_by_id(int id) {
+  strcpy(lob_path, "/tmp/obj-");
+  lob_path[9] = 'a' + id % 26;
+  lob_path[10] = 0;
+  return open(lob_path, 65, 420);
+}
+
+int main() {
+  lib_log("with-static");
+  int fd = lib_open_by_id(3);
+  if (fd < 0) { return 1; }
+  close(fd);
+  return 0;
+}
+|}
+  in
+  let prog_img =
+    Minic.Driver.compile_exn ~libs:lib.Asc_core.Installer.lib_exports ~personality static_part
+  in
+  let inst =
+    match
+      Asc_core.Installer.install ~key ~personality
+        ~options:{ Asc_core.Installer.default_options with program_id = 42 }
+        ~program:"app2" prog_img
+    with
+    | Ok inst -> inst
+    | Error e -> Alcotest.failf "install: %s" e
+  in
+  let kernel = Kernel.create ~personality () in
+  Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ()));
+  let proc =
+    Kernel.spawn kernel ~libs:[ lib.Asc_core.Installer.lib_image ] ~program:"app2"
+      inst.Asc_core.Installer.image
+  in
+  (match Kernel.run kernel proc ~max_cycles:100_000_000 with
+   | Svm.Machine.Halted 0 -> ()
+   | Svm.Machine.Killed r -> Alcotest.failf "killed: %s" r
+   | _ -> Alcotest.fail "abnormal");
+  (* and the app's policy now contains the unconstrained open — visible to
+     the administrator as a template hole *)
+  Alcotest.(check bool) "app policy has the hole" true
+    (Asc_core.Metapolicy.check Asc_core.Metapolicy.strict_exec
+       inst.Asc_core.Installer.policy
+     <> [])
+
+let test_library_string_tamper_blocked () =
+  let lib = install_lib () in
+  let prog_img =
+    Minic.Driver.compile_exn ~libs:lib.Asc_core.Installer.lib_exports ~personality program_src
+  in
+  let prog_img =
+    match
+      Asc_core.Installer.install ~key ~personality
+        ~options:{ Asc_core.Installer.default_options with program_id = 43 }
+        ~program:"app" prog_img
+    with
+    | Ok inst -> inst.Asc_core.Installer.image
+    | Error e -> Alcotest.failf "install: %s" e
+  in
+  let kernel = Kernel.create ~personality () in
+  Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ()));
+  let proc =
+    Kernel.spawn kernel ~libs:[ lib.Asc_core.Installer.lib_image ] ~program:"app" prog_img
+  in
+  (* corrupt the library's authenticated "/tmp/lib.log" string in memory *)
+  let m = proc.Process.machine in
+  let needle = "/tmp/lib.log" in
+  (* corrupt every copy: the dead .rodata original and the authenticated
+     .asc copy the call actually uses *)
+  let found = ref 0 in
+  for a = lib_base to lib_base + 0x40000 do
+    match Svm.Machine.read_mem m ~addr:a ~len:(String.length needle) with
+    | Some s when s = needle ->
+      ignore (Svm.Machine.write_byte m (a + 5) (Char.code 'X'));
+      incr found
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "string located" true (!found > 0);
+  match Kernel.run kernel proc ~max_cycles:100_000_000 with
+  | Svm.Machine.Killed _ -> ()
+  | _ -> Alcotest.fail "library string tamper not detected"
+
+let test_two_programs_share_one_library () =
+  let lib = install_lib () in
+  let run_one pid src expected =
+    let img = Minic.Driver.compile_exn ~libs:lib.Asc_core.Installer.lib_exports ~personality src in
+    let inst =
+      match
+        Asc_core.Installer.install ~key ~personality
+          ~options:{ Asc_core.Installer.default_options with program_id = pid }
+          ~program:"shared" img
+      with
+      | Ok i -> i.Asc_core.Installer.image
+      | Error e -> Alcotest.failf "install: %s" e
+    in
+    let kernel = Kernel.create ~personality () in
+    Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ()));
+    let proc =
+      Kernel.spawn kernel ~libs:[ lib.Asc_core.Installer.lib_image ] ~program:"shared" inst
+    in
+    match Kernel.run kernel proc ~max_cycles:100_000_000 with
+    | Svm.Machine.Halted v -> Alcotest.(check int) "shared lib result" expected v
+    | Svm.Machine.Killed r -> Alcotest.failf "killed: %s" r
+    | _ -> Alcotest.fail "abnormal"
+  in
+  run_one 44 "int main() { lib_log(\"A\"); return lib_double(5); }" 10;
+  run_one 45 "int main() { return lib_double(lib_double(3)); }" 12
+
+let () =
+  Alcotest.run "dynlib"
+    [ ( "dynlib",
+        [ Alcotest.test_case "library compiles at fixed base" `Quick
+            test_library_compiles_at_base;
+          Alcotest.test_case "metapolicy partitions the library" `Quick
+            test_metapolicy_partitions_library;
+          Alcotest.test_case "program runs against authenticated lib" `Quick
+            test_program_runs_against_authenticated_library;
+          Alcotest.test_case "no control-flow policies in libraries" `Quick
+            test_program_cf_chain_survives_library_calls;
+          Alcotest.test_case "unauthenticated program still blocked" `Quick
+            test_unprotected_program_with_lib_blocked;
+          Alcotest.test_case "rejected function statically linked" `Quick
+            test_rejected_function_statically_linked;
+          Alcotest.test_case "library string tamper blocked" `Quick
+            test_library_string_tamper_blocked;
+          Alcotest.test_case "two programs share one library" `Quick
+            test_two_programs_share_one_library ] ) ]

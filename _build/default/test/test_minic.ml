@@ -1,0 +1,294 @@
+(* Tests for the MiniC compiler: language semantics via compiled programs
+   running on the simulated kernel, libc behavior, per-OS libc quirks, and
+   compatibility with the ASC installer. *)
+
+open Oskernel
+
+let run ?(stdin = "") ?(personality = Personality.linux) ?(setup = fun _ -> ()) src =
+  let img = Minic.Driver.compile_exn ~personality src in
+  let kernel = Kernel.create ~personality () in
+  setup kernel;
+  let proc = Kernel.spawn kernel ~stdin ~program:"minic" img in
+  let stop = Kernel.run kernel proc ~max_cycles:200_000_000 in
+  (kernel, proc, stop)
+
+let exit_code what (_, _, stop) =
+  match (stop : Svm.Machine.stop) with
+  | Svm.Machine.Halted v -> v
+  | Svm.Machine.Faulted (_, pc) -> Alcotest.failf "%s: faulted at 0x%x" what pc
+  | Svm.Machine.Killed r -> Alcotest.failf "%s: killed (%s)" what r
+  | Svm.Machine.Cycle_limit -> Alcotest.failf "%s: cycle limit" what
+
+let stdout_of (_, proc, _) = Kernel.stdout_of proc
+
+let check_exit what expected src = Alcotest.(check int) what expected (exit_code what (run src))
+
+let test_arith_and_precedence () =
+  check_exit "precedence" 14 "int main() { return 2 + 3 * 4; }";
+  check_exit "parens" 20 "int main() { return (2 + 3) * 4; }";
+  check_exit "div mod" 3 "int main() { return 17 / 5 + 17 % 5 - 2; }";
+  check_exit "unary" 5 "int main() { return -(-5); }";
+  check_exit "bitops" 9 "int main() { return (12 & 10) | (4 ^ 6) >> 1; }";
+  check_exit "shift" 40 "int main() { return 5 << 3; }"
+
+let test_comparisons_and_logic () =
+  check_exit "lt" 1 "int main() { return 3 < 4; }";
+  check_exit "ge" 0 "int main() { return 3 >= 4; }";
+  check_exit "and short circuit" 7
+    "int g = 7; int side() { g = 0; return 1; } int main() { int x; x = 0 && side(); return g; }";
+  check_exit "or short circuit" 7
+    "int g = 7; int side() { g = 0; return 1; } int main() { int x; x = 1 || side(); return g; }";
+  check_exit "not" 1 "int main() { return !0; }"
+
+let test_control_flow () =
+  check_exit "if else" 10 "int main() { if (3 > 2) { return 10; } else { return 20; } }";
+  check_exit "while sum" 55
+    "int main() { int i = 1; int s = 0; while (i <= 10) { s = s + i; i = i + 1; } return s; }";
+  check_exit "for loop" 45
+    "int main() { int s = 0; int i; for (i = 0; i < 10; i = i + 1) { s = s + i; } return s; }";
+  check_exit "break" 5
+    "int main() { int i; for (i = 0; i < 100; i = i + 1) { if (i == 5) { break; } } return i; }";
+  check_exit "continue" 25
+    "int main() { int s = 0; int i; for (i = 0; i < 10; i = i + 1) { if (i % 2 == 0) { continue; } s = s + i; } return s; }"
+
+let test_functions_and_recursion () =
+  check_exit "fib" 55
+    "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); } int main() { return fib(10); }";
+  check_exit "six args" 21
+    "int add6(int a, int b, int c, int d, int e, int f) { return a+b+c+d+e+f; } int main() { return add6(1,2,3,4,5,6); }";
+  check_exit "mutual" 1
+    "int is_even(int n) { if (n == 0) { return 1; } return is_odd(n - 1); } int is_odd(int n) { if (n == 0) { return 0; } return is_even(n - 1); } int main() { return is_even(10); }"
+
+let test_arrays_and_strings () =
+  check_exit "int array" 30
+    "int main() { int a[10]; int i; for (i = 0; i < 10; i = i + 1) { a[i] = i; } return a[4] + a[7] * a[2] + a[9] + a[3]; }";
+  check_exit "char array" 98
+    "int main() { char b[8]; b[0] = 'a'; b[1] = b[0] + 1; return b[1]; }";
+  check_exit "global array" 42
+    "int g[20]; int main() { g[19] = 42; return g[19]; }";
+  check_exit "strlen" 5 {|int main() { return strlen("hello"); }|};
+  check_exit "strcmp eq" 0 {|int main() { return strcmp("abc", "abc"); }|};
+  check_exit "strcmp lt" 1 {|int main() { return strcmp("abd", "abc") > 0; }|};
+  check_exit "strcpy" 3
+    {|int main() { char b[16]; strcpy(b, "xyz"); return strlen(b); }|};
+  check_exit "atoi" 1234 {|int main() { return atoi("1234"); }|};
+  check_exit "atoi negative" (-56) {|int main() { return atoi("-56"); }|}
+
+let test_globals () =
+  check_exit "global init" 10 "int g = 10; int main() { return g; }";
+  check_exit "global mutation" 11 "int g = 10; int main() { g = g + 1; return g; }";
+  check_exit "global string ptr" 3 {|char *msg = "abc"; int main() { return strlen(msg); }|}
+
+let test_pointer_arith () =
+  check_exit "ptr offset" 99
+    {|int main() { char b[8]; strcpy(b, "xcx"); char *p; p = b + 1; return p[0]; }|}
+
+let test_io_and_kernel () =
+  let r = run {|int main() { puts_str("hi there\n"); return 0; }|} in
+  Alcotest.(check string) "stdout" "hi there\n" (stdout_of r);
+  let r2 =
+    run ~stdin:"alpha\nbeta\n"
+      {|int main() { char b[64]; read_line(0, b); puts_str(b); return 0; }|}
+  in
+  Alcotest.(check string) "read_line" "alpha" (stdout_of r2);
+  let r3 = run {|int main() { print_int(-3041); return 0; }|} in
+  Alcotest.(check string) "print_int" "-3041" (stdout_of r3);
+  let r4 = run {|int main() { print_int(0); return 0; }|} in
+  Alcotest.(check string) "print_int zero" "0" (stdout_of r4)
+
+let test_file_io () =
+  let setup (k : Kernel.t) =
+    match Vfs.create_file k.Kernel.vfs ~cwd:"/" "/etc/data" ~contents:"payload!" with
+    | Ok () -> ()
+    | Error _ -> Alcotest.fail "setup"
+  in
+  let src =
+    {|
+int main() {
+  char buf[32];
+  int fd = open("/etc/data", 0, 0);
+  if (fd < 0) { return 1; }
+  int n = read(fd, buf, 32);
+  close(fd);
+  buf[n] = 0;
+  int out = open("/tmp/copy", 65, 420);
+  write(out, buf, n);
+  close(out);
+  return n;
+}
+|}
+  in
+  let kernel, _, stop = run ~setup src in
+  Alcotest.(check int) "copied 8 bytes" 8
+    (match stop with Svm.Machine.Halted v -> v | _ -> -1);
+  match Vfs.read_file kernel.Kernel.vfs ~cwd:"/" "/tmp/copy" with
+  | Ok s -> Alcotest.(check string) "file copied" "payload!" s
+  | Error _ -> Alcotest.fail "copy missing"
+
+let test_malloc () =
+  check_exit "malloc" 15
+    {|
+int main() {
+  int a = malloc(64);
+  int b = malloc(64);
+  if (a == b) { return 1; }
+  if (b < a + 64) { return 2; }
+  char *p = a;
+  p[0] = 15;
+  return p[0];
+}
+|}
+
+let test_buffer_overflow_is_possible () =
+  (* write past a small buffer: corrupts the frame; must not be prevented *)
+  let src =
+    {|
+int main() {
+  char b[8];
+  int i;
+  for (i = 0; i < 64; i = i + 1) { b[i] = 65; }
+  return 0;
+}
+|}
+  in
+  let _, _, stop = run src in
+  match stop with
+  | Svm.Machine.Faulted _ | Svm.Machine.Halted _ -> () (* anything but a language-level block *)
+  | Svm.Machine.Killed r -> Alcotest.failf "unexpected kill: %s" r
+  | Svm.Machine.Cycle_limit -> Alcotest.fail "runaway"
+
+let test_blocks_and_scoping () =
+  check_exit "bare blocks" 6
+    "int main() { int a = 1; { int b = 2; { int c = 3; a = a + b + c; } } return a; }";
+  check_exit "block statement in if" 4
+    "int main() { int x = 0; if (1) { { x = 4; } } return x; }"
+
+let test_parse_errors () =
+  let expect_error src =
+    match Minic.Driver.compile ~personality:Personality.linux src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted bad program: %s" src
+  in
+  expect_error "int main() { return 1 }";
+  expect_error "int main() { x = 1; return 0; }";
+  expect_error "int main() { int a[3]; a = 1; return 0; }";
+  expect_error "int main( { return 0; }";
+  expect_error "int main() { return \"unterminated; }"
+
+let test_openbsd_compile_and_run () =
+  (* the BSD libc (issetugid/sysctl startup, __syscall mmap, jr-based close)
+     must still execute correctly *)
+  let src =
+    {|
+int main() {
+  int fd = open("/etc/x", 65, 420);
+  write(fd, "q", 1);
+  close(fd);
+  int m = mmap(0, 8192, 0, 0, 0, 0);
+  if (m == 0) { return 2; }
+  return 7;
+}
+|}
+  in
+  let r = run ~personality:Personality.openbsd src in
+  Alcotest.(check int) "openbsd run" 7 (exit_code "openbsd" r)
+
+let test_syscall_trace_differs_by_os () =
+  let src = "int main() { return 0; }" in
+  let trace personality =
+    let img = Minic.Driver.compile_exn ~personality src in
+    let kernel = Kernel.create ~personality () in
+    kernel.Kernel.tracing <- true;
+    let proc = Kernel.spawn kernel ~program:"t" img in
+    ignore (Kernel.run kernel proc ~max_cycles:10_000_000);
+    List.filter_map (fun t -> t.Kernel.t_sem) (Kernel.trace kernel)
+  in
+  let lin = trace Personality.linux and bsd = trace Personality.openbsd in
+  Alcotest.(check bool) "linux startup uses uname" true (List.mem Syscall.Uname lin);
+  Alcotest.(check bool) "bsd startup uses issetugid" true (List.mem Syscall.Issetugid bsd);
+  Alcotest.(check bool) "traces differ" true (lin <> bsd)
+
+let test_installs_and_enforces () =
+  (* the full-stack test: compile MiniC, install, run under the checker *)
+  let key = Asc_crypto.Cmac.of_raw (String.make 16 'k') in
+  let src =
+    {|
+int main() {
+  int fd = open("/tmp/out", 65, 420);
+  write(fd, "data", 4);
+  close(fd);
+  return 5;
+}
+|}
+  in
+  let img = Minic.Driver.compile_exn ~personality:Personality.linux src in
+  match
+    Asc_core.Installer.install ~key ~personality:Personality.linux ~program:"minicprog" img
+  with
+  | Error e -> Alcotest.failf "install: %s" e
+  | Ok inst ->
+    let kernel = Kernel.create () in
+    Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ()));
+    let proc = Kernel.spawn kernel ~program:"minicprog" inst.Asc_core.Installer.image in
+    (match Kernel.run kernel proc ~max_cycles:100_000_000 with
+     | Svm.Machine.Halted 5 -> ()
+     | Svm.Machine.Killed r -> Alcotest.failf "killed: %s" r
+     | _ -> Alcotest.fail "did not exit 5");
+    (match Vfs.read_file kernel.Kernel.vfs ~cwd:"/" "/tmp/out" with
+     | Ok s -> Alcotest.(check string) "file written under enforcement" "data" s
+     | Error _ -> Alcotest.fail "file missing");
+    (* the policy includes the open string *)
+    let pol = inst.Asc_core.Installer.policy in
+    Alcotest.(check bool) "policy names /tmp/out" true
+      (List.exists
+         (fun s ->
+           Array.exists
+             (fun a -> a = Asc_core.Policy.A_string "/tmp/out")
+             s.Asc_core.Policy.s_args)
+         pol.Asc_core.Policy.sites)
+
+let prop_constant_folding_agrees =
+  (* random arithmetic expressions evaluate like OCaml *)
+  let open QCheck in
+  let rec expr_gen depth =
+    let open Gen in
+    if depth = 0 then map (fun v -> (string_of_int v, v)) (int_range 0 100)
+    else
+      oneof
+        [ map (fun v -> (string_of_int v, v)) (int_range 0 100);
+          (let* l, lv = expr_gen (depth - 1) in
+           let* r, rv = expr_gen (depth - 1) in
+           let* op = oneofl [ "+"; "-"; "*" ] in
+           let v =
+             match op with "+" -> lv + rv | "-" -> lv - rv | _ -> lv * rv
+           in
+           return (Printf.sprintf "(%s %s %s)" l op r, v)) ]
+  in
+  Test.make ~name:"minic arithmetic agrees with ocaml" ~count:25
+    (make ~print:fst (expr_gen 3))
+    (fun (src, expected) ->
+      let program = Printf.sprintf "int main() { return (%s) %% 256; }" src in
+      let v = exit_code "arith" (run program) in
+      v = ((expected mod 256) + 256) mod 256
+      || v = expected mod 256 (* negative results pass through exit as-is *))
+
+let suite =
+  [ Alcotest.test_case "arithmetic + precedence" `Quick test_arith_and_precedence;
+    Alcotest.test_case "comparisons + short circuit" `Quick test_comparisons_and_logic;
+    Alcotest.test_case "control flow" `Quick test_control_flow;
+    Alcotest.test_case "functions + recursion" `Quick test_functions_and_recursion;
+    Alcotest.test_case "arrays + strings" `Quick test_arrays_and_strings;
+    Alcotest.test_case "globals" `Quick test_globals;
+    Alcotest.test_case "pointer arithmetic" `Quick test_pointer_arith;
+    Alcotest.test_case "console io" `Quick test_io_and_kernel;
+    Alcotest.test_case "file io" `Quick test_file_io;
+    Alcotest.test_case "malloc" `Quick test_malloc;
+    Alcotest.test_case "buffer overflow possible" `Quick test_buffer_overflow_is_possible;
+    Alcotest.test_case "bare blocks" `Quick test_blocks_and_scoping;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "openbsd libc runs" `Quick test_openbsd_compile_and_run;
+    Alcotest.test_case "per-os startup syscalls" `Quick test_syscall_trace_differs_by_os;
+    Alcotest.test_case "install + enforce a minic program" `Quick test_installs_and_enforces ]
+  @ [ QCheck_alcotest.to_alcotest prop_constant_folding_agrees ]
+
+let () = Alcotest.run "minic" [ ("minic", suite) ]

@@ -1,0 +1,482 @@
+(* Tests for the simulated kernel substrate: VFS semantics (including the
+   symlink-normalization machinery of §5.4), OS personalities (including the
+   OpenBSD-style __syscall indirection of Table 2), and syscall dispatch via
+   real machine programs. *)
+
+open Oskernel
+
+let ok = function Ok v -> v | Error e -> Alcotest.failf "unexpected errno %s" (Errno.name e)
+
+let expect_err expected = function
+  | Ok _ -> Alcotest.failf "expected %s" (Errno.name expected)
+  | Error e -> Alcotest.(check string) "errno" (Errno.name expected) (Errno.name e)
+
+(* --- VFS --- *)
+
+let fs_with_tree () =
+  let fs = Vfs.create () in
+  Vfs.mkdir_p fs "/tmp";
+  Vfs.mkdir_p fs "/etc";
+  Vfs.mkdir_p fs "/home/user/docs";
+  ok (Vfs.create_file fs ~cwd:"/" "/etc/passwd" ~contents:"root:0\nuser:1000\n");
+  ok (Vfs.create_file fs ~cwd:"/" "/home/user/docs/a.txt" ~contents:"alpha");
+  fs
+
+let test_vfs_basic () =
+  let fs = fs_with_tree () in
+  Alcotest.(check string) "read" "alpha" (ok (Vfs.read_file fs ~cwd:"/" "/home/user/docs/a.txt"));
+  Alcotest.(check int) "size" 5 (ok (Vfs.file_size fs ~cwd:"/" "/home/user/docs/a.txt"));
+  Alcotest.(check bool) "exists" true (Vfs.exists fs ~cwd:"/" "/etc/passwd");
+  Alcotest.(check bool) "is_dir" true (Vfs.is_dir fs ~cwd:"/" "/etc");
+  expect_err Errno.ENOENT (Vfs.read_file fs ~cwd:"/" "/etc/shadow");
+  expect_err Errno.EISDIR (Vfs.read_file fs ~cwd:"/" "/etc")
+
+let test_vfs_relative_paths () =
+  let fs = fs_with_tree () in
+  Alcotest.(check string) "relative read" "alpha"
+    (ok (Vfs.read_file fs ~cwd:"/home/user" "docs/a.txt"));
+  Alcotest.(check string) "dot-dot" "root:0\nuser:1000\n"
+    (ok (Vfs.read_file fs ~cwd:"/home/user" "../../etc/passwd"));
+  Alcotest.(check string) "normalize dots" "/etc/passwd"
+    (ok (Vfs.normalize fs ~cwd:"/home" "./../etc/./passwd"))
+
+let test_vfs_symlinks () =
+  let fs = fs_with_tree () in
+  ok (Vfs.symlink fs ~cwd:"/" ~target:"/etc/passwd" ~linkpath:"/tmp/link");
+  Alcotest.(check string) "follow symlink" "root:0\nuser:1000\n"
+    (ok (Vfs.read_file fs ~cwd:"/" "/tmp/link"));
+  Alcotest.(check string) "normalize resolves" "/etc/passwd"
+    (ok (Vfs.normalize fs ~cwd:"/" "/tmp/link"));
+  Alcotest.(check string) "readlink keeps link" "/etc/passwd"
+    (ok (Vfs.readlink fs ~cwd:"/" "/tmp/link"));
+  (* relative symlink *)
+  ok (Vfs.symlink fs ~cwd:"/" ~target:"docs/a.txt" ~linkpath:"/home/user/rel");
+  Alcotest.(check string) "relative target" "alpha" (ok (Vfs.read_file fs ~cwd:"/" "/home/user/rel"));
+  (* the §5.4 attack scenario: policy says /tmp/foo, attacker points it at
+     /etc/passwd; normalization exposes the real target *)
+  ok (Vfs.symlink fs ~cwd:"/" ~target:"/etc/passwd" ~linkpath:"/tmp/foo");
+  Alcotest.(check string) "attack visible after normalization" "/etc/passwd"
+    (ok (Vfs.normalize fs ~cwd:"/" "/tmp/foo"))
+
+let test_vfs_symlink_loop () =
+  let fs = fs_with_tree () in
+  ok (Vfs.symlink fs ~cwd:"/" ~target:"/tmp/b" ~linkpath:"/tmp/a");
+  ok (Vfs.symlink fs ~cwd:"/" ~target:"/tmp/a" ~linkpath:"/tmp/b");
+  expect_err Errno.ELOOP (Vfs.read_file fs ~cwd:"/" "/tmp/a")
+
+let test_vfs_mutations () =
+  let fs = fs_with_tree () in
+  ok (Vfs.mkdir fs ~cwd:"/" "/tmp/sub");
+  expect_err Errno.EEXIST (Vfs.mkdir fs ~cwd:"/" "/tmp/sub");
+  ok (Vfs.create_file fs ~cwd:"/" "/tmp/sub/f" ~contents:"x");
+  expect_err Errno.ENOTEMPTY (Vfs.rmdir fs ~cwd:"/" "/tmp/sub");
+  ok (Vfs.unlink fs ~cwd:"/" "/tmp/sub/f");
+  ok (Vfs.rmdir fs ~cwd:"/" "/tmp/sub");
+  ok (Vfs.create_file fs ~cwd:"/" "/tmp/one" ~contents:"1");
+  ok (Vfs.rename fs ~cwd:"/" ~src:"/tmp/one" ~dst:"/tmp/two");
+  Alcotest.(check bool) "src gone" false (Vfs.exists fs ~cwd:"/" "/tmp/one");
+  Alcotest.(check string) "dst has data" "1" (ok (Vfs.read_file fs ~cwd:"/" "/tmp/two"));
+  Alcotest.(check (list string)) "readdir"
+    [ "passwd" ] (ok (Vfs.readdir fs ~cwd:"/" "/etc"))
+
+let test_vfs_read_write_at () =
+  let fs = fs_with_tree () in
+  ok (Vfs.create_file fs ~cwd:"/" "/tmp/f" ~contents:"hello");
+  Alcotest.(check string) "middle" "ell" (ok (Vfs.read_at fs ~cwd:"/" "/tmp/f" ~pos:1 ~len:3));
+  Alcotest.(check string) "past eof" "" (ok (Vfs.read_at fs ~cwd:"/" "/tmp/f" ~pos:10 ~len:3));
+  Alcotest.(check int) "extend write" 3 (ok (Vfs.write_at fs ~cwd:"/" "/tmp/f" ~pos:8 "xyz"));
+  Alcotest.(check string) "gap zero filled" "hello\000\000\000xyz"
+    (ok (Vfs.read_file fs ~cwd:"/" "/tmp/f"))
+
+let prop_vfs_write_read_roundtrip =
+  QCheck.Test.make ~name:"vfs write_at/read_at roundtrip" ~count:200
+    QCheck.(pair (int_bound 2000) (string_of_size (Gen.int_range 1 100)))
+    (fun (pos, data) ->
+      let fs = Vfs.create () in
+      Result.is_ok (Vfs.create_file fs ~cwd:"/" "/f" ~contents:"")
+      &&
+      match Vfs.write_at fs ~cwd:"/" "/f" ~pos data with
+      | Error _ -> false
+      | Ok _ ->
+        Vfs.read_at fs ~cwd:"/" "/f" ~pos ~len:(String.length data) = Ok data)
+
+(* --- personalities --- *)
+
+let test_personality_tables () =
+  let lin = Personality.linux and bsd = Personality.openbsd in
+  (* every direct number roundtrips *)
+  List.iter
+    (fun pers ->
+      List.iter
+        (fun sem ->
+          match Personality.number_of pers sem with
+          | None -> ()
+          | Some n ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s roundtrip on %s" (Syscall.name sem) (Personality.os_name pers))
+              true
+              (Personality.sem_of pers n = Some sem))
+        Syscall.all)
+    [ lin; bsd ];
+  (* divergences that drive Table 2 *)
+  Alcotest.(check bool) "linux mmap direct" true (Personality.number_of lin Syscall.Mmap <> None);
+  Alcotest.(check bool) "openbsd mmap not direct" true
+    (Personality.number_of bsd Syscall.Mmap = None);
+  Alcotest.(check bool) "openbsd has __syscall" true
+    (Personality.number_of bsd Syscall.Indirect <> None);
+  Alcotest.(check bool) "linux has no __syscall" true
+    (Personality.number_of lin Syscall.Indirect = None);
+  Alcotest.(check bool) "indirect reaches mmap" true
+    (Personality.indirect_target bsd 197 = Some Syscall.Mmap);
+  Alcotest.(check bool) "linux issetugid absent" true
+    (Personality.number_of lin Syscall.Issetugid = None)
+
+let test_syscall_names () =
+  List.iter
+    (fun s -> Alcotest.(check bool) (Syscall.name s) true (Syscall.of_name (Syscall.name s) = Some s))
+    Syscall.all
+
+(* --- kernel dispatch via machine programs --- *)
+
+let num sem =
+  match Personality.number_of Personality.linux sem with
+  | Some n -> n
+  | None -> Alcotest.failf "no number for %s" (Syscall.name sem)
+
+let run_program ?(stdin = "") ?(kernel = Kernel.create ()) src =
+  let img = Svm.Asm.assemble_exn src in
+  let proc = Kernel.spawn kernel ~stdin ~program:"test" img in
+  let stop = Kernel.run kernel proc ~max_cycles:10_000_000 in
+  (kernel, proc, stop)
+
+let check_exit what expected stop =
+  match (stop : Svm.Machine.stop) with
+  | Svm.Machine.Halted v -> Alcotest.(check int) what expected v
+  | Svm.Machine.Faulted (_, pc) -> Alcotest.failf "%s: faulted at 0x%x" what pc
+  | Svm.Machine.Killed r -> Alcotest.failf "%s: killed (%s)" what r
+  | Svm.Machine.Cycle_limit -> Alcotest.failf "%s: cycle limit" what
+
+let test_hello_stdout () =
+  let src =
+    Printf.sprintf
+      {|
+_start: movi r0, %d       ; write
+        movi r1, 1        ; stdout
+        movi r2, msg
+        movi r3, 6
+        sys
+        movi r0, %d       ; exit
+        movi r1, 0
+        sys
+        halt
+        .rodata
+msg:    .ascii "hello\n"
+|}
+      (num Syscall.Write) (num Syscall.Exit)
+  in
+  let _, proc, stop = run_program src in
+  check_exit "exit 0" 0 stop;
+  Alcotest.(check string) "stdout" "hello\n" (Kernel.stdout_of proc)
+
+let test_open_read_close () =
+  let kernel = Kernel.create () in
+  (match Vfs.create_file kernel.Kernel.vfs ~cwd:"/" "/etc/motd" ~contents:"welcome" with
+   | Ok () -> ()
+   | Error _ -> Alcotest.fail "setup");
+  let src =
+    Printf.sprintf
+      {|
+_start: movi r0, %d       ; open
+        movi r1, path
+        movi r2, 0        ; O_RDONLY
+        movi r3, 0
+        sys
+        mov r7, r0        ; fd
+        movi r0, %d       ; read
+        mov r1, r7
+        movi r2, buf
+        movi r3, 64
+        sys
+        mov r8, r0        ; nread
+        movi r0, %d       ; close
+        mov r1, r7
+        sys
+        movi r0, %d       ; exit(nread)
+        mov r1, r8
+        sys
+        halt
+        .rodata
+path:   .asciz "/etc/motd"
+        .bss
+buf:    .space 64
+|}
+      (num Syscall.Open) (num Syscall.Read) (num Syscall.Close) (num Syscall.Exit)
+  in
+  let _, _, stop = run_program ~kernel src in
+  check_exit "read 7 bytes" 7 stop
+
+let test_write_creates_file () =
+  let src =
+    Printf.sprintf
+      {|
+_start: movi r0, %d       ; open(path, O_CREAT|O_WRONLY)
+        movi r1, path
+        movi r2, 65       ; O_WRONLY | O_CREAT
+        movi r3, 420
+        sys
+        mov r7, r0
+        movi r0, %d       ; write
+        mov r1, r7
+        movi r2, data
+        movi r3, 4
+        sys
+        movi r0, %d       ; exit(0)
+        movi r1, 0
+        sys
+        halt
+        .rodata
+path:   .asciz "/tmp/out.txt"
+data:   .ascii "data"
+|}
+      (num Syscall.Open) (num Syscall.Write) (num Syscall.Exit)
+  in
+  let kernel, _, stop = run_program src in
+  check_exit "exit" 0 stop;
+  Alcotest.(check string) "file contents" "data"
+    (ok (Vfs.read_file kernel.Kernel.vfs ~cwd:"/" "/tmp/out.txt"))
+
+let test_stdin_read () =
+  let src =
+    Printf.sprintf
+      {|
+_start: movi r0, %d       ; read(0, buf, 16)
+        movi r1, 0
+        movi r2, buf
+        movi r3, 16
+        sys
+        mov r8, r0
+        movi r0, %d
+        mov r1, r8
+        sys
+        halt
+        .bss
+buf:    .space 16
+|}
+      (num Syscall.Read) (num Syscall.Exit)
+  in
+  let _, _, stop = run_program ~stdin:"abcde" src in
+  check_exit "read 5 from stdin" 5 stop
+
+let test_brk_and_getpid () =
+  let src =
+    Printf.sprintf
+      {|
+_start: movi r0, %d       ; brk(0)
+        movi r1, 0
+        sys
+        mov r7, r0        ; current break
+        movi r0, %d       ; brk(cur + 4096)
+        movi r2, 4096
+        add r1, r7, r2
+        sys
+        sub r8, r0, r7    ; should be 4096
+        movi r0, %d       ; getpid
+        sys
+        mov r9, r0
+        movi r0, %d       ; exit(delta + pid)
+        add r1, r8, r9
+        sys
+        halt
+|}
+      (num Syscall.Brk) (num Syscall.Brk) (num Syscall.Getpid) (num Syscall.Exit)
+  in
+  let _, _, stop = run_program src in
+  check_exit "brk grew by 4096, pid 1" 4097 stop
+
+let test_bad_pointer_efault () =
+  let src =
+    Printf.sprintf
+      {|
+_start: movi r0, %d       ; open with wild pointer
+        movi r1, 0x3fffff8
+        movi r2, 0
+        sys
+        movi r0, %d
+        mov r1, r0
+        sys
+        halt
+|}
+      (num Syscall.Open) (num Syscall.Exit)
+  in
+  (* exit code is the open result (negative EFAULT) passed through r0->r1;
+     note movi r0 clobbers before mov, so just check it didn't crash *)
+  let _, _, stop = run_program src in
+  match stop with
+  | Svm.Machine.Halted _ -> ()
+  | _ -> Alcotest.fail "expected graceful errno, not a crash"
+
+let test_unknown_syscall_enosys () =
+  let src =
+    Printf.sprintf
+      {|
+_start: movi r0, 9999
+        sys
+        mov r8, r0
+        movi r0, %d
+        mov r1, r8
+        sys
+        halt
+|}
+      (num Syscall.Exit)
+  in
+  let _, _, stop = run_program src in
+  check_exit "ENOSYS" (-Errno.code Errno.ENOSYS) stop
+
+let test_execve_replaces_image () =
+  let kernel = Kernel.create () in
+  (* target program: exits 42 *)
+  let target =
+    Svm.Asm.assemble_exn
+      (Printf.sprintf "_start: movi r0, %d\n movi r1, 42\n sys\n halt" (num Syscall.Exit))
+  in
+  Kernel.install_binary kernel ~path:"/bin/target" target;
+  let src =
+    Printf.sprintf
+      {|
+_start: movi r0, %d       ; execve("/bin/target")
+        movi r1, path
+        movi r2, 0
+        movi r3, 0
+        sys
+        movi r0, %d       ; not reached on success
+        movi r1, 7
+        sys
+        halt
+        .rodata
+path:   .asciz "/bin/target"
+|}
+      (num Syscall.Execve) (num Syscall.Exit)
+  in
+  let _, proc, stop = run_program ~kernel src in
+  check_exit "exec'd program exit code" 42 stop;
+  Alcotest.(check string) "program name updated" "/bin/target" proc.Process.program
+
+let test_monitor_deny () =
+  let kernel = Kernel.create () in
+  let deny_all =
+    { Kernel.monitor_name = "deny-all";
+      pre_syscall = (fun _ ~site:_ ~number:_ -> Kernel.Deny "not authenticated");
+      post_syscall = Kernel.no_post }
+  in
+  Kernel.set_monitor kernel (Some deny_all);
+  let src = Printf.sprintf "_start: movi r0, %d\n sys\n halt" (num Syscall.Getpid) in
+  let _, _, stop = run_program ~kernel src in
+  (match stop with
+   | Svm.Machine.Killed reason -> Alcotest.(check string) "reason" "not authenticated" reason
+   | _ -> Alcotest.fail "expected kill");
+  Alcotest.(check bool) "audited" true (Kernel.audit_log kernel <> [])
+
+let test_tracing () =
+  let kernel = Kernel.create () in
+  kernel.Kernel.tracing <- true;
+  let src =
+    Printf.sprintf "_start: movi r0, %d\n sys\n movi r0, %d\n movi r1, 0\n sys\n halt"
+      (num Syscall.Getpid) (num Syscall.Exit)
+  in
+  let _, _, stop = run_program ~kernel src in
+  check_exit "exit" 0 stop;
+  let tr = Kernel.trace kernel in
+  Alcotest.(check int) "two syscalls traced" 2 (List.length tr);
+  (match tr with
+   | first :: _ ->
+     Alcotest.(check bool) "first is getpid" true (first.Kernel.t_sem = Some Syscall.Getpid);
+     Alcotest.(check int) "result is pid" 1 first.Kernel.t_result
+   | [] -> Alcotest.fail "empty trace")
+
+let test_openbsd_indirect_mmap () =
+  let kernel = Kernel.create ~personality:Personality.openbsd () in
+  let n_ind = Option.get (Personality.number_of Personality.openbsd Syscall.Indirect) in
+  let n_exit = Option.get (Personality.number_of Personality.openbsd Syscall.Exit) in
+  let src =
+    Printf.sprintf
+      {|
+_start: movi r0, %d       ; __syscall
+        movi r1, 197      ; SYS_mmap
+        movi r2, 0        ; addr hint
+        movi r3, 8192     ; length
+        sys
+        mov r8, r0
+        movi r0, %d
+        mov r1, r8
+        sys
+        halt
+|}
+      n_ind n_exit
+  in
+  let _, _, stop = run_program ~kernel src in
+  match stop with
+  | Svm.Machine.Halted addr -> Alcotest.(check bool) "mmap returned an address" true (addr > 0)
+  | _ -> Alcotest.fail "mmap via __syscall failed"
+
+let test_getdirentries () =
+  let kernel = Kernel.create () in
+  ok (Vfs.create_file kernel.Kernel.vfs ~cwd:"/" "/etc/a" ~contents:"");
+  ok (Vfs.create_file kernel.Kernel.vfs ~cwd:"/" "/etc/b" ~contents:"");
+  let src =
+    Printf.sprintf
+      {|
+_start: movi r0, %d       ; open("/etc", O_RDONLY)
+        movi r1, path
+        movi r2, 0
+        sys
+        mov r7, r0
+        movi r0, %d       ; getdirentries(fd, buf, 64)
+        mov r1, r7
+        movi r2, buf
+        movi r3, 64
+        sys
+        mov r8, r0
+        movi r0, %d
+        mov r1, r8
+        sys
+        halt
+        .rodata
+path:   .asciz "/etc"
+        .bss
+buf:    .space 64
+|}
+      (num Syscall.Open) (num Syscall.Getdirentries) (num Syscall.Exit)
+  in
+  let _, _, stop = run_program ~kernel src in
+  check_exit "two entries a\\0b\\0" 4 stop
+
+let suite_vfs =
+  [ Alcotest.test_case "basic files" `Quick test_vfs_basic;
+    Alcotest.test_case "relative paths" `Quick test_vfs_relative_paths;
+    Alcotest.test_case "symlinks + normalization" `Quick test_vfs_symlinks;
+    Alcotest.test_case "symlink loop -> ELOOP" `Quick test_vfs_symlink_loop;
+    Alcotest.test_case "mkdir/rmdir/rename/readdir" `Quick test_vfs_mutations;
+    Alcotest.test_case "read_at/write_at" `Quick test_vfs_read_write_at;
+    QCheck_alcotest.to_alcotest prop_vfs_write_read_roundtrip ]
+
+let suite_pers =
+  [ Alcotest.test_case "tables roundtrip + divergences" `Quick test_personality_tables;
+    Alcotest.test_case "syscall names" `Quick test_syscall_names ]
+
+let suite_kernel =
+  [ Alcotest.test_case "hello stdout" `Quick test_hello_stdout;
+    Alcotest.test_case "open/read/close" `Quick test_open_read_close;
+    Alcotest.test_case "write creates file" `Quick test_write_creates_file;
+    Alcotest.test_case "stdin read" `Quick test_stdin_read;
+    Alcotest.test_case "brk + getpid" `Quick test_brk_and_getpid;
+    Alcotest.test_case "bad pointer -> errno" `Quick test_bad_pointer_efault;
+    Alcotest.test_case "unknown syscall -> ENOSYS" `Quick test_unknown_syscall_enosys;
+    Alcotest.test_case "execve replaces image" `Quick test_execve_replaces_image;
+    Alcotest.test_case "monitor can deny" `Quick test_monitor_deny;
+    Alcotest.test_case "tracing" `Quick test_tracing;
+    Alcotest.test_case "openbsd __syscall -> mmap" `Quick test_openbsd_indirect_mmap;
+    Alcotest.test_case "getdirentries" `Quick test_getdirentries ]
+
+let () =
+  Alcotest.run "oskernel"
+    [ ("vfs", suite_vfs); ("personality", suite_pers); ("kernel", suite_kernel) ]

@@ -1,0 +1,382 @@
+(* Tests for the binary rewriter: disassembly, CFG, stub inlining, constant
+   propagation, system-call graph, and relocation-correct re-emission. *)
+
+open Plto
+
+let disasm_exn ?first_bid src =
+  let img = Svm.Asm.assemble_exn src in
+  match Disasm.disassemble ?first_bid img with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "disassembly failed: %s" e
+
+(* A program shaped like compiled code: two callers invoke the same libc-style
+   write stub with different constant arguments; an error path calls exit. *)
+let two_caller_src =
+  {|
+_start: movi r1, 1
+        movi r2, msg_a
+        movi r3, 6
+        call writestub
+        movi r1, 1
+        movi r2, msg_b
+        movi r3, 4
+        call writestub
+        movi r1, 0
+        call exitstub
+        halt
+writestub: movi r0, 4
+        sys
+        ret
+exitstub: movi r0, 1
+        sys
+        ret
+        .rodata
+msg_a:  .asciz "hello"
+msg_b:  .asciz "bye"
+|}
+
+let test_disasm_blocks () =
+  let p = disasm_exn two_caller_src in
+  (* call sites split blocks: _start gives 3 blocks (one per call) + halt
+     block + 2 stub blocks = 6 *)
+  Alcotest.(check int) "block count" 6 (List.length p.Ir.blocks);
+  Alcotest.(check int) "entry is first block" 1 p.Ir.entry;
+  let stub_blocks = List.filter Ir.has_sys p.Ir.blocks in
+  Alcotest.(check int) "two sys blocks" 2 (List.length stub_blocks)
+
+let test_disasm_movi_classification () =
+  let p = disasm_exn two_caller_src in
+  let entry = Ir.find_block p p.Ir.entry in
+  let kinds =
+    List.filter_map
+      (function
+       | Ir.Movi (_, Ir.DataRef _) -> Some `Data
+       | Ir.Movi (_, Ir.Const _) -> Some `Const
+       | Ir.Movi (_, (Ir.CodeRef _ | Ir.NewRef _)) -> Some `Other
+       | Ir.Plain _ | Ir.Sys -> None)
+      entry.Ir.body
+  in
+  Alcotest.(check (list bool)) "const, data, const"
+    [ false; true; false ]
+    (List.map (fun k -> k = `Data) kinds)
+
+let test_disasm_opaque () =
+  (* raw bytes in the text path: an undecodable slot becomes an opaque block
+     and a warning, like PLTO on the odd OpenBSD close stub *)
+  let src =
+    {|
+_start: movi r0, 1
+        jmp done
+        .byte 0xff,0xee,0xdd,0xcc,0xbb,0xaa,0x99,0x88
+done:   halt
+|}
+  in
+  let p = disasm_exn src in
+  let opaque = List.filter (fun b -> b.Ir.opaque <> None) p.Ir.blocks in
+  Alcotest.(check int) "one opaque block" 1 (List.length opaque);
+  Alcotest.(check bool) "warning reported" true
+    (List.exists
+       (fun w ->
+         String.length w >= 19 && String.sub w 0 19 = "cannot disassemble ")
+       p.Ir.warnings);
+  (* an opaque program cannot be re-emitted *)
+  match Emit.emit p with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "emitted a program with opaque blocks"
+
+let test_cfg_and_callgraph () =
+  let p = disasm_exn two_caller_src in
+  let calls = Cfg.call_edges p in
+  Alcotest.(check int) "three call edges" 3 (List.length calls);
+  let entries = Cfg.function_entries p in
+  (* _start + 2 stubs *)
+  Alcotest.(check int) "three functions" 3 (List.length entries);
+  (* reachability: all blocks reachable here *)
+  Alcotest.(check int) "all reachable" (List.length p.Ir.blocks)
+    (Hashtbl.length (Cfg.reachable p))
+
+let test_inline_stubs () =
+  let p = disasm_exn two_caller_src in
+  Alcotest.(check int) "two stubs detected" 2 (List.length (Inline.stub_entries p));
+  let n = Inline.inline_stubs p in
+  Alcotest.(check int) "three sites inlined" 3 n;
+  (* after inlining, sys sites live in the caller blocks *)
+  let sys_blocks = List.filter Ir.has_sys p.Ir.blocks in
+  Alcotest.(check int) "five sys-bearing blocks" 5 (List.length sys_blocks);
+  let removed = Opt.remove_unreachable p in
+  Alcotest.(check int) "stub bodies removed" 2 removed
+
+let test_dataflow_constants () =
+  let p = disasm_exn two_caller_src in
+  ignore (Inline.inline_stubs p);
+  ignore (Opt.remove_unreachable p);
+  let states = Dataflow.sys_states p in
+  Alcotest.(check int) "three sys sites" 3 (List.length states);
+  (* first site: r0=4 (write), r1=1, r2=msg_a (data), r3=6 *)
+  (match states with
+   | (_, _, st) :: _ ->
+     (match st.(0) with
+      | Dataflow.Vals [ { av_kind = Dataflow.KConst; av_val = 4; _ } ] -> ()
+      | _ -> Alcotest.fail "r0 should be const 4");
+     (match st.(2) with
+      | Dataflow.Vals [ { av_kind = Dataflow.KData; av_defs = [ _ ]; _ } ] -> ()
+      | _ -> Alcotest.fail "r2 should be a data address with one def");
+     (match st.(3) with
+      | Dataflow.Vals [ { av_val = 6; _ } ] -> ()
+      | _ -> Alcotest.fail "r3 should be const 6")
+   | [] -> Alcotest.fail "no states")
+
+let test_dataflow_merge_to_multivalue () =
+  (* two paths set r1 to different constants before one sys *)
+  let src =
+    {|
+_start: movi r5, 0
+        beq r5, r5, a
+        movi r1, 10
+        jmp c
+a:      movi r1, 20
+c:      movi r0, 4
+        sys
+        halt
+|}
+  in
+  let p = disasm_exn src in
+  match Dataflow.sys_states p with
+  | [ (_, _, st) ] ->
+    (match st.(1) with
+     | Dataflow.Vals vs ->
+       let vals = List.sort compare (List.map (fun v -> v.Dataflow.av_val) vs) in
+       Alcotest.(check (list int)) "both constants survive" [ 10; 20 ] vals
+     | _ -> Alcotest.fail "r1 should be a two-value set")
+  | _ -> Alcotest.fail "expected one sys site"
+
+let test_dataflow_sys_result_is_res () =
+  let src =
+    {|
+_start: movi r0, 5
+        sys
+        mov r1, r0
+        movi r0, 3
+        sys
+        halt
+|}
+  in
+  let p = disasm_exn src in
+  ignore (Inline.split_multi_sys p);
+  match Dataflow.sys_states p with
+  | [ _; (_, _, st2) ] ->
+    (match st2.(1) with
+     | Dataflow.Res -> ()
+     | _ -> Alcotest.fail "r1 at second sys should be a syscall result (fd tracking)")
+  | l -> Alcotest.failf "expected two sys sites, got %d" (List.length l)
+
+let test_split_multi_sys () =
+  let src = "_start: movi r0, 20\n sys\n sys\n sys\n halt" in
+  let p = disasm_exn src in
+  let n = Inline.split_multi_sys p in
+  Alcotest.(check int) "two splits" 2 n;
+  List.iter
+    (fun b -> Alcotest.(check bool) "at most one sys" true (Ir.sys_count b <= 1))
+    p.Ir.blocks;
+  (* behavior preserved: re-emit and decode count of sys = 3 *)
+  match Emit.emit p with
+  | Error e -> Alcotest.fail e
+  | Ok (img, _) ->
+    let text = Svm.Obj_file.text_section img in
+    let b = Bytes.of_string text.Svm.Obj_file.sec_payload in
+    let count = ref 0 in
+    let i = ref 0 in
+    while !i < Bytes.length b do
+      (match Svm.Isa.decode b ~pos:!i with Some Svm.Isa.Sys -> incr count | _ -> ());
+      i := !i + Svm.Isa.instr_size
+    done;
+    Alcotest.(check int) "three sys instructions" 3 !count
+
+let test_syscall_graph () =
+  let p = disasm_exn two_caller_src in
+  ignore (Inline.inline_stubs p);
+  ignore (Opt.remove_unreachable p);
+  let graph = Syscall_graph.compute p ~start_bid:0 in
+  match graph with
+  | [ (b1, p1); (b2, p2); (b3, p3) ] ->
+    Alcotest.(check (list int)) "first write preceded by start" [ 0 ] p1;
+    Alcotest.(check (list int)) "second write preceded by first" [ b1 ] p2;
+    Alcotest.(check (list int)) "exit preceded by second" [ b2 ] p3;
+    Alcotest.(check bool) "distinct sites" true (b1 <> b2 && b2 <> b3)
+  | l -> Alcotest.failf "expected 3 sites, got %d" (List.length l)
+
+let test_syscall_graph_loop () =
+  (* a syscall in a loop is its own predecessor *)
+  let src =
+    {|
+_start: movi r4, 0
+        movi r5, 3
+loop:   movi r0, 20
+        sys
+        addi r4, r4, 1
+        blt r4, r5, loop
+        halt
+|}
+  in
+  let p = disasm_exn src in
+  match Syscall_graph.compute p ~start_bid:0 with
+  | [ (b, preds) ] ->
+    Alcotest.(check (list int)) "start and itself" [ 0; b ] (List.sort compare preds)
+  | _ -> Alcotest.fail "expected one site"
+
+let test_syscall_graph_interprocedural () =
+  (* f() makes a syscall; main calls f twice; second call's syscall can be
+     preceded by the first via the return edge *)
+  let src =
+    {|
+_start: call f
+        call f
+        halt
+f:      movi r0, 20
+        sys
+        ret
+|}
+  in
+  let p = disasm_exn src in
+  match Syscall_graph.compute p ~start_bid:0 with
+  | [ (b, preds) ] ->
+    Alcotest.(check (list int)) "start and itself (via return+recall)" [ 0; b ]
+      (List.sort compare preds)
+  | _ -> Alcotest.fail "expected one (shared) site"
+
+(* --- round trip: rewrite must preserve behavior --- *)
+
+let run_image img ~stdin =
+  let kernel = Oskernel.Kernel.create () in
+  let proc = Oskernel.Kernel.spawn kernel ~stdin ~program:"t" img in
+  let stop = Oskernel.Kernel.run kernel proc ~max_cycles:10_000_000 in
+  (stop, Oskernel.Kernel.stdout_of proc)
+
+let test_emit_identity_roundtrip () =
+  let img = Svm.Asm.assemble_exn two_caller_src in
+  let p = disasm_exn two_caller_src in
+  match Emit.emit p with
+  | Error e -> Alcotest.fail e
+  | Ok (img', _) ->
+    let stop1, out1 = run_image img ~stdin:"" in
+    let stop2, out2 = run_image img' ~stdin:"" in
+    Alcotest.(check string) "stdout preserved" out1 out2;
+    Alcotest.(check bool) "both exit" true (stop1 = stop2)
+
+let test_emit_after_transform_roundtrip () =
+  let p = disasm_exn two_caller_src in
+  ignore (Inline.inline_stubs p);
+  ignore (Opt.remove_unreachable p);
+  match Emit.emit p with
+  | Error e -> Alcotest.fail e
+  | Ok (img', _) ->
+    let stop, out = run_image img' ~stdin:"" in
+    Alcotest.(check string) "stdout after inlining" "hello\000bye\000" out;
+    (match stop with
+     | Svm.Machine.Halted 0 -> ()
+     | _ -> Alcotest.fail "did not exit cleanly")
+
+let test_emit_extra_section_and_growth () =
+  (* insert instructions so text grows past the old rodata base, forcing the
+     data sections to move; add an .asc-style extra section and reference it *)
+  let p = disasm_exn two_caller_src in
+  ignore (Inline.inline_stubs p);
+  (* pad every block with register setup so layout genuinely changes *)
+  List.iter
+    (fun (b : Ir.block) ->
+      if b.Ir.opaque = None then
+        b.Ir.body <-
+          Ir.Movi (9, Ir.NewRef (".asc", 0)) :: Ir.Movi (10, Ir.NewRef (".asc", 16)) :: b.Ir.body)
+    p.Ir.blocks;
+  let filled = ref None in
+  let fill layout =
+    filled := Some (Emit.base_of layout ".asc");
+    [ (".asc", String.make 32 'M') ]
+  in
+  match Emit.emit ~extra_sections:[ (".asc", Svm.Obj_file.Data, 32) ] ~fill p with
+  | Error e -> Alcotest.fail e
+  | Ok (img', layout) ->
+    let asc_base = Option.get !filled in
+    Alcotest.(check bool) "asc placed above data" true (asc_base > Svm.Asm.text_base);
+    (match Svm.Obj_file.section_named img' ".asc" with
+     | Some s ->
+       Alcotest.(check string) "payload written" (String.make 32 'M') s.Svm.Obj_file.sec_payload;
+       Alcotest.(check int) "payload at base" asc_base s.Svm.Obj_file.sec_addr
+     | None -> Alcotest.fail "missing .asc section");
+    (* data moved but program still behaves identically *)
+    let _, out = run_image img' ~stdin:"" in
+    Alcotest.(check string) "stdout preserved across data move" "hello\000bye\000" out;
+    ignore layout
+
+let test_emit_is_redisassemblable () =
+  (* output must be a relocatable binary: disassemble the rewritten binary *)
+  let p = disasm_exn two_caller_src in
+  ignore (Inline.inline_stubs p);
+  ignore (Opt.remove_unreachable p);
+  match Emit.emit p with
+  | Error e -> Alcotest.fail e
+  | Ok (img', _) ->
+    (match Disasm.disassemble img' with
+     | Ok p2 ->
+       Alcotest.(check int) "same sys count" 3
+         (List.fold_left (fun a b -> a + Ir.sys_count b) 0 p2.Ir.blocks)
+     | Error e -> Alcotest.failf "re-disassembly failed: %s" e)
+
+let prop_roundtrip_random_linear_programs =
+  (* random straight-line programs with data refs survive rewrite unchanged *)
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 20)
+        (oneof
+           [ map2
+               (fun r v -> Printf.sprintf "movi r%d, %d" (1 + (abs r mod 10)) (abs v mod 1000))
+               int int;
+             map2
+               (fun a b ->
+                 Printf.sprintf "add r%d, r%d, r1" (1 + (abs a mod 10)) (1 + (abs b mod 10)))
+               int int;
+             return "movi r2, blob" ]))
+  in
+  QCheck.Test.make ~name:"rewrite preserves linear programs" ~count:50
+    (QCheck.make ~print:(String.concat "; ") gen)
+    (fun instrs ->
+      let src =
+        "_start: "
+        ^ String.concat "\n " instrs
+        ^ "\n mov r0, r5\n halt\n .data\nblob: .word 7\n"
+      in
+      let img = Svm.Asm.assemble_exn src in
+      match Disasm.disassemble img with
+      | Error _ -> false
+      | Ok p ->
+        (match Emit.emit p with
+         | Error _ -> false
+         | Ok (img', _) ->
+           let m1 = Svm.Loader.load img in
+           let m2 = Svm.Loader.load img' in
+           let on_sys _ = Svm.Machine.Sys_kill "no sys expected" in
+           let s1 = Svm.Machine.run m1 ~on_sys ~max_cycles:100000 in
+           let s2 = Svm.Machine.run m2 ~on_sys ~max_cycles:100000 in
+           (* same halt status; r5 arbitrary but equal *)
+           s1 = s2))
+
+let suite =
+  [ Alcotest.test_case "disasm block structure" `Quick test_disasm_blocks;
+    Alcotest.test_case "movi classification via relocs" `Quick test_disasm_movi_classification;
+    Alcotest.test_case "opaque blocks + warning" `Quick test_disasm_opaque;
+    Alcotest.test_case "cfg + callgraph" `Quick test_cfg_and_callgraph;
+    Alcotest.test_case "stub inlining" `Quick test_inline_stubs;
+    Alcotest.test_case "const prop at sys sites" `Quick test_dataflow_constants;
+    Alcotest.test_case "multi-value merge" `Quick test_dataflow_merge_to_multivalue;
+    Alcotest.test_case "sys result tracked as Res" `Quick test_dataflow_sys_result_is_res;
+    Alcotest.test_case "split multi-sys blocks" `Quick test_split_multi_sys;
+    Alcotest.test_case "syscall graph linear" `Quick test_syscall_graph;
+    Alcotest.test_case "syscall graph loop" `Quick test_syscall_graph_loop;
+    Alcotest.test_case "syscall graph interprocedural" `Quick test_syscall_graph_interprocedural;
+    Alcotest.test_case "emit identity roundtrip" `Quick test_emit_identity_roundtrip;
+    Alcotest.test_case "emit after transforms" `Quick test_emit_after_transform_roundtrip;
+    Alcotest.test_case "extra section + data move" `Quick test_emit_extra_section_and_growth;
+    Alcotest.test_case "output is relocatable again" `Quick test_emit_is_redisassemblable ]
+  @ [ QCheck_alcotest.to_alcotest prop_roundtrip_random_linear_programs ]
+
+let () = Alcotest.run "plto" [ ("plto", suite) ]

@@ -1,0 +1,387 @@
+(* System-level property tests.
+
+   The central soundness claim of the paper's approach is "no false alarms":
+   a conservative static policy admits every behavior of the uncompromised
+   program, so an installed binary running under enforcement must never be
+   killed and must behave exactly like the original. We check that on
+   randomly generated MiniC programs.
+
+   Dually, robustness: random byte mutations of an installed binary must
+   never crash the kernel or the checker (OCaml exception) — every run ends
+   in Halted / Faulted / Killed / Cycle_limit. *)
+
+open Oskernel
+module Cmac = Asc_crypto.Cmac
+
+let key = Cmac.of_raw "property-test-k!"
+let personality = Personality.linux
+
+(* ---- random MiniC program generator ---- *)
+
+(* Generates small programs over: int locals, arithmetic, if/while, calls to
+   a fixed set of syscall-wrappers and helper functions, stack and global
+   buffers, string literals. All generated programs terminate (loops are
+   bounded counters). *)
+let loop_counter = ref 0
+
+let fresh_loop_var () =
+  incr loop_counter;
+  Printf.sprintf "k%d" !loop_counter
+
+let gen_program =
+  let open QCheck.Gen in
+  let var i = Printf.sprintf "v%d" (i mod 4) in
+  let rec gen_expr depth =
+    if depth = 0 then
+      oneof
+        [ map (fun v -> string_of_int (abs v mod 1000)) int;
+          map var (int_bound 3) ]
+    else
+      oneof
+        [ map (fun v -> string_of_int (abs v mod 1000)) int;
+          map var (int_bound 3);
+          (let* a = gen_expr (depth - 1) in
+           let* b = gen_expr (depth - 1) in
+           let* op = oneofl [ "+"; "-"; "*" ] in
+           return (Printf.sprintf "(%s %s %s)" a op b));
+          (let* a = gen_expr (depth - 1) in
+           return (Printf.sprintf "(%s / 7)" a)) ]
+  in
+  let gen_io_stmt =
+    let* choice = int_bound 7 in
+    let u = fresh_loop_var () in
+    return
+      (match choice with
+       | 0 -> "getpid();"
+       | 1 -> "puts_str(\"tick\\n\");"
+       | 2 -> "write(1, \"ab\", 2);"
+       | 3 ->
+         Printf.sprintf
+           "{ int fd%s = open(\"/tmp/p\", 65, 420); if (fd%s >= 0) { write(fd%s, \"x\", 1); close(fd%s); } }"
+           u u u u
+       | 4 -> Printf.sprintf "{ char tb%s[16]; gettimeofday(tb%s, 0); }" u u
+       | 5 -> Printf.sprintf "{ char st%s[16]; stat(\"/tmp/p\", st%s); }" u u
+       | 6 -> "access(\"/etc/q\", 4);"
+       | _ -> "nanosleep(0, 0);")
+  in
+  let rec gen_stmt depth =
+    if depth = 0 then
+      oneof
+        [ (let* i = int_bound 3 in
+           let* e = gen_expr 1 in
+           return (Printf.sprintf "%s = %s;" (var i) e));
+          gen_io_stmt ]
+    else
+      oneof
+        [ (let* i = int_bound 3 in
+           let* e = gen_expr 2 in
+           return (Printf.sprintf "%s = %s;" (var i) e));
+          gen_io_stmt;
+          (let* c = gen_expr 1 in
+           let* a = gen_stmt (depth - 1) in
+           let* b = gen_stmt (depth - 1) in
+           return (Printf.sprintf "if (%s > 3) { %s } else { %s }" c a b));
+          (let* body = gen_stmt (depth - 1) in
+           let k = fresh_loop_var () in
+           return
+             (Printf.sprintf "{ int %s; for (%s = 0; %s < 3; %s = %s + 1) { %s } }" k k k k k
+                body)) ]
+  in
+  let* stmts = list_size (int_range 1 8) (gen_stmt 2) in
+  let body = String.concat "\n  " stmts in
+  return
+    (Printf.sprintf
+       "int v0; int v1; int v2; int v3;\nint main() {\n  %s\n  return v0 %% 100;\n}" body)
+
+let arbitrary_program = QCheck.make ~print:(fun s -> s) gen_program
+
+exception Load_rejected
+
+(* Kernel.spawn refuses images whose sections fall outside memory (the
+   moral equivalent of execve returning ENOEXEC); surface that as its own
+   outcome so robustness properties can distinguish it from a crash. *)
+let run_image ?monitor_of image =
+  let kernel = Kernel.create ~personality () in
+  kernel.Kernel.tracing <- true;
+  (match monitor_of with
+   | Some f -> Kernel.set_monitor kernel (Some (f kernel))
+   | None -> ());
+  let proc =
+    try Kernel.spawn kernel ~program:"prop" image
+    with Invalid_argument _ -> raise Load_rejected
+  in
+  let stop = Kernel.run kernel proc ~max_cycles:200_000_000 in
+  let sems = List.filter_map (fun t -> t.Kernel.t_sem) (Kernel.trace kernel) in
+  (stop, Kernel.stdout_of proc, sems)
+
+let prop_no_false_alarms =
+  QCheck.Test.make ~name:"installed programs never trip the checker" ~count:60
+    arbitrary_program (fun src ->
+      match Minic.Driver.compile ~personality src with
+      | Error e -> QCheck.Test.fail_reportf "generated program does not compile: %s" e
+      | Ok img ->
+        (match Asc_core.Installer.install ~key ~personality ~program:"prop" img with
+         | Error e -> QCheck.Test.fail_reportf "install failed: %s" e
+         | Ok inst ->
+           let stop0, out0, sems0 = run_image img in
+           let stop1, out1, sems1 =
+             run_image
+               ~monitor_of:(fun kernel -> Asc_core.Checker.monitor ~kernel ~key ())
+               inst.Asc_core.Installer.image
+           in
+           (match (stop0, stop1) with
+            | Svm.Machine.Halted a, Svm.Machine.Halted b ->
+              a = b && out0 = out1 && sems0 = sems1
+            | Svm.Machine.Killed r, _ | _, Svm.Machine.Killed r ->
+              QCheck.Test.fail_reportf "killed: %s" r
+            | _ -> QCheck.Test.fail_reportf "abnormal termination")))
+
+let prop_extensions_no_false_alarms =
+  QCheck.Test.make ~name:"value-set extensions never trip the checker" ~count:30
+    arbitrary_program (fun src ->
+      match Minic.Driver.compile ~personality src with
+      | Error _ -> false
+      | Ok img ->
+        let options = { Asc_core.Installer.default_options with use_extensions = true } in
+        (match Asc_core.Installer.install ~key ~personality ~options ~program:"prop" img with
+         | Error e -> QCheck.Test.fail_reportf "install failed: %s" e
+         | Ok inst ->
+           (match
+              run_image
+                ~monitor_of:(fun kernel -> Asc_core.Checker.monitor ~kernel ~key ())
+                inst.Asc_core.Installer.image
+            with
+            | Svm.Machine.Halted _, _, _ -> true
+            | Svm.Machine.Killed r, _, _ -> QCheck.Test.fail_reportf "killed: %s" r
+            | _ -> false)))
+
+(* ---- mutation fuzzing: the kernel/checker must never crash ---- *)
+
+let fixed_victim =
+  lazy
+    (let src =
+       {|
+int main() {
+  int fd = open("/tmp/f", 65, 420);
+  write(fd, "fuzzdata", 8);
+  close(fd);
+  puts_str("done\n");
+  return 0;
+}
+|}
+     in
+     let img = Minic.Driver.compile_exn ~personality src in
+     match Asc_core.Installer.install ~key ~personality ~program:"fuzz" img with
+     | Ok inst -> Svm.Obj_file.serialize inst.Asc_core.Installer.image
+     | Error e -> failwith e)
+
+let prop_mutation_robustness =
+  QCheck.Test.make ~name:"byte mutations never crash the kernel" ~count:300
+    QCheck.(pair small_nat (int_bound 255))
+    (fun (pos, byte) ->
+      let serialized = Lazy.force fixed_victim in
+      let b = Bytes.of_string serialized in
+      let pos = 8 + (pos * 131 mod (Bytes.length b - 8)) in
+      Bytes.set b pos (Char.chr byte);
+      match Svm.Obj_file.parse (Bytes.to_string b) with
+      | Error _ -> true (* corrupt image rejected at parse time *)
+      | Ok img ->
+        (match
+           run_image ~monitor_of:(fun kernel -> Asc_core.Checker.monitor ~kernel ~key ()) img
+         with
+         | (Svm.Machine.Halted _ | Svm.Machine.Faulted _ | Svm.Machine.Killed _
+           | Svm.Machine.Cycle_limit), _, _ -> true
+         | exception Load_rejected -> true (* refused before any code ran *)
+         | exception (Failure _ | Invalid_argument _ | Not_found) -> false))
+
+(* a mutated run that completes must not have gained syscall behavior the
+   policy never named *)
+let prop_mutation_confined =
+  QCheck.Test.make ~name:"mutations cannot add unauthorized syscalls" ~count:300
+    QCheck.(pair small_nat (int_bound 255))
+    (fun (pos, byte) ->
+      let serialized = Lazy.force fixed_victim in
+      let baseline_sems =
+        match Svm.Obj_file.parse serialized with
+        | Ok img ->
+          let _, _, sems =
+            run_image ~monitor_of:(fun kernel -> Asc_core.Checker.monitor ~kernel ~key ()) img
+          in
+          List.sort_uniq compare sems
+        | Error _ -> assert false
+      in
+      let b = Bytes.of_string serialized in
+      let pos = 8 + (pos * 131 mod (Bytes.length b - 8)) in
+      Bytes.set b pos (Char.chr byte);
+      match Svm.Obj_file.parse (Bytes.to_string b) with
+      | Error _ -> true
+      | Ok img ->
+        (match
+           run_image ~monitor_of:(fun kernel -> Asc_core.Checker.monitor ~kernel ~key ()) img
+         with
+         | exception Load_rejected -> true
+         | _, _, sems ->
+           (* whatever happened, the completed syscalls stay within the
+              program's policy set *)
+           List.for_all (fun s -> List.mem s baseline_sems) (List.sort_uniq compare sems)))
+
+(* ---- model-based VFS testing ---- *)
+
+type model_op =
+  | M_create of string * string
+  | M_mkdir of string
+  | M_unlink of string
+  | M_rename of string * string
+  | M_read of string
+
+let model_paths = [ "/a"; "/b"; "/d/x"; "/d/y"; "/d" ]
+
+let gen_op =
+  let open QCheck.Gen in
+  let path = oneofl model_paths in
+  oneof
+    [ map2 (fun p c -> M_create (p, c)) path (string_size ~gen:(char_range 'a' 'z') (int_bound 8));
+      map (fun p -> M_mkdir p) path;
+      map (fun p -> M_unlink p) path;
+      map2 (fun a b -> M_rename (a, b)) path path;
+      map (fun p -> M_read p) path ]
+
+let print_op = function
+  | M_create (p, c) -> Printf.sprintf "create %s %S" p c
+  | M_mkdir p -> "mkdir " ^ p
+  | M_unlink p -> "unlink " ^ p
+  | M_rename (a, b) -> Printf.sprintf "rename %s %s" a b
+  | M_read p -> "read " ^ p
+
+(* reference model: a flat map from paths to [`File of string | `Dir],
+   with /d the only possible directory *)
+module SM = Map.Make (String)
+
+let model_apply (model : [ `File of string | `Dir ] SM.t) op =
+  let parent_ok p =
+    match String.rindex_opt p '/' with
+    | Some 0 -> true
+    | Some i ->
+      let parent = String.sub p 0 i in
+      (match SM.find_opt parent model with Some `Dir -> true | _ -> false)
+    | None -> false
+  in
+  match op with
+  | M_create (p, c) ->
+    (match SM.find_opt p model with
+     | Some `Dir -> (model, `Err)
+     | _ when not (parent_ok p) -> (model, `Err)
+     | _ -> (SM.add p (`File c) model, `Ok))
+  | M_mkdir p ->
+    if SM.mem p model || not (parent_ok p) then (model, `Err)
+    else (SM.add p `Dir model, `Ok)
+  | M_unlink p ->
+    (match SM.find_opt p model with
+     | Some (`File _) -> (SM.remove p model, `Ok)
+     | _ -> (model, `Err))
+  | M_rename (a, b) ->
+    (match SM.find_opt a model with
+     | None -> (model, `Err)
+     | Some _ when not (parent_ok b) -> (model, `Err)
+     | Some `Dir -> (model, `Skip) (* directory renames: not modeled *)
+     | Some (`File _ as v) ->
+       (match SM.find_opt b model with
+        | Some `Dir -> (model, `Err) (* a directory destination is refused *)
+        | _ -> if a = b then (model, `Ok) else (SM.add b v (SM.remove a model), `Ok)))
+  | M_read p ->
+    (match SM.find_opt p model with
+     | Some (`File c) -> (model, `Read c)
+     | _ -> (model, `Err))
+
+let prop_vfs_matches_model =
+  QCheck.Test.make ~name:"vfs agrees with a reference model" ~count:300
+    (QCheck.make
+       ~print:(fun ops -> String.concat "; " (List.map print_op ops))
+       QCheck.Gen.(list_size (int_range 1 25) gen_op))
+    (fun ops ->
+      let fs = Vfs.create () in
+      let ok = ref true in
+      let _ =
+        List.fold_left
+          (fun model op ->
+            let model', expected = model_apply model op in
+            (match expected with
+             | `Skip -> ()
+             | `Ok | `Err | `Read _ ->
+               let actual =
+                 match op with
+                 | M_create (p, c) ->
+                   (match Vfs.create_file fs ~cwd:"/" p ~contents:c with
+                    | Ok () -> `Ok
+                    | Error _ -> `Err)
+                 | M_mkdir p ->
+                   (match Vfs.mkdir fs ~cwd:"/" p with Ok () -> `Ok | Error _ -> `Err)
+                 | M_unlink p ->
+                   (match Vfs.unlink fs ~cwd:"/" p with Ok () -> `Ok | Error _ -> `Err)
+                 | M_rename (a, b) ->
+                   (match Vfs.rename fs ~cwd:"/" ~src:a ~dst:b with
+                    | Ok () -> `Ok
+                    | Error _ -> `Err)
+                 | M_read p ->
+                   (match Vfs.read_file fs ~cwd:"/" p with
+                    | Ok c -> `Read c
+                    | Error _ -> `Err)
+               in
+               if actual <> expected then ok := false);
+            model')
+          SM.empty ops
+      in
+      !ok)
+
+(* ---- branchy rewriter round-trips ---- *)
+
+let gen_branchy =
+  let open QCheck.Gen in
+  (* a chain of labeled blocks with arithmetic, conditional jumps forward,
+     and a final halt returning an accumulator *)
+  let* nblocks = int_range 2 6 in
+  let* ops =
+    list_size (return nblocks)
+      (list_size (int_range 1 4)
+         (oneof
+            [ map2 (fun r v -> Printf.sprintf "movi r%d, %d" (1 + (abs r mod 6)) (abs v mod 500)) int int;
+              map2 (fun a b -> Printf.sprintf "add r%d, r%d, r7" (1 + (abs a mod 6)) (1 + (abs b mod 6))) int int;
+              return "addi r7, r7, 3" ]))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "_start: movi r7, 1\n";
+  List.iteri
+    (fun i block ->
+      Buffer.add_string buf (Printf.sprintf "blk%d:\n" i);
+      List.iter (fun ins -> Buffer.add_string buf ("        " ^ ins ^ "\n")) block;
+      if i < nblocks - 1 then
+        Buffer.add_string buf
+          (Printf.sprintf "        blt r7, r%d, blk%d\n" (1 + (i mod 6)) (i + 1)))
+    ops;
+  Buffer.add_string buf "        mov r0, r7\n        halt\n";
+  return (Buffer.contents buf)
+
+let prop_branchy_roundtrip =
+  QCheck.Test.make ~name:"rewrite preserves branchy programs" ~count:100
+    (QCheck.make ~print:(fun s -> s) gen_branchy)
+    (fun src ->
+      let img = Svm.Asm.assemble_exn src in
+      match Plto.Disasm.disassemble img with
+      | Error _ -> false
+      | Ok p ->
+        ignore (Plto.Opt.remove_unreachable p);
+        (match Plto.Emit.emit p with
+         | Error _ -> false
+         | Ok (img', _) ->
+           let run i =
+             let m = Svm.Loader.load i in
+             Svm.Machine.run m ~on_sys:(fun _ -> Svm.Machine.Sys_kill "none") ~max_cycles:100000
+           in
+           run img = run img'))
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_no_false_alarms; prop_extensions_no_false_alarms; prop_mutation_robustness;
+      prop_mutation_confined; prop_vfs_matches_model; prop_branchy_roundtrip ]
+
+let () = Alcotest.run "properties" [ ("properties", suite) ]

@@ -1,0 +1,130 @@
+(* Tests for the Systrace-style baseline: training, alias generalization,
+   enforcement, and the ASC-vs-Systrace comparison methodology of Tables
+   1-2. *)
+
+open Oskernel
+
+let bison = Option.get (Workloads.Registry.by_name ~scale:1 "bison")
+
+let trained_policy ?(use_aliases = true) personality =
+  let image = Workloads.Registry.compile ~personality bison in
+  Systrace.train ~personality ~image
+    ~runs:[ bison.Workloads.Registry.setup ]
+    ~stdins:[ bison.Workloads.Registry.stdin ]
+    ~use_aliases
+
+let test_training_observes_normal_path () =
+  let p = trained_policy Personality.linux in
+  Alcotest.(check bool) "open observed" true (Syscall.Set.mem Syscall.Open p.Systrace.named);
+  Alcotest.(check bool) "write observed" true (Syscall.Set.mem Syscall.Write p.Systrace.named);
+  (* the error path (missing grammar -> kill) was never exercised *)
+  Alcotest.(check bool) "kill NOT observed" false (Syscall.Set.mem Syscall.Kill p.Systrace.named)
+
+let test_static_policy_superset_of_trained () =
+  let personality = Personality.linux in
+  let image = Workloads.Registry.compile ~personality bison in
+  let trained = trained_policy ~use_aliases:false personality in
+  match Asc_core.Installer.generate_policy ~personality ~program:"bison" image with
+  | Error e -> Alcotest.failf "asc policy: %s" e
+  | Ok asc ->
+    let asc_sems = Syscall.Set.of_list (Asc_core.Policy.distinct_sems asc) in
+    (* conservative static analysis covers everything training saw... *)
+    Syscall.Set.iter
+      (fun s ->
+        Alcotest.(check bool)
+          (Printf.sprintf "ASC includes observed %s" (Syscall.name s))
+          true (Syscall.Set.mem s asc_sems))
+      trained.Systrace.named;
+    (* ...plus the rare paths training missed (no false alarms possible) *)
+    let extra = Syscall.Set.diff asc_sems trained.Systrace.named in
+    Alcotest.(check bool) "ASC finds calls training missed" true
+      (Syscall.Set.mem Syscall.Kill extra)
+
+let test_aliases_overpermit () =
+  let p = trained_policy Personality.linux in
+  let granted = Systrace.granted p in
+  (* bison never calls rmdir, but fswrite grants it -- Table 2's rmdir row *)
+  Alcotest.(check bool) "rmdir not observed" false (Syscall.Set.mem Syscall.Rmdir p.Systrace.named);
+  Alcotest.(check bool) "rmdir granted via fswrite" true (Syscall.Set.mem Syscall.Rmdir granted);
+  Alcotest.(check bool) "readlink granted via fsread" true
+    (Syscall.Set.mem Syscall.Readlink granted)
+
+let test_rule_count_smaller_than_asc () =
+  (* Table 1's shape: the published (trained) policy lists fewer calls than
+     the conservative static policy *)
+  let personality = Personality.openbsd in
+  let image = Workloads.Registry.compile ~personality bison in
+  let trained = trained_policy personality in
+  match Asc_core.Installer.generate_policy ~personality ~program:"bison" image with
+  | Error e -> Alcotest.failf "asc policy: %s" e
+  | Ok asc ->
+    let asc_count = List.length (Asc_core.Policy.distinct_calls asc) in
+    let sys_count = Systrace.named_rule_count trained in
+    Alcotest.(check bool)
+      (Printf.sprintf "systrace rules (%d) < ASC calls (%d)" sys_count asc_count)
+      true (sys_count < asc_count)
+
+let test_enforcement_allows_trained_run () =
+  let personality = Personality.linux in
+  let image = Workloads.Registry.compile ~personality bison in
+  let policy = trained_policy personality in
+  let kernel = Kernel.create ~personality () in
+  bison.Workloads.Registry.setup kernel;
+  Kernel.set_monitor kernel (Some (Systrace.monitor ~personality policy));
+  let proc = Kernel.spawn kernel ~stdin:"" ~program:"bison" image in
+  match Kernel.run kernel proc ~max_cycles:500_000_000 with
+  | Svm.Machine.Halted 0 -> ()
+  | s ->
+    Alcotest.failf "trained run blocked: %s"
+      (match s with Svm.Machine.Killed r -> r | _ -> "abnormal exit")
+
+let test_enforcement_false_alarm_on_rare_path () =
+  (* run bison WITHOUT its grammar file: the legitimate error path trips the
+     trained policy -- the false-alarm problem the paper attributes to
+     training *)
+  let personality = Personality.linux in
+  let image = Workloads.Registry.compile ~personality bison in
+  let policy = trained_policy ~use_aliases:false personality in
+  let kernel = Kernel.create ~personality () in
+  (* no setup: /src/grammar.y missing *)
+  Kernel.set_monitor kernel (Some (Systrace.monitor ~personality policy));
+  let proc = Kernel.spawn kernel ~stdin:"" ~program:"bison" image in
+  match Kernel.run kernel proc ~max_cycles:500_000_000 with
+  | Svm.Machine.Killed reason ->
+    Alcotest.(check bool) ("false alarm: " ^ reason) true (String.length reason > 0)
+  | _ -> Alcotest.fail "expected a false alarm on the unexercised error path"
+
+let test_user_space_cost_higher_per_call () =
+  (* the daemon pays two context switches per call; a syscall-dense run under
+     systrace must burn more cycles than unmonitored *)
+  let personality = Personality.linux in
+  let image = Workloads.Registry.compile ~personality bison in
+  let run monitor =
+    let kernel = Kernel.create ~personality () in
+    bison.Workloads.Registry.setup kernel;
+    Kernel.set_monitor kernel monitor;
+    let proc = Kernel.spawn kernel ~stdin:"" ~program:"bison" image in
+    (match Kernel.run kernel proc ~max_cycles:500_000_000 with
+     | Svm.Machine.Halted 0 -> ()
+     | _ -> Alcotest.fail "run failed");
+    proc.Process.machine.Svm.Machine.cycles
+  in
+  let baseline = run None in
+  let policy = trained_policy personality in
+  let monitored = run (Some (Systrace.monitor ~personality policy)) in
+  Alcotest.(check bool) "systrace adds cost" true (monitored > baseline)
+
+let () =
+  Alcotest.run "systrace"
+    [ ( "systrace",
+        [ Alcotest.test_case "training observes normal path" `Quick
+            test_training_observes_normal_path;
+          Alcotest.test_case "static superset of trained" `Quick
+            test_static_policy_superset_of_trained;
+          Alcotest.test_case "aliases over-permit" `Quick test_aliases_overpermit;
+          Alcotest.test_case "rule count below ASC" `Quick test_rule_count_smaller_than_asc;
+          Alcotest.test_case "trained run allowed" `Quick test_enforcement_allows_trained_run;
+          Alcotest.test_case "false alarm on rare path" `Quick
+            test_enforcement_false_alarm_on_rare_path;
+          Alcotest.test_case "user-space monitor costs more" `Quick
+            test_user_space_cost_higher_per_call ] ) ]

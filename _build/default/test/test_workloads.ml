@@ -1,0 +1,152 @@
+(* Tests for the workload suite: every program must compile on both OS
+   personalities, run to a clean exit, behave identically when authenticated,
+   and the policy/trace structure must support the paper's experiments. *)
+
+open Oskernel
+
+let key = Asc_crypto.Cmac.of_raw "workload-test-k!"
+
+let check_clean_run what (stop : Svm.Machine.stop) =
+  match stop with
+  | Svm.Machine.Halted 0 -> ()
+  | Svm.Machine.Halted v -> Alcotest.failf "%s: exit %d" what v
+  | Svm.Machine.Faulted (_, pc) -> Alcotest.failf "%s: fault at 0x%x" what pc
+  | Svm.Machine.Killed r -> Alcotest.failf "%s: killed (%s)" what r
+  | Svm.Machine.Cycle_limit -> Alcotest.failf "%s: cycle limit" what
+
+let all_programs = Workloads.Registry.table5 ~scale:1 @ Workloads.Registry.policy_programs
+
+let test_all_compile_both_os () =
+  List.iter
+    (fun (w : Workloads.Registry.t) ->
+      List.iter
+        (fun personality ->
+          match Minic.Driver.compile ~personality w.Workloads.Registry.source with
+          | Ok _ -> ()
+          | Error e ->
+            Alcotest.failf "%s on %s: %s" w.Workloads.Registry.name
+              (Personality.os_name personality) e)
+        [ Personality.linux; Personality.openbsd ])
+    all_programs
+
+let test_all_run_clean () =
+  List.iter
+    (fun (w : Workloads.Registry.t) ->
+      let image = Workloads.Registry.compile ~personality:Personality.linux w in
+      let _, _, stop = Workloads.Registry.run ~personality:Personality.linux ~image w in
+      check_clean_run w.Workloads.Registry.name stop)
+    all_programs
+
+let test_output_identical_when_authenticated () =
+  List.iter
+    (fun (w : Workloads.Registry.t) ->
+      let personality = Personality.linux in
+      let plain = Workloads.Registry.compile ~personality w in
+      let auth =
+        match Asc_core.Installer.install ~key ~personality ~program:w.Workloads.Registry.name plain with
+        | Ok inst -> inst.Asc_core.Installer.image
+        | Error e -> Alcotest.failf "install %s: %s" w.Workloads.Registry.name e
+      in
+      let _, p1, s1 = Workloads.Registry.run ~personality ~image:plain w in
+      let kernel2 = Kernel.create ~personality () in
+      w.Workloads.Registry.setup kernel2;
+      Kernel.set_monitor kernel2 (Some (Asc_core.Checker.monitor ~kernel:kernel2 ~key ()));
+      let p2 = Kernel.spawn kernel2 ~stdin:w.Workloads.Registry.stdin ~program:w.Workloads.Registry.name auth in
+      let s2 = Kernel.run kernel2 p2 ~max_cycles:2_000_000_000 in
+      check_clean_run (w.Workloads.Registry.name ^ " (authenticated)") s2;
+      (match s1 with
+       | Svm.Machine.Halted 0 -> ()
+       | _ -> Alcotest.failf "%s plain run failed" w.Workloads.Registry.name);
+      Alcotest.(check string)
+        (w.Workloads.Registry.name ^ " stdout identical")
+        (Kernel.stdout_of p1) (Kernel.stdout_of p2);
+      (* the authenticated run costs more cycles *)
+      Alcotest.(check bool)
+        (w.Workloads.Registry.name ^ " overhead positive")
+        true
+        (Workloads.Registry.cycles_of p2 > Workloads.Registry.cycles_of p1))
+    (Workloads.Registry.policy_programs @ [ List.hd (Workloads.Registry.table5 ~scale:1) ])
+
+let test_cpu_vs_syscall_intensity () =
+  (* syscall-bound programs must make proportionally more syscalls per cycle
+     than CPU-bound ones, or Table 6's shape cannot emerge *)
+  let density (w : Workloads.Registry.t) =
+    let personality = Personality.linux in
+    let image = Workloads.Registry.compile ~personality w in
+    let kernel = Kernel.create ~personality () in
+    w.Workloads.Registry.setup kernel;
+    kernel.Kernel.tracing <- true;
+    let proc = Kernel.spawn kernel ~stdin:w.Workloads.Registry.stdin ~program:w.Workloads.Registry.name image in
+    (match Kernel.run kernel proc ~max_cycles:2_000_000_000 with
+     | Svm.Machine.Halted _ -> ()
+     | _ -> Alcotest.failf "%s did not halt" w.Workloads.Registry.name);
+    let calls = List.length (Kernel.trace kernel) in
+    float_of_int calls /. float_of_int (Workloads.Registry.cycles_of proc)
+  in
+  let get name =
+    match Workloads.Registry.by_name ~scale:1 name with
+    | Some w -> w
+    | None -> Alcotest.failf "unknown workload %s" name
+  in
+  let d_crafty = density (get "crafty") in
+  let d_pyramid = density (get "pyramid") in
+  Alcotest.(check bool) "pyramid >> crafty syscall density" true (d_pyramid > d_crafty *. 5.)
+
+let test_policy_breadth_ordering () =
+  (* Table 1's shape: screen > calc > bison in distinct system calls *)
+  let breadth name =
+    let w = Option.get (Workloads.Registry.by_name ~scale:1 name) in
+    let img = Workloads.Registry.compile ~personality:Personality.linux w in
+    match
+      Asc_core.Installer.generate_policy ~personality:Personality.linux ~program:name img
+    with
+    | Ok pol -> List.length (Asc_core.Policy.distinct_calls pol)
+    | Error e -> Alcotest.failf "policy %s: %s" name e
+  in
+  let b = breadth "bison" and c = breadth "calc" and s = breadth "screen" in
+  Alcotest.(check bool) (Printf.sprintf "screen(%d) > calc(%d)" s c) true (s > c);
+  Alcotest.(check bool) (Printf.sprintf "calc(%d) > bison(%d)" c b) true (c > b)
+
+let test_andrew_runs () =
+  let r = Workloads.Andrew.run ~iterations:1 () in
+  Alcotest.(check int) "no failures" 0 r.Workloads.Andrew.failures;
+  Alcotest.(check bool) "many tasks" true (r.Workloads.Andrew.tasks > 50);
+  Alcotest.(check bool)
+    (Printf.sprintf "thousands of syscalls (%d)" r.Workloads.Andrew.syscalls)
+    true
+    (r.Workloads.Andrew.syscalls > 1000)
+
+let test_andrew_authenticated_small_overhead () =
+  let plain = Workloads.Andrew.run ~iterations:1 () in
+  let auth = Workloads.Andrew.run ~authenticated:true ~iterations:1 () in
+  Alcotest.(check int) "authenticated run clean" 0 auth.Workloads.Andrew.failures;
+  let overhead =
+    float_of_int (auth.Workloads.Andrew.cycles - plain.Workloads.Andrew.cycles)
+    /. float_of_int plain.Workloads.Andrew.cycles
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "overhead %.2f%% positive and modest" (overhead *. 100.))
+    true
+    (overhead > 0. && overhead < 0.60)
+
+let test_victim_programs () =
+  List.iter
+    (fun (w : Workloads.Registry.t) ->
+      match Minic.Driver.compile ~personality:Personality.linux w.Workloads.Registry.source with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s: %s" w.Workloads.Registry.name e)
+    [ Workloads.Registry.victim; Workloads.Registry.ls; Workloads.Registry.sh ]
+
+let () =
+  Alcotest.run "workloads"
+    [ ( "workloads",
+        [ Alcotest.test_case "all compile on both OSes" `Quick test_all_compile_both_os;
+          Alcotest.test_case "all run clean" `Slow test_all_run_clean;
+          Alcotest.test_case "authenticated output identical" `Slow
+            test_output_identical_when_authenticated;
+          Alcotest.test_case "cpu vs syscall density" `Quick test_cpu_vs_syscall_intensity;
+          Alcotest.test_case "policy breadth ordering" `Quick test_policy_breadth_ordering;
+          Alcotest.test_case "andrew benchmark runs" `Slow test_andrew_runs;
+          Alcotest.test_case "andrew authenticated overhead" `Slow
+            test_andrew_authenticated_small_overhead;
+          Alcotest.test_case "victim programs compile" `Quick test_victim_programs ] ) ]
