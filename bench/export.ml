@@ -1,0 +1,20 @@
+(* Machine-readable benchmark export: each table generator hands its rows
+   here and a BENCH_<name>.json file appears in the working directory next
+   to the printed table. Every document is validated by re-parsing before
+   it is written, so a malformed emitter fails the run instead of shipping
+   an unreadable file. *)
+
+let echo = ref false (* --json: also print each document to stdout *)
+
+let write ~name json =
+  let s = Asc_obs.Json.to_string json in
+  (match Asc_obs.Json.parse s with
+   | Ok _ -> ()
+   | Error e -> failwith (Printf.sprintf "BENCH_%s.json does not round-trip: %s" name e));
+  let file = Printf.sprintf "BENCH_%s.json" name in
+  let oc = open_out file in
+  output_string oc s;
+  output_char oc '\n';
+  close_out oc;
+  if !echo then print_endline s;
+  Format.printf "  [wrote %s]@." file

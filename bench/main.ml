@@ -12,7 +12,7 @@
 
 let usage =
   "usage: main.exe [table1|table2|table3|table4|table6|andrew|attacks|ablation|bechamel|all]* \
-   [--scale N] [--iterations N]"
+   [--scale N] [--iterations N] [--json]"
 
 let bechamel_run () =
   let open Bechamel in
@@ -67,6 +67,9 @@ let () =
       parse rest
     | "--iterations" :: v :: rest ->
       iterations := int_of_string v;
+      parse rest
+    | "--json" :: rest ->
+      Export.echo := true;
       parse rest
     | ("--help" | "-h") :: _ ->
       print_endline usage;

@@ -61,7 +61,10 @@ let cases =
     { c_name = "brk()"; c_stdin = ""; c_setup = ignore;
       c_body = Printf.sprintf "        movi r0, %d\n        movi r1, 0\n        sys\n" (num Syscall.Brk) } ]
 
-let measure_once ~authenticated ~control_flow case =
+(* Run one trial; returns the measured cycle delta together with the
+   kernel, whose per-kernel metrics registry carries the checker's
+   per-verification-step cycle counters for the run. *)
+let measure_run ~authenticated ~control_flow case =
   let img = Svm.Asm.assemble_exn (loop_program ~body:case.c_body) in
   let img =
     if not authenticated then img
@@ -77,9 +80,42 @@ let measure_once ~authenticated ~control_flow case =
     Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ()));
   let proc = Kernel.spawn kernel ~stdin:case.c_stdin ~program:case.c_name img in
   match Kernel.run kernel proc ~max_cycles:4_000_000_000 with
-  | Svm.Machine.Halted _ -> proc.Process.machine.Svm.Machine.regs.(1)
+  | Svm.Machine.Halted _ -> (proc.Process.machine.Svm.Machine.regs.(1), kernel)
   | Svm.Machine.Killed r -> failwith (case.c_name ^ " killed: " ^ r)
   | _ -> failwith (case.c_name ^ " did not complete")
+
+let measure_once ~authenticated ~control_flow case =
+  fst (measure_run ~authenticated ~control_flow case)
+
+(* Table 4's decomposition: per-call cycles attributed to each verification
+   step of §3.4, read back from the checker's step counters. The steps sum
+   to the total by construction (see [Asc_core.Checker]). *)
+type verification = {
+  v_call_mac : int;
+  v_string_mac : int;
+  v_control_flow : int;
+  v_ext : int;
+  v_total : int;
+}
+
+let verification_of ~control_flow case =
+  let _, kernel = measure_run ~authenticated:true ~control_flow case in
+  let v name =
+    let raw = Option.value ~default:0 (Asc_obs.Metrics.value (Kernel.metrics kernel) name) in
+    if raw mod iterations <> 0 then
+      failwith (Printf.sprintf "%s: %s not uniform across iterations" case.c_name name);
+    raw / iterations
+  in
+  let r =
+    { v_call_mac = v "checker.cycles.call_mac";
+      v_string_mac = v "checker.cycles.string_mac";
+      v_control_flow = v "checker.cycles.control_flow";
+      v_ext = v "checker.cycles.ext";
+      v_total = v "checker.cycles.total" }
+  in
+  if r.v_call_mac + r.v_string_mac + r.v_control_flow + r.v_ext <> r.v_total then
+    failwith (case.c_name ^ ": verification steps do not sum to the total");
+  r
 
 (* 12 trials, drop highest and lowest, average the remaining 10. The cycle
    model is deterministic, so the trials agree — the structure is kept to
@@ -105,15 +141,42 @@ let per_call ?(control_flow = true) ~authenticated case =
 let table4 () =
   Format.printf "@.Table 4: Effect of authentication (cycles per call)@.";
   Format.printf "%-16s %10s %14s %10s@." "System Call" "Original" "Authenticated" "Overhead";
-  List.iter
-    (fun case ->
-      let orig = per_call ~authenticated:false case in
-      let auth = per_call ~authenticated:true case in
-      Format.printf "%-16s %10d %14d %9.1f%%@." case.c_name orig auth
-        (100. *. float_of_int (auth - orig) /. float_of_int orig))
-    cases;
+  let rows =
+    List.map
+      (fun case ->
+        let orig = per_call ~authenticated:false case in
+        let auth = per_call ~authenticated:true case in
+        let overhead = 100. *. float_of_int (auth - orig) /. float_of_int orig in
+        Format.printf "%-16s %10d %14d %9.1f%%@." case.c_name orig auth overhead;
+        (case, orig, auth, overhead, verification_of ~control_flow:true case))
+      cases
+  in
   Format.printf "%-16s %10d@." "rdtsc cost" Svm.Cost_model.rdcyc_cost;
-  Format.printf "%-16s %10d@." "loop cost" (Lazy.force empty_loop_cost)
+  Format.printf "%-16s %10d@." "loop cost" (Lazy.force empty_loop_cost);
+  let open Asc_obs.Json in
+  Export.write ~name:"table4"
+    (Obj
+       [ ("table", Str "table4");
+         ("iterations", Int iterations);
+         ("rdtsc_cost", Int Svm.Cost_model.rdcyc_cost);
+         ("loop_cost", Int (Lazy.force empty_loop_cost));
+         ( "rows",
+           List
+             (List.map
+                (fun (case, orig, auth, overhead, v) ->
+                  Obj
+                    [ ("name", Str case.c_name);
+                      ("original", Int orig);
+                      ("authenticated", Int auth);
+                      ("overhead_pct", Float overhead);
+                      ( "verification",
+                        Obj
+                          [ ("call_mac", Int v.v_call_mac);
+                            ("string_mac", Int v.v_string_mac);
+                            ("control_flow", Int v.v_control_flow);
+                            ("ext", Int v.v_ext);
+                            ("total", Int v.v_total) ] ) ])
+                rows) ) ])
 
 (* ablation: authenticated calls with and without control-flow policies *)
 let ablation_control_flow () =

@@ -4,8 +4,23 @@
 
 open Cmdliner
 
-let run input output key_hex os policy_only no_cf extensions program_id library lib_base =
+let run input output key_hex os policy_only no_cf extensions program_id library lib_base
+    trace_out =
   let ( let* ) = Result.bind in
+  let tracer = Option.map (fun _ -> Asc_core.Installer.new_tracer ()) trace_out in
+  let dump_trace () =
+    match (trace_out, tracer) with
+    | Some path, Some t ->
+      (try
+         Common.write_file path
+           (Asc_obs.Trace.chrome_string t.Asc_core.Installer.tr_events);
+         Format.printf "wrote installer phase trace to %s@." path;
+         0
+       with Sys_error e ->
+         Format.eprintf "asc-install: cannot write trace: %s@." e;
+         1)
+    | _ -> 0
+  in
   let result =
     let* personality = Common.personality_of_string os in
     if library then begin
@@ -41,7 +56,9 @@ let run input output key_hex os policy_only no_cf extensions program_id library 
     in
     let program = Filename.basename input in
     if policy_only then begin
-      let* policy = Asc_core.Installer.generate_policy ~personality ~options ~program img in
+      let* policy =
+        Asc_core.Installer.generate_policy ?tracer ~personality ~options ~program img
+      in
       Format.printf "# policy for %s on %s@." program (Oskernel.Personality.os_name personality);
       List.iter (Format.printf "%a@." Asc_core.Policy.pp_site) policy.Asc_core.Policy.sites;
       List.iter (Format.printf "# warning: %s@.") policy.Asc_core.Policy.warnings;
@@ -52,7 +69,7 @@ let run input output key_hex os policy_only no_cf extensions program_id library 
     end
     else begin
       let* key = Common.key_of_hex key_hex in
-      let* inst = Asc_core.Installer.install ~key ~personality ~options ~program img in
+      let* inst = Asc_core.Installer.install ?tracer ~key ~personality ~options ~program img in
       let out = match output with Some o -> o | None -> input ^ ".asc" in
       Common.write_file out (Svm.Obj_file.serialize inst.Asc_core.Installer.image);
       Format.printf "installed %s -> %s: %d sites authenticated, %d bytes of .asc@." input out
@@ -62,7 +79,7 @@ let run input output key_hex os policy_only no_cf extensions program_id library 
     end
   in
   match result with
-  | Ok () -> 0
+  | Ok () -> dump_trace ()
   | Error e ->
     Format.eprintf "asc-install: %s@." e;
     1
@@ -109,12 +126,18 @@ let base_arg =
   Arg.(value & opt int 0x100000 & info [ "base" ] ~docv:"ADDR"
          ~doc:"Fixed load address for --library.")
 
+let trace_out_arg =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Write a Chrome trace-event JSON file of the installer phases (disasm, \
+               inline, cfg, dataflow, syscall-graph, classify, emit) with deterministic \
+               work-unit timestamps.")
+
 let cmd =
   let doc = "generate system-call policies and install authenticated system calls" in
   Cmd.v
     (Cmd.info "asc-install" ~doc)
     Term.(
       const run $ input_arg $ output_arg $ key_arg $ os_arg $ policy_only_arg $ no_cf_arg
-      $ ext_arg $ pid_arg $ library_arg $ base_arg)
+      $ ext_arg $ pid_arg $ library_arg $ base_arg $ trace_out_arg)
 
 let () = exit (Cmd.eval' cmd)

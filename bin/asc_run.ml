@@ -68,7 +68,9 @@ let run input key_hex os enforce stdin_text normalize files libs =
        Ok code
      | Svm.Machine.Killed reason ->
        Format.eprintf "[killed: %s]@." reason;
-       List.iter (Format.eprintf "[audit] %s@.") (Kernel.audit_log kernel);
+       List.iter
+         (fun e -> Format.eprintf "[audit] %s@." (Kernel.audit_to_string e))
+         (Kernel.audit_log kernel);
        Ok 137
      | Svm.Machine.Faulted (_, pc) ->
        Format.eprintf "[fault at 0x%x]@." pc;

@@ -6,10 +6,60 @@
 open Cmdliner
 open Oskernel
 
-let run input os stdin_text summary =
+let sem_name t =
+  match t.Kernel.t_sem with
+  | Some s -> Syscall.name s
+  | None -> Printf.sprintf "syscall#%d" t.Kernel.t_number
+
+let print_summary trace =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun t ->
+      let name = sem_name t in
+      Hashtbl.replace counts name (1 + try Hashtbl.find counts name with Not_found -> 0))
+    trace;
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [] in
+  List.iter
+    (fun (name, n) -> Format.printf "%6d  %s@." n name)
+    (List.sort (fun (_, a) (_, b) -> compare b a) rows);
+  Format.printf "%6d  total@." (List.length trace)
+
+let print_log trace =
+  List.iter
+    (fun t ->
+      Format.printf "%s(%s) @@ 0x%x = %d@." (sem_name t)
+        (String.concat ", " (Array.to_list (Array.map string_of_int t.Kernel.t_args)))
+        t.Kernel.t_site t.Kernel.t_result)
+    trace
+
+let print_json kernel trace =
+  let open Asc_obs.Json in
+  let entry t =
+    Obj
+      [ ("name", Str (sem_name t));
+        ("number", Int t.Kernel.t_number);
+        ("site", Int t.Kernel.t_site);
+        ("args", List (Array.to_list (Array.map (fun a -> Int a) t.Kernel.t_args)));
+        ("result", Int t.Kernel.t_result) ]
+  in
+  print_endline
+    (to_string
+       (Obj
+          [ ("trace", List (List.map entry trace));
+            ("syscalls", Int (Kernel.syscall_count kernel));
+            ("denied", Int (Kernel.denied_count kernel));
+            ("audit", List (List.map Kernel.audit_to_json (Kernel.audit_log kernel))) ]))
+
+let run input os stdin_text summary format =
   let ( let* ) = Result.bind in
   let result =
     let* personality = Common.personality_of_string os in
+    let* format =
+      match (format, summary) with
+      | ("log" | "summary" | "json" | "chrome"), true -> Ok "summary"
+      | (("log" | "summary" | "json" | "chrome") as f), false -> Ok f
+      | f, _ -> Error (Printf.sprintf "unknown format %S (expected log, summary, json or chrome)" f)
+    in
     let* img, w = Common.load_program ~personality input in
     let kernel = Kernel.create ~personality () in
     (match w with Some w -> w.Workloads.Registry.setup kernel | None -> ());
@@ -23,35 +73,11 @@ let run input os stdin_text summary =
     let proc = Kernel.spawn kernel ~stdin ~program:(Filename.basename input) img in
     let stop = Kernel.run kernel proc ~max_cycles:2_000_000_000 in
     let trace = Kernel.trace kernel in
-    if summary then begin
-      let counts = Hashtbl.create 16 in
-      List.iter
-        (fun t ->
-          let name =
-            match t.Kernel.t_sem with
-            | Some s -> Syscall.name s
-            | None -> Printf.sprintf "syscall#%d" t.Kernel.t_number
-          in
-          Hashtbl.replace counts name (1 + try Hashtbl.find counts name with Not_found -> 0))
-        trace;
-      let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [] in
-      List.iter
-        (fun (name, n) -> Format.printf "%6d  %s@." n name)
-        (List.sort (fun (_, a) (_, b) -> compare b a) rows);
-      Format.printf "%6d  total@." (List.length trace)
-    end
-    else
-      List.iter
-        (fun t ->
-          let name =
-            match t.Kernel.t_sem with
-            | Some s -> Syscall.name s
-            | None -> Printf.sprintf "syscall#%d" t.Kernel.t_number
-          in
-          Format.printf "%s(%s) @@ 0x%x = %d@." name
-            (String.concat ", " (Array.to_list (Array.map string_of_int t.Kernel.t_args)))
-            t.Kernel.t_site t.Kernel.t_result)
-        trace;
+    (match format with
+     | "summary" -> print_summary trace
+     | "json" -> print_json kernel trace
+     | "chrome" -> print_endline (Asc_obs.Trace.chrome_string (Kernel.spans kernel))
+     | _ -> print_log trace);
     (match stop with
      | Svm.Machine.Halted code ->
        Format.eprintf "[exit %d]@." code;
@@ -85,8 +111,15 @@ let stdin_arg =
 let summary_arg =
   Arg.(value & flag & info [ "c"; "summary" ] ~doc:"Print per-syscall counts instead of a log.")
 
+let format_arg =
+  Arg.(value & opt string "log" & info [ "format" ] ~docv:"FORMAT"
+         ~doc:"Output format: $(b,log) (one line per call), $(b,summary) (per-syscall counts), \
+               $(b,json) (machine-readable trace + audit log), or $(b,chrome) (trace-event JSON \
+               of the kernel's per-syscall spans, loadable in chrome://tracing or Perfetto).")
+
 let cmd =
   let doc = "trace the system calls of a program on the simulated kernel" in
-  Cmd.v (Cmd.info "asc-trace" ~doc) Term.(const run $ input_arg $ os_arg $ stdin_arg $ summary_arg)
+  Cmd.v (Cmd.info "asc-trace" ~doc)
+    Term.(const run $ input_arg $ os_arg $ stdin_arg $ summary_arg $ format_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -74,4 +74,6 @@ let () =
   (match Kernel.run kernel2 proc2 ~max_cycles:100_000_000 with
    | Svm.Machine.Killed reason -> Format.printf "kernel killed the process: %s@." reason
    | _ -> failwith "tampering was not detected!");
-  List.iter (Format.printf "audit: %s@.") (Kernel.audit_log kernel2)
+  List.iter
+    (fun e -> Format.printf "audit: %s@." (Kernel.audit_to_string e))
+    (Kernel.audit_log kernel2)

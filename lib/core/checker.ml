@@ -6,7 +6,30 @@ exception Deny of string
 
 let deny fmt = Format.kasprintf (fun s -> raise (Deny s)) fmt
 
-let charge (m : Machine.t) n = m.cycles <- m.cycles + n
+(* Per-verification-step cycle attribution (§3.4 / Table 4): every cycle
+   the checker charges to the machine is also credited to exactly one step
+   counter, so the steps always sum to [steps.st_total]. *)
+type steps = {
+  st_call_mac : Asc_obs.Metrics.counter;      (* step 1: rebuild + call-MAC *)
+  st_string_mac : Asc_obs.Metrics.counter;    (* step 2: authenticated strings *)
+  st_control_flow : Asc_obs.Metrics.counter;  (* step 3: predset + lbMAC checker *)
+  st_ext : Asc_obs.Metrics.counter;           (* §5 value sets and patterns *)
+  st_total : Asc_obs.Metrics.counter;
+  st_checked : Asc_obs.Metrics.counter;       (* calls that passed every step *)
+}
+
+let steps_of registry =
+  { st_call_mac = Asc_obs.Metrics.counter registry "checker.cycles.call_mac";
+    st_string_mac = Asc_obs.Metrics.counter registry "checker.cycles.string_mac";
+    st_control_flow = Asc_obs.Metrics.counter registry "checker.cycles.control_flow";
+    st_ext = Asc_obs.Metrics.counter registry "checker.cycles.ext";
+    st_total = Asc_obs.Metrics.counter registry "checker.cycles.total";
+    st_checked = Asc_obs.Metrics.counter registry "checker.calls_verified" }
+
+let charge (m : Machine.t) steps step n =
+  m.cycles <- m.cycles + n;
+  Asc_obs.Metrics.add step n;
+  Asc_obs.Metrics.add steps.st_total n
 
 let read_mac m addr =
   match Machine.read_mem m ~addr ~len:16 with
@@ -18,11 +41,11 @@ let read_as_header m ~ptr what =
   | Some (len, mac) -> { Encoded.as_addr = ptr; as_len = len; as_mac = mac }
   | None -> deny "%s: bad authenticated-string header at 0x%x" what ptr
 
-let verify_as m key (r : Encoded.as_ref) what =
+let verify_as m steps step key (r : Encoded.as_ref) what =
   match Machine.read_mem m ~addr:r.as_addr ~len:r.as_len with
   | None -> deny "%s: string contents unreadable" what
   | Some contents ->
-    charge m (Cost_model.mac_cost r.as_len);
+    charge m steps step (Cost_model.mac_cost r.as_len);
     if not (Cmac.equal_tags (Auth_string.mac_of key contents) r.as_mac) then
       deny "%s: string authentication failed" what;
     contents
@@ -59,9 +82,9 @@ let parse_ext contents =
   in
   go 0 []
 
-let pre ~kernel ~key ~normalize_paths (p : Process.t) ~site ~number =
+let pre ~kernel ~key ~normalize_paths ~steps (p : Process.t) ~site ~number =
   let m = p.machine in
-  charge m Cost_model.check_fixed;
+  charge m steps steps.st_call_mac Cost_model.check_fixed;
   let r i = m.regs.(i) in
   let descriptor = r 7 in
   if not (Descriptor.is_authenticated descriptor) then deny "unauthenticated system call";
@@ -94,19 +117,24 @@ let pre ~kernel ~key ~normalize_paths (p : Process.t) ~site ~number =
         e_ext = ext;
         e_control = control }
   in
-  charge m (Cost_model.mac_cost (String.length encoded));
+  charge m steps steps.st_call_mac (Cost_model.mac_cost (String.length encoded));
   let supplied = read_mac m mac_ptr in
   if not (Cmac.equal_tags (Cmac.mac key encoded) supplied) then deny "call MAC mismatch";
   (* --- step 2: verify authenticated string contents --- *)
   let verified_strings =
-    List.map (fun (i, ar) -> (i, verify_as m key ar (Printf.sprintf "argument %d" i))) string_args
+    List.map
+      (fun (i, ar) ->
+        (i, verify_as m steps steps.st_string_mac key ar (Printf.sprintf "argument %d" i)))
+      string_args
   in
-  let ext_contents = Option.map (fun ar -> verify_as m key ar "extension block") ext in
+  let ext_contents =
+    Option.map (fun ar -> verify_as m steps steps.st_ext key ar "extension block") ext
+  in
   (* --- step 3: control-flow policy --- *)
   (match control with
    | None -> ()
    | Some (pred_ref, lbp) ->
-     let pred_contents = verify_as m key pred_ref "predecessor set" in
+     let pred_contents = verify_as m steps steps.st_control_flow key pred_ref "predecessor set" in
      let last_block =
        match Machine.read_word m lbp with
        | Some v -> v
@@ -117,14 +145,14 @@ let pre ~kernel ~key ~normalize_paths (p : Process.t) ~site ~number =
        | Some s -> s
        | None -> deny "policy state MAC unreadable"
      in
-     charge m (Cost_model.mac_cost 16);
+     charge m steps steps.st_control_flow (Cost_model.mac_cost 16);
      let expect = Cmac.mac key (Encoded.state_bytes ~counter:p.counter ~last_block) in
      if not (Cmac.equal_tags expect lb_mac) then deny "policy state corrupted";
      if not (Encoded.predset_mem pred_contents last_block) then
        deny "control-flow violation: block %d may not follow block %d" block last_block;
      (* update: counter++ in kernel space, lastBlock/lbMAC in the application *)
      p.counter <- p.counter + 1;
-     charge m (Cost_model.mac_cost 16);
+     charge m steps steps.st_control_flow (Cost_model.mac_cost 16);
      let new_mac = Cmac.mac key (Encoded.state_bytes ~counter:p.counter ~last_block:block) in
      if not (Machine.write_word m lbp block && Machine.write_mem m ~addr:(lbp + 8) new_mac) then
        deny "policy state unwritable");
@@ -145,7 +173,7 @@ let pre ~kernel ~key ~normalize_paths (p : Process.t) ~site ~number =
               (match Patterns.compile pat with
                | Error e -> deny "argument %d: bad pattern (%s)" argi e
                | Ok cp ->
-                 charge m (Patterns.match_cost cp s);
+                 charge m steps steps.st_ext (Patterns.match_cost cp s);
                  if not (Patterns.matches cp s) then
                    deny "argument %d: %S does not match pattern %S" argi s pat)))
        (parse_ext contents));
@@ -174,10 +202,13 @@ let pre ~kernel ~key ~normalize_paths (p : Process.t) ~site ~number =
   end
 
 let monitor ~kernel ~key ?(normalize_paths = false) () =
+  let steps = steps_of kernel.Kernel.obs in
   { Kernel.monitor_name = "asc-checker";
     pre_syscall =
       (fun p ~site ~number ->
-        match pre ~kernel ~key ~normalize_paths p ~site ~number with
-        | () -> Kernel.Allow
+        match pre ~kernel ~key ~normalize_paths ~steps p ~site ~number with
+        | () ->
+          Asc_obs.Metrics.inc steps.st_checked;
+          Kernel.Allow
         | exception Deny reason -> Kernel.Deny reason);
     post_syscall = Kernel.no_post }

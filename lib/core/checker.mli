@@ -14,7 +14,14 @@
     Any failure terminates the process ([Deny]); unauthenticated calls
     (descriptor marker absent) are likewise blocked. The checker charges
     the modeled verification cycles ({!Svm.Cost_model}) to the machine, so
-    the Table 4/6 benchmarks reflect its cost. *)
+    the Table 4/6 benchmarks reflect its cost.
+
+    Every charged cycle is also attributed to exactly one per-step counter
+    in the kernel's metrics registry — [checker.cycles.call_mac],
+    [checker.cycles.string_mac], [checker.cycles.control_flow] and
+    [checker.cycles.ext] — alongside [checker.cycles.total] and
+    [checker.calls_verified], so the per-step breakdown always sums to the
+    modeled total (the Table 4 decomposition). *)
 
 val monitor :
   kernel:Oskernel.Kernel.t ->

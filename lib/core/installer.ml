@@ -12,6 +12,31 @@ let default_options = { control_flow = true; use_extensions = false; program_id 
 let asc_section = ".asc"
 let start_block opts = opts.program_id lsl 20
 
+(* ----- deterministic phase tracing ----- *)
+
+type tracer = {
+  tr_events : Asc_obs.Trace.t;
+  tr_clock : Asc_obs.Clock.t;
+      (* step clock advanced by units of work done (blocks disassembled,
+         sites analyzed, bytes emitted) rather than wall time, so phase
+         durations are reproducible run to run *)
+}
+
+let new_tracer () = { tr_events = Asc_obs.Trace.create (); tr_clock = Asc_obs.Clock.create () }
+
+let phase ?tracer name ~work f =
+  match tracer with
+  | None -> f ()
+  | Some t ->
+    Asc_obs.Trace.span t.tr_events ~cat:"installer" ~clock:t.tr_clock name (fun () ->
+        let v = f () in
+        Asc_obs.Clock.advance t.tr_clock (max 1 (work v));
+        v)
+
+let gauge_sites = Asc_obs.Metrics.gauge Asc_obs.Metrics.default "installer.sites"
+let gauge_asc_bytes = Asc_obs.Metrics.gauge Asc_obs.Metrics.default "installer.asc_bytes"
+let gauge_distinct = Asc_obs.Metrics.gauge Asc_obs.Metrics.default "installer.distinct_calls"
+
 (* ----- reading string constants out of the source image ----- *)
 
 let string_at (img : Obj_file.t) addr =
@@ -68,7 +93,7 @@ let bids_of_addrs prog addrs =
       | _ -> None)
     prog.Plto.Ir.blocks
 
-let analyze ?(keep_addrs = []) ~personality ~options (img : Obj_file.t) =
+let analyze ?(keep_addrs = []) ?tracer ~personality ~options (img : Obj_file.t) =
   if options.program_id < 0 || options.program_id > 2047 then
     Error
       (Printf.sprintf
@@ -76,25 +101,39 @@ let analyze ?(keep_addrs = []) ~personality ~options (img : Obj_file.t) =
          options.program_id)
   else
   let first_bid = (options.program_id lsl 20) + 1 in
-  match Plto.Disasm.disassemble ~first_bid img with
+  match
+    phase ?tracer "disasm"
+      ~work:(function Ok p -> List.length p.Plto.Ir.blocks | Error _ -> 1)
+      (fun () -> Plto.Disasm.disassemble ~first_bid img)
+  with
   | Error e -> Error e
   | Ok prog ->
-    ignore (Plto.Inline.inline_stubs prog);
-    ignore (Plto.Inline.split_multi_sys prog);
-    ignore (Plto.Opt.remove_unreachable ~roots:(bids_of_addrs prog keep_addrs) prog);
-    let states = Plto.Dataflow.sys_states prog in
+    ignore
+      (phase ?tracer "inline" ~work:(fun n -> n + 1) (fun () ->
+           Plto.Inline.inline_stubs prog + Plto.Inline.split_multi_sys prog));
+    ignore
+      (phase ?tracer "cfg"
+         ~work:(fun _ -> List.length prog.Plto.Ir.blocks + 1)
+         (fun () -> Plto.Opt.remove_unreachable ~roots:(bids_of_addrs prog keep_addrs) prog));
+    let states =
+      phase ?tracer "dataflow" ~work:(fun s -> List.length s + 1) (fun () ->
+          Plto.Dataflow.sys_states prog)
+    in
     let preds_tbl =
-      if options.control_flow then begin
-        let tbl = Hashtbl.create 32 in
-        List.iter
-          (fun (bid, preds) -> Hashtbl.replace tbl bid preds)
-          (Plto.Syscall_graph.compute prog ~start_bid:(start_block options));
-        Some tbl
-      end
+      if options.control_flow then
+        phase ?tracer "syscall-graph"
+          ~work:(fun _ -> List.length states + 1)
+          (fun () ->
+            let tbl = Hashtbl.create 32 in
+            List.iter
+              (fun (bid, preds) -> Hashtbl.replace tbl bid preds)
+              (Plto.Syscall_graph.compute prog ~start_bid:(start_block options));
+            Some tbl)
       else None
     in
     let warnings = ref prog.Plto.Ir.warnings in
     let sites =
+      phase ?tracer "classify" ~work:(fun s -> List.length s + 1) @@ fun () ->
       List.filter_map
         (fun (bid, _idx, (st : Plto.Dataflow.state)) ->
           match st.(0) with
@@ -152,8 +191,8 @@ let policy_of_sites ~program ~personality sites warnings =
         sites;
     warnings }
 
-let generate_policy ~personality ?(options = default_options) ~program img =
-  match analyze ~personality ~options img with
+let generate_policy ?tracer ~personality ?(options = default_options) ~program img =
+  match analyze ?tracer ~personality ~options img with
   | Error e -> Error e
   | Ok (_prog, sites, warnings) -> Ok (policy_of_sites ~program ~personality sites warnings)
 
@@ -262,7 +301,7 @@ let apply_overrides overrides sites =
               { si with si_args = args })
             sites))
 
-let rewrite_and_emit ~key ~options ~program ~personality prog sites warnings =
+let rewrite_and_emit_untraced ~key ~options ~program ~personality prog sites warnings =
     let opaque = List.exists (fun b -> b.Plto.Ir.opaque <> None) prog.Plto.Ir.blocks in
     if opaque then
       Error "binary cannot be completely disassembled; refusing to rewrite (policy generation is still possible)"
@@ -453,13 +492,29 @@ let rewrite_and_emit ~key ~options ~program ~personality prog sites warnings =
             asc_bytes = asc_size }
     end
 
-let install ~key ~personality ?(options = default_options) ?(overrides = []) ~program img =
-  match analyze ~personality ~options img with
+let rewrite_and_emit ?tracer ~key ~options ~program ~personality prog sites warnings =
+  let r =
+    phase ?tracer "emit"
+      ~work:(function Ok i -> i.asc_bytes + (8 * i.sites) + 1 | Error _ -> 1)
+      (fun () -> rewrite_and_emit_untraced ~key ~options ~program ~personality prog sites warnings)
+  in
+  (match r with
+   | Ok inst ->
+     Asc_obs.Metrics.set gauge_sites inst.sites;
+     Asc_obs.Metrics.set gauge_asc_bytes inst.asc_bytes;
+     Asc_obs.Metrics.set gauge_distinct
+       (List.length (List.sort_uniq compare (List.map (fun si -> si.si_number) sites)))
+   | Error _ -> ());
+  r
+
+let install ?tracer ~key ~personality ?(options = default_options) ?(overrides = []) ~program img =
+  match analyze ?tracer ~personality ~options img with
   | Error e -> Error e
   | Ok (prog, sites0, warnings) ->
     (match apply_overrides overrides sites0 with
      | Error e -> Error e
-     | Ok sites -> rewrite_and_emit ~key ~options ~program ~personality prog sites warnings)
+     | Ok sites ->
+       rewrite_and_emit ?tracer ~key ~options ~program ~personality prog sites warnings)
 
 
 (* ----- §5.2: shared ("dynamic") libraries -----

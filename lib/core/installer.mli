@@ -35,6 +35,24 @@ val start_block : options -> int
 (** The virtual start-node block id for this program
     ([program_id lsl 20]) — the sentinel initial value of [lastBlock]. *)
 
+(** {2 Phase tracing} *)
+
+type tracer = {
+  tr_events : Asc_obs.Trace.t;
+  tr_clock : Asc_obs.Clock.t;
+}
+(** Collects one span per installer phase (disasm, inline, cfg, dataflow,
+    syscall-graph, classify, emit). Timestamps come from a step clock
+    advanced by units of work done — blocks disassembled, sites analyzed,
+    bytes emitted — not wall time, so traces are deterministic. Export
+    with [Asc_obs.Trace.chrome_string tracer.tr_events]. *)
+
+val new_tracer : unit -> tracer
+
+val phase : ?tracer:tracer -> string -> work:('a -> int) -> (unit -> 'a) -> 'a
+(** [phase ?tracer name ~work f] runs [f] inside a [name] span (a no-op
+    without a tracer) and advances the step clock by [work result]. *)
+
 type installed = {
   image : Svm.Obj_file.t;   (** the authenticated binary *)
   policy : Policy.t;
@@ -43,6 +61,7 @@ type installed = {
 }
 
 val generate_policy :
+  ?tracer:tracer ->
   personality:Oskernel.Personality.t ->
   ?options:options ->
   program:string ->
@@ -53,6 +72,7 @@ val generate_policy :
     [close] stub in Table 2). Used for the policy-comparison experiments. *)
 
 val install :
+  ?tracer:tracer ->
   key:Asc_crypto.Cmac.key ->
   personality:Oskernel.Personality.t ->
   ?options:options ->
@@ -62,6 +82,9 @@ val install :
   (installed, string) result
 (** Full installation. Fails when the binary cannot be completely
     disassembled or a system call's number cannot be determined statically.
+    A successful install also publishes the policy-size gauges
+    [installer.sites], [installer.asc_bytes] and [installer.distinct_calls]
+    to [Asc_obs.Metrics.default] (the Table 1/3 size columns).
 
     [overrides] supplies administrator-completed policy-template values
     (§5.2, see {!Metapolicy.to_overrides}): [(block, arg index,

@@ -1,0 +1,157 @@
+type counter = { mutable c_value : int }
+type gauge = { mutable g_value : int }
+
+type histogram = {
+  bounds : int array;        (* inclusive upper bounds, strictly increasing *)
+  counts : int array;        (* length = Array.length bounds + 1; last = overflow *)
+  mutable h_sum : int;
+  mutable h_count : int;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type registered = {
+  r_instrument : instrument;
+  r_help : string;
+}
+
+type registry = { tbl : (string, registered) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 64 }
+let default = create ()
+
+let default_buckets = [ 100; 300; 1_000; 3_000; 10_000; 30_000; 100_000; 300_000; 1_000_000 ]
+
+let register registry name help make same =
+  match Hashtbl.find_opt registry.tbl name with
+  | Some { r_instrument; _ } ->
+    (match same r_instrument with
+     | Some x -> x
+     | None -> invalid_arg (Printf.sprintf "Metrics: %S already registered as another kind" name))
+  | None ->
+    let x, instrument = make () in
+    Hashtbl.replace registry.tbl name { r_instrument = instrument; r_help = help };
+    x
+
+let counter ?(help = "") registry name =
+  register registry name help
+    (fun () ->
+      let c = { c_value = 0 } in
+      (c, Counter c))
+    (function Counter c -> Some c | _ -> None)
+
+let gauge ?(help = "") registry name =
+  register registry name help
+    (fun () ->
+      let g = { g_value = 0 } in
+      (g, Gauge g))
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram ?(help = "") ?(buckets = default_buckets) registry name =
+  let bounds = Array.of_list buckets in
+  if Array.length bounds = 0 then invalid_arg "Metrics.histogram: empty buckets";
+  Array.iteri
+    (fun i b -> if i > 0 && b <= bounds.(i - 1) then
+        invalid_arg "Metrics.histogram: buckets must be strictly increasing")
+    bounds;
+  register registry name help
+    (fun () ->
+      let h = { bounds; counts = Array.make (Array.length bounds + 1) 0; h_sum = 0; h_count = 0 } in
+      (h, Histogram h))
+    (function
+      | Histogram h when h.bounds = bounds -> Some h
+      | Histogram _ ->
+        invalid_arg (Printf.sprintf "Metrics: histogram %S re-registered with different buckets" name)
+      | _ -> None)
+
+let inc c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let set g v = g.g_value <- v
+
+let observe h v =
+  (* linear scan: bucket arrays are small (~10) and fixed, and the common
+     case (cheap syscalls) exits in the first few probes *)
+  let n = Array.length h.bounds in
+  let rec slot i = if i >= n || v <= h.bounds.(i) then i else slot (i + 1) in
+  h.counts.(slot 0) <- h.counts.(slot 0) + 1;
+  h.h_sum <- h.h_sum + v;
+  h.h_count <- h.h_count + 1
+
+let counter_value c = c.c_value
+let gauge_value g = g.g_value
+
+type histogram_snapshot = {
+  h_buckets : (int * int) list;
+  h_overflow : int;
+  h_count : int;
+  h_sum : int;
+}
+
+let histogram_value h =
+  { h_buckets = Array.to_list (Array.mapi (fun i b -> (b, h.counts.(i))) h.bounds);
+    h_overflow = h.counts.(Array.length h.bounds);
+    h_count = h.h_count;
+    h_sum = h.h_sum }
+
+let value registry name =
+  match Hashtbl.find_opt registry.tbl name with
+  | Some { r_instrument = Counter c; _ } -> Some c.c_value
+  | Some { r_instrument = Gauge g; _ } -> Some g.g_value
+  | Some { r_instrument = Histogram _; _ } | None -> None
+
+let sorted registry =
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry.tbl [])
+
+let names registry = List.map fst (sorted registry)
+
+let reset registry =
+  Hashtbl.iter
+    (fun _ { r_instrument; _ } ->
+      match r_instrument with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0
+      | Histogram h ->
+        Array.fill h.counts 0 (Array.length h.counts) 0;
+        h.h_sum <- 0;
+        h.h_count <- 0)
+    registry.tbl
+
+let instrument_json name { r_instrument; r_help } =
+  let base kind rest =
+    Json.Obj
+      (("name", Json.Str name) :: ("kind", Json.Str kind)
+       :: (if r_help = "" then rest else ("help", Json.Str r_help) :: rest))
+  in
+  match r_instrument with
+  | Counter c -> base "counter" [ ("value", Json.Int c.c_value) ]
+  | Gauge g -> base "gauge" [ ("value", Json.Int g.g_value) ]
+  | Histogram h ->
+    let snap = histogram_value h in
+    base "histogram"
+      [ ("count", Json.Int snap.h_count);
+        ("sum", Json.Int snap.h_sum);
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (le, n) -> Json.Obj [ ("le", Json.Int le); ("count", Json.Int n) ])
+               snap.h_buckets) );
+        ("overflow", Json.Int snap.h_overflow) ]
+
+let to_json registry =
+  Json.List (List.map (fun (name, r) -> instrument_json name r) (sorted registry))
+
+let pp_summary ppf registry =
+  List.iter
+    (fun (name, { r_instrument; _ }) ->
+      match r_instrument with
+      | Counter c -> Format.fprintf ppf "%-40s %12d@." name c.c_value
+      | Gauge g -> Format.fprintf ppf "%-40s %12d (gauge)@." name g.g_value
+      | Histogram h ->
+        if h.h_count = 0 then Format.fprintf ppf "%-40s (no observations)@." name
+        else
+          Format.fprintf ppf "%-40s %12d obs, sum %d, mean %d@." name h.h_count h.h_sum
+            (h.h_sum / h.h_count))
+    (sorted registry)

@@ -1,0 +1,69 @@
+(** A metrics registry: named counters, gauges and fixed-bucket
+    histograms.
+
+    Hot-path discipline: instruments are resolved by name once (at
+    registration — kernel creation, monitor construction) and the returned
+    handle is a bare mutable cell, so {!inc}/{!add}/{!observe} on the trap
+    path are O(1) and allocation-free. Registries are independent; a fresh
+    kernel gets a fresh registry so benchmark runs do not bleed into each
+    other, while process-wide layers (the SVM interpreter, the PLTO
+    passes) publish into {!default}. *)
+
+type registry
+type counter
+type gauge
+type histogram
+
+val create : unit -> registry
+
+val default : registry
+(** Process-wide registry for layers that have no natural owner. *)
+
+(** {1 Registration} — get-or-create by name.
+    @raise Invalid_argument if the name is already registered as a
+    different instrument kind (or, for histograms, different buckets). *)
+
+val counter : ?help:string -> registry -> string -> counter
+val gauge : ?help:string -> registry -> string -> gauge
+
+val histogram : ?help:string -> ?buckets:int list -> registry -> string -> histogram
+(** [buckets] are inclusive upper bounds, strictly increasing; an implicit
+    overflow bucket catches the rest. The default buckets suit modeled
+    cycle counts (100 .. 1_000_000, roughly logarithmic). *)
+
+(** {1 Hot-path updates} *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> int -> unit
+val observe : histogram -> int -> unit
+
+(** {1 Reading} *)
+
+val counter_value : counter -> int
+val gauge_value : gauge -> int
+
+type histogram_snapshot = {
+  h_buckets : (int * int) list;  (** (inclusive upper bound, count) *)
+  h_overflow : int;              (** observations above the last bound *)
+  h_count : int;
+  h_sum : int;
+}
+
+val histogram_value : histogram -> histogram_snapshot
+
+val value : registry -> string -> int option
+(** Counter or gauge value by name; [None] if absent or a histogram. *)
+
+val names : registry -> string list
+(** Sorted. *)
+
+val reset : registry -> unit
+(** Zero every instrument; registrations (and handles) stay valid. *)
+
+val to_json : registry -> Json.t
+(** One object per instrument, sorted by name:
+    [{"name","kind","value"}] for counters/gauges, and buckets/sum/count
+    for histograms. *)
+
+val pp_summary : Format.formatter -> registry -> unit

@@ -1,0 +1,37 @@
+(** A bounded ring buffer.
+
+    Replaces the kernel's previously unbounded trace and audit lists: long
+    Andrew or scale runs push millions of entries, so retention is capped
+    at a fixed capacity while [pushed] keeps the exact total for counting.
+    Push is O(1) and allocation-free after creation. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+(** Appends, evicting the oldest element when full. *)
+
+val length : 'a t -> int
+(** Elements currently retained ([<= capacity]). *)
+
+val pushed : 'a t -> int
+(** Total elements ever pushed (never decreases, survives eviction;
+    {!clear} resets it). *)
+
+val dropped : 'a t -> int
+(** [pushed - length]: elements lost to eviction since the last clear. *)
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> 'a list
+(** Retained elements, oldest first. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+(** Oldest first. *)

@@ -1,0 +1,93 @@
+type event = {
+  ev_name : string;
+  ev_cat : string;
+  ev_track : int;
+  ev_ts : int;
+  ev_dur : int;
+  ev_args : (string * Json.t) list;
+}
+
+type t = { ring : event Ring.t }
+
+let create ?(capacity = 65536) () = { ring = Ring.create ~capacity }
+
+let complete t ?(cat = "") ?(track = 0) ?(args = []) ~name ~ts ~dur () =
+  Ring.push t.ring
+    { ev_name = name; ev_cat = cat; ev_track = track; ev_ts = ts; ev_dur = dur; ev_args = args }
+
+let span t ?cat ?track ?args ~clock name f =
+  let ts = Clock.now clock in
+  let finish () = complete t ?cat ?track ?args ~name ~ts ~dur:(Clock.now clock - ts) () in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
+
+let events t = Ring.to_list t.ring
+let length t = Ring.length t.ring
+let dropped t = Ring.dropped t.ring
+let clear t = Ring.clear t.ring
+
+let event_json ev =
+  Json.Obj
+    [ ("name", Json.Str ev.ev_name);
+      ("cat", Json.Str (if ev.ev_cat = "" then "default" else ev.ev_cat));
+      ("ph", Json.Str "X");
+      ("ts", Json.Int ev.ev_ts);
+      ("dur", Json.Int ev.ev_dur);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int ev.ev_track);
+      ("args", Json.Obj ev.ev_args) ]
+
+let to_chrome t =
+  Json.Obj
+    [ ("traceEvents", Json.List (List.map event_json (events t)));
+      ("displayTimeUnit", Json.Str "ns") ]
+
+let chrome_string t = Json.to_string (to_chrome t)
+
+let to_json_lines t =
+  let buf = Buffer.create 4096 in
+  Ring.iter
+    (fun ev ->
+      Json.to_buffer buf (event_json ev);
+      Buffer.add_char buf '\n')
+    t.ring;
+  Buffer.contents buf
+
+type agg = {
+  mutable a_count : int;
+  mutable a_total : int;
+  mutable a_min : int;
+  mutable a_max : int;
+}
+
+let pp_summary ppf t =
+  let tbl = Hashtbl.create 16 in
+  Ring.iter
+    (fun ev ->
+      let a =
+        match Hashtbl.find_opt tbl ev.ev_name with
+        | Some a -> a
+        | None ->
+          let a = { a_count = 0; a_total = 0; a_min = max_int; a_max = min_int } in
+          Hashtbl.replace tbl ev.ev_name a;
+          a
+      in
+      a.a_count <- a.a_count + 1;
+      a.a_total <- a.a_total + ev.ev_dur;
+      a.a_min <- min a.a_min ev.ev_dur;
+      a.a_max <- max a.a_max ev.ev_dur)
+    t.ring;
+  let rows = Hashtbl.fold (fun name a acc -> (name, a) :: acc) tbl [] in
+  let rows = List.sort (fun (_, a) (_, b) -> compare b.a_total a.a_total) rows in
+  Format.fprintf ppf "%-24s %8s %12s %10s %10s %10s@." "span" "count" "total" "mean" "min" "max";
+  List.iter
+    (fun (name, a) ->
+      Format.fprintf ppf "%-24s %8d %12d %10d %10d %10d@." name a.a_count a.a_total
+        (a.a_total / a.a_count) a.a_min a.a_max)
+    rows;
+  if dropped t > 0 then Format.fprintf ppf "(%d events dropped by the bounded collector)@." (dropped t)

@@ -36,30 +36,82 @@ type trace_entry = {
   t_result : int;
 }
 
+type audit_entry =
+  | Denied of { pid : int; program : string; site : int; number : int; reason : string }
+  | Execve of { pid : int; path : string }
+
+let audit_to_string = function
+  | Denied { pid; program; site; number; reason } ->
+    Printf.sprintf "pid %d DENIED %s at site 0x%x number %d: %s" pid program site number reason
+  | Execve { pid; path } -> Printf.sprintf "pid %d execve %s" pid path
+
+let audit_to_json = function
+  | Denied { pid; program; site; number; reason } ->
+    Asc_obs.Json.Obj
+      [ ("event", Asc_obs.Json.Str "denied");
+        ("pid", Asc_obs.Json.Int pid);
+        ("program", Asc_obs.Json.Str program);
+        ("site", Asc_obs.Json.Int site);
+        ("number", Asc_obs.Json.Int number);
+        ("reason", Asc_obs.Json.Str reason) ]
+  | Execve { pid; path } ->
+    Asc_obs.Json.Obj
+      [ ("event", Asc_obs.Json.Str "execve");
+        ("pid", Asc_obs.Json.Int pid);
+        ("path", Asc_obs.Json.Str path) ]
+
 type t = {
   vfs : Vfs.t;
   pers : Personality.t;
+  obs : Asc_obs.Metrics.registry;
+  spans : Asc_obs.Trace.t;
+  trace : trace_entry Asc_obs.Ring.t;
+  audit : audit_entry Asc_obs.Ring.t;
   mutable next_pid : int;
   mutable monitor : monitor option;
   mutable tracing : bool;
-  mutable trace : trace_entry list;
-  mutable audit : string list;
+  ctr_syscalls : Asc_obs.Metrics.counter;
+  ctr_allowed : Asc_obs.Metrics.counter;
+  ctr_denied : Asc_obs.Metrics.counter;
+  hist_syscall_cycles : Asc_obs.Metrics.histogram;
+  sem_counters : (Syscall.sem, Asc_obs.Metrics.counter) Hashtbl.t;
 }
 
-let create ?(personality = Personality.linux) () =
+let create ?(personality = Personality.linux) ?obs ?(trace_capacity = 65536)
+    ?(audit_capacity = 4096) () =
   let vfs = Vfs.create () in
   List.iter (Vfs.mkdir_p vfs) [ "/tmp"; "/etc"; "/bin"; "/dev"; "/home" ];
+  let obs = match obs with Some r -> r | None -> Asc_obs.Metrics.create () in
   { vfs;
     pers = personality;
+    obs;
+    spans = Asc_obs.Trace.create ();
+    trace = Asc_obs.Ring.create ~capacity:trace_capacity;
+    audit = Asc_obs.Ring.create ~capacity:audit_capacity;
     next_pid = 1;
     monitor = None;
     tracing = false;
-    trace = [];
-    audit = [] }
+    ctr_syscalls =
+      Asc_obs.Metrics.counter obs "kernel.syscalls.total" ~help:"traps taken (incl. denied)";
+    ctr_allowed = Asc_obs.Metrics.counter obs "kernel.syscalls.allowed";
+    ctr_denied = Asc_obs.Metrics.counter obs "kernel.syscalls.denied";
+    hist_syscall_cycles =
+      Asc_obs.Metrics.histogram obs "kernel.syscall_cycles"
+        ~help:"modeled cycles per dispatched syscall (trap + check + work)";
+    sem_counters = Hashtbl.create 32 }
+
+let metrics t = t.obs
+let spans t = t.spans
+
+let sem_counter t sem =
+  match Hashtbl.find_opt t.sem_counters sem with
+  | Some c -> c
+  | None ->
+    let c = Asc_obs.Metrics.counter t.obs ("kernel.syscall." ^ Syscall.name sem) in
+    Hashtbl.replace t.sem_counters sem c;
+    c
 
 let set_monitor t m = t.monitor <- m
-
-let audit_entry t fmt = Format.kasprintf (fun s -> t.audit <- s :: t.audit) fmt
 
 let install_binary t ~path img =
   match Vfs.create_file t.vfs ~cwd:"/" path ~contents:(Obj_file.serialize img) with
@@ -339,7 +391,7 @@ let sys_execve t (p : Process.t) path =
           m.regs.(Isa.sp) <- Machine.stack_top m;
           m.pc <- img.Obj_file.entry;
           Process.reset_for_exec p ~program:canon ~heap_start:(Loader.initial_brk img);
-          audit_entry t "pid %d execve %s" p.pid canon;
+          Asc_obs.Ring.push t.audit (Execve { pid = p.pid; path = canon });
           Ret 0))
 
 let path_arg (p : Process.t) addr k =
@@ -487,11 +539,21 @@ let exec_sem t (p : Process.t) sem (args : int array) =
   | Syscall.Select -> Ret 0
   | Syscall.Indirect -> err Errno.EINVAL (* resolved by the dispatcher *)
 
+let sem_name t number sem =
+  match sem with
+  | Some s -> Syscall.name s
+  | None ->
+    (match Personality.sem_of t.pers number with
+     | Some s -> Syscall.name s
+     | None -> Printf.sprintf "syscall#%d" number)
+
 let run t (p : Process.t) ~max_cycles =
   let on_sys (m : Machine.t) =
     let site = m.pc - Isa.instr_size in
     let number = m.regs.(0) in
     let args = Array.init 6 (fun i -> m.regs.(i + 1)) in
+    let ts0 = m.cycles in
+    Asc_obs.Metrics.inc t.ctr_syscalls;
     charge m (Cost_model.trap_entry + Cost_model.syscall_dispatch);
     let verdict =
       match t.monitor with
@@ -500,10 +562,20 @@ let run t (p : Process.t) ~max_cycles =
     in
     match verdict with
     | Deny reason ->
-      audit_entry t "pid %d DENIED %s at site 0x%x number %d: %s" p.pid p.program site number
-        reason;
+      Asc_obs.Metrics.inc t.ctr_denied;
+      Asc_obs.Ring.push t.audit
+        (Denied { pid = p.pid; program = p.program; site; number; reason });
+      if t.tracing then
+        Asc_obs.Trace.complete t.spans ~cat:"syscall" ~track:p.pid
+          ~args:
+            [ ("site", Asc_obs.Json.Int site);
+              ("number", Asc_obs.Json.Int number);
+              ("verdict", Asc_obs.Json.Str "deny");
+              ("reason", Asc_obs.Json.Str reason) ]
+          ~name:(sem_name t number None) ~ts:ts0 ~dur:(m.cycles - ts0) ();
       Machine.Sys_kill reason
     | Allow ->
+      Asc_obs.Metrics.inc t.ctr_allowed;
       (* resolve semantics, following the OpenBSD-style indirect call *)
       let sem, eff_args =
         match Personality.sem_of t.pers number with
@@ -513,16 +585,24 @@ let run t (p : Process.t) ~max_cycles =
            | None -> (None, args))
         | other -> (other, args)
       in
+      (match sem with Some s -> Asc_obs.Metrics.inc (sem_counter t s) | None -> ());
       let outcome =
         match sem with
         | None -> Ret (-Errno.code Errno.ENOSYS)
         | Some s -> exec_sem t p s eff_args
       in
       let result = match outcome with Ret v -> v | Exited status -> status in
-      if t.tracing then
-        t.trace <-
-          { t_sem = sem; t_number = number; t_site = site; t_args = args; t_result = result }
-          :: t.trace;
+      Asc_obs.Metrics.observe t.hist_syscall_cycles (m.cycles - ts0);
+      if t.tracing then begin
+        Asc_obs.Ring.push t.trace
+          { t_sem = sem; t_number = number; t_site = site; t_args = args; t_result = result };
+        Asc_obs.Trace.complete t.spans ~cat:"syscall" ~track:p.pid
+          ~args:
+            [ ("site", Asc_obs.Json.Int site);
+              ("number", Asc_obs.Json.Int number);
+              ("result", Asc_obs.Json.Int result) ]
+          ~name:(sem_name t number sem) ~ts:ts0 ~dur:(m.cycles - ts0) ()
+      end;
       (match t.monitor with
        | Some mon -> mon.post_syscall p ~site ~sem ~result
        | None -> ());
@@ -536,9 +616,16 @@ let run t (p : Process.t) ~max_cycles =
   in
   Machine.run p.machine ~on_sys ~max_cycles
 
-let trace t = List.rev t.trace
-let clear_trace t = t.trace <- []
-let audit_log t = List.rev t.audit
+let trace t = Asc_obs.Ring.to_list t.trace
+
+let clear_trace t =
+  Asc_obs.Ring.clear t.trace;
+  Asc_obs.Trace.clear t.spans
+
+let audit_log t = Asc_obs.Ring.to_list t.audit
+let clear_audit t = Asc_obs.Ring.clear t.audit
+let syscall_count t = Asc_obs.Metrics.counter_value t.ctr_syscalls
+let denied_count t = Asc_obs.Metrics.counter_value t.ctr_denied
 let stdout_of (p : Process.t) = Buffer.contents p.stdout
 let stderr_of (p : Process.t) = Buffer.contents p.stderr
 let _ = lift

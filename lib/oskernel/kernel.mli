@@ -38,19 +38,54 @@ type trace_entry = {
   t_result : int;
 }
 
+(** Structured audit events: what the kernel records about security-
+    relevant outcomes. Consumers match on the variant (or export it as
+    JSON) instead of string-parsing pre-formatted log lines. *)
+type audit_entry =
+  | Denied of { pid : int; program : string; site : int; number : int; reason : string }
+  | Execve of { pid : int; path : string }
+
+val audit_to_string : audit_entry -> string
+(** The traditional one-line rendering. *)
+
+val audit_to_json : audit_entry -> Asc_obs.Json.t
+
 type t = {
   vfs : Vfs.t;
   pers : Personality.t;
+  obs : Asc_obs.Metrics.registry;       (** per-kernel metrics; see {!metrics} *)
+  spans : Asc_obs.Trace.t;              (** per-syscall spans (cycle timestamps) *)
+  trace : trace_entry Asc_obs.Ring.t;   (** bounded; see {!trace} *)
+  audit : audit_entry Asc_obs.Ring.t;   (** bounded; see {!audit_log} *)
   mutable next_pid : int;
   mutable monitor : monitor option;
-  mutable tracing : bool;
-  mutable trace : trace_entry list;  (** newest first; see {!trace} *)
-  mutable audit : string list;       (** newest first *)
+  mutable tracing : bool;               (** gates the trace ring and span collector *)
+  ctr_syscalls : Asc_obs.Metrics.counter;
+  ctr_allowed : Asc_obs.Metrics.counter;
+  ctr_denied : Asc_obs.Metrics.counter;
+  hist_syscall_cycles : Asc_obs.Metrics.histogram;
+  sem_counters : (Syscall.sem, Asc_obs.Metrics.counter) Hashtbl.t;
 }
 
-val create : ?personality:Personality.t -> unit -> t
+val create :
+  ?personality:Personality.t -> ?obs:Asc_obs.Metrics.registry -> ?trace_capacity:int ->
+  ?audit_capacity:int -> unit -> t
 (** Fresh kernel (default personality {!Personality.linux}) with an empty
-    filesystem containing [/], [/tmp], [/etc], [/bin], [/dev]. *)
+    filesystem containing [/], [/tmp], [/etc], [/bin], [/dev]. By default
+    every kernel gets its own metrics registry so concurrent benchmark
+    runs stay isolated; pass [obs] to share one. [trace_capacity]
+    (default 65536) and [audit_capacity] (default 4096) bound the
+    retention of the trace and audit rings — total counts survive
+    eviction via {!syscall_count} / [Asc_obs.Ring.pushed]. *)
+
+val metrics : t -> Asc_obs.Metrics.registry
+val spans : t -> Asc_obs.Trace.t
+
+val syscall_count : t -> int
+(** Traps taken since creation (monitored-and-denied ones included),
+    independent of tracing and of ring eviction. *)
+
+val denied_count : t -> int
 
 val set_monitor : t -> monitor option -> unit
 
@@ -72,12 +107,15 @@ val run : t -> Process.t -> max_cycles:int -> Svm.Machine.stop
 (** Run the process to completion (exit, fault, kill or cycle budget). *)
 
 val trace : t -> trace_entry list
-(** Completed trace, oldest first. *)
+(** Retained trace, oldest first (at most [trace_capacity] entries). *)
 
 val clear_trace : t -> unit
+(** Empties the trace ring and the span collector. *)
 
-val audit_log : t -> string list
-(** Audit entries, oldest first. *)
+val audit_log : t -> audit_entry list
+(** Retained audit entries, oldest first. *)
+
+val clear_audit : t -> unit
 
 val stdout_of : Process.t -> string
 val stderr_of : Process.t -> string

@@ -26,6 +26,9 @@ let stub_entries t =
   |> List.sort_uniq compare
   |> List.filter (is_stub t)
 
+let ctr_inlined = Asc_obs.Metrics.counter Asc_obs.Metrics.default "plto.stubs_inlined"
+let ctr_split = Asc_obs.Metrics.counter Asc_obs.Metrics.default "plto.sites_split"
+
 let inline_stubs t =
   let stubs = stub_entries t in
   let stub_tbl = Hashtbl.create 16 in
@@ -41,6 +44,7 @@ let inline_stubs t =
         incr count
       | _ -> ())
     t.Ir.blocks;
+  Asc_obs.Metrics.add ctr_inlined !count;
   !count
 
 let split_multi_sys t =
@@ -75,4 +79,5 @@ let split_multi_sys t =
     end
   in
   List.iter split_block (List.filter (fun b -> b.Ir.opaque = None) t.Ir.blocks);
+  Asc_obs.Metrics.add ctr_split !splits;
   !splits

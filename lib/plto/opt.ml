@@ -1,8 +1,13 @@
+let ctr_unreachable = Asc_obs.Metrics.counter Asc_obs.Metrics.default "plto.blocks_removed"
+let ctr_nops = Asc_obs.Metrics.counter Asc_obs.Metrics.default "plto.nops_removed"
+
 let remove_unreachable ?roots t =
   let live = Cfg.reachable ?roots t in
   let before = List.length t.Ir.blocks in
   t.Ir.blocks <- List.filter (fun (b : Ir.block) -> Hashtbl.mem live b.bid) t.Ir.blocks;
-  before - List.length t.Ir.blocks
+  let removed = before - List.length t.Ir.blocks in
+  Asc_obs.Metrics.add ctr_unreachable removed;
+  removed
 
 let remove_nops t =
   let removed = ref 0 in
@@ -20,4 +25,5 @@ let remove_nops t =
       in
       b.body <- keep)
     t.Ir.blocks;
+  Asc_obs.Metrics.add ctr_nops !removed;
   !removed

@@ -14,6 +14,7 @@ type t = {
   regs : int array;
   mutable pc : int;
   mutable cycles : int;
+  mutable instrs : int;
   mutable stopped : stop option;
 }
 
@@ -28,6 +29,7 @@ let create ~mem_size =
     regs = Array.make Isa.num_regs 0;
     pc = 0;
     cycles = 0;
+    instrs = 0;
     stopped = None }
 
 let stack_top t = Bytes.length t.mem - 16
@@ -107,7 +109,12 @@ let eval_cond c a b =
   | Isa.Le -> a <= b
   | Isa.Gt -> a > b
 
+(* process-wide totals across every machine, for the default registry *)
+let obs_instrs = Asc_obs.Metrics.counter Asc_obs.Metrics.default "svm.instructions"
+let obs_cycles = Asc_obs.Metrics.counter Asc_obs.Metrics.default "svm.cycles"
+
 let run t ~on_sys ~max_cycles =
+  let start_instrs = t.instrs and start_cycles = t.cycles in
   let r = t.regs in
   let push v =
     r.(Isa.sp) <- r.(Isa.sp) - 8;
@@ -134,6 +141,7 @@ let run t ~on_sys ~max_cycles =
            | None -> raise (Fault (Bad_opcode pc))
            | Some i ->
              t.cycles <- t.cycles + Cost_model.instr_cost i;
+             t.instrs <- t.instrs + 1;
              t.pc <- pc + Isa.instr_size;
              (match i with
               | Isa.Halt -> t.stopped <- Some (Halted r.(0))
@@ -167,4 +175,7 @@ let run t ~on_sys ~max_cycles =
         loop ()
       end
   in
-  loop ()
+  let stop = loop () in
+  Asc_obs.Metrics.add obs_instrs (t.instrs - start_instrs);
+  Asc_obs.Metrics.add obs_cycles (t.cycles - start_cycles);
+  stop

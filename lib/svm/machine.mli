@@ -23,6 +23,7 @@ type t = {
   regs : int array;
   mutable pc : int;
   mutable cycles : int;
+  mutable instrs : int;      (** instructions retired (deterministic) *)
   mutable stopped : stop option;
 }
 
@@ -41,7 +42,9 @@ val stack_top : t -> int
 val run : t -> on_sys:(t -> sys_action) -> max_cycles:int -> stop
 (** Execute until halt, fault, kill or cycle budget exhaustion. [on_sys] is
     invoked for every [Sys] with pc already advanced past the instruction,
-    so the call site is [t.pc - Isa.instr_size]. *)
+    so the call site is [t.pc - Isa.instr_size]. Each run also adds its
+    instruction/cycle deltas to the process-wide [svm.instructions] /
+    [svm.cycles] counters in [Asc_obs.Metrics.default]. *)
 
 (** {2 Memory accessors (bounds-checked; [None] on out-of-range)} *)
 

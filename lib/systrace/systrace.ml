@@ -56,6 +56,9 @@ let named_rule_count p =
     Syscall.Set.cardinal plain + 2
   end
 
+let ctr_switches =
+  Asc_obs.Metrics.counter Asc_obs.Metrics.default "systrace.context_switches"
+
 let monitor ~personality p =
   let allowed = granted p in
   { Kernel.monitor_name = "systrace";
@@ -63,6 +66,7 @@ let monitor ~personality p =
       (fun proc ~site:_ ~number ->
         let m = proc.Process.machine in
         (* user-space daemon: switch to the monitor process and back *)
+        Asc_obs.Metrics.add ctr_switches 2;
         m.Svm.Machine.cycles <-
           m.Svm.Machine.cycles + (2 * Svm.Cost_model.context_switch);
         let sem =

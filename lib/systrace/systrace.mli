@@ -46,6 +46,8 @@ val named_rule_count : policy -> int
 
 val monitor :
   personality:Oskernel.Personality.t -> policy -> Oskernel.Kernel.monitor
-(** User-space enforcement of the trained policy. *)
+(** User-space enforcement of the trained policy. Each checked call also
+    adds 2 to the process-wide [systrace.context_switches] counter in
+    [Asc_obs.Metrics.default]. *)
 
 val pp_policy : Format.formatter -> policy -> unit

@@ -82,7 +82,6 @@ let run ?(authenticated = false) ?key ~iterations () =
   let kernel = Kernel.create ~personality () in
   if authenticated then
     Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ()));
-  kernel.Kernel.tracing <- true;
   Vfs.mkdir_p kernel.Kernel.vfs "/data";
   Vfs.mkdir_p kernel.Kernel.vfs "/work";
   for i = 0 to file_count - 1 do
@@ -112,5 +111,5 @@ let run ?(authenticated = false) ?key ~iterations () =
         cycles := !cycles + proc.Process.machine.Svm.Machine.cycles)
       (script iter)
   done;
-  let syscalls = List.length (Kernel.trace kernel) in
+  let syscalls = Kernel.syscall_count kernel in
   { iterations; tasks = !tasks; syscalls; cycles = !cycles; failures = !failures }

@@ -253,7 +253,9 @@ let test_installed_binary_runs_clean () =
    | Svm.Machine.Killed r -> Alcotest.failf "killed: %s" r
    | _ -> Alcotest.fail "did not exit 0");
   Alcotest.(check string) "output intact" "hello\000" (Kernel.stdout_of proc);
-  Alcotest.(check (list string)) "no audit entries" [] (Kernel.audit_log kernel)
+  Alcotest.(check (list string))
+    "no audit entries" []
+    (List.map Kernel.audit_to_string (Kernel.audit_log kernel))
 
 let test_unauthenticated_blocked () =
   (* running the ORIGINAL binary under enforcement must be blocked *)

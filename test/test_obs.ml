@@ -1,0 +1,268 @@
+(* Tests for the observability library: the metrics registry (hot-path
+   counters, gauges, fixed-bucket histograms), the bounded ring buffer, the
+   span tracer and its exporters, and the self-contained JSON
+   emitter/parser that backs them. *)
+
+module Json = Asc_obs.Json
+module Ring = Asc_obs.Ring
+module Clock = Asc_obs.Clock
+module Metrics = Asc_obs.Metrics
+module Trace = Asc_obs.Trace
+
+(* --- metrics registry --- *)
+
+let test_counter_gauge () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r "calls" in
+  Metrics.inc c;
+  Metrics.inc c;
+  Metrics.add c 40;
+  Alcotest.(check int) "counter" 42 (Metrics.counter_value c);
+  Alcotest.(check (option int)) "by name" (Some 42) (Metrics.value r "calls");
+  let g = Metrics.gauge r "depth" in
+  Metrics.set g 7;
+  Metrics.set g 3;
+  Alcotest.(check int) "gauge keeps last" 3 (Metrics.gauge_value g);
+  (* get-or-create returns the same cell *)
+  Metrics.inc (Metrics.counter r "calls");
+  Alcotest.(check int) "same handle" 43 (Metrics.counter_value c);
+  Alcotest.(check (list string)) "names sorted" [ "calls"; "depth" ] (Metrics.names r)
+
+let test_kind_mismatch () =
+  let r = Metrics.create () in
+  ignore (Metrics.counter r "x");
+  Alcotest.check_raises "counter vs gauge"
+    (Invalid_argument "Metrics: \"x\" already registered as another kind") (fun () ->
+      ignore (Metrics.gauge r "x"))
+
+let test_histogram_bucket_edges () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~buckets:[ 10; 100; 1000 ] r "lat" in
+  (* exactly on a bound lands in that bucket (bounds are inclusive) *)
+  List.iter (Metrics.observe h) [ 0; 10; 11; 100; 1000; 1001 ];
+  let s = Metrics.histogram_value h in
+  Alcotest.(check (list (pair int int)))
+    "bucket counts"
+    [ (10, 2); (100, 2); (1000, 1) ]
+    s.Metrics.h_buckets;
+  Alcotest.(check int) "overflow" 1 s.Metrics.h_overflow;
+  Alcotest.(check int) "count" 6 s.Metrics.h_count;
+  Alcotest.(check int) "sum" (0 + 10 + 11 + 100 + 1000 + 1001) s.Metrics.h_sum;
+  Alcotest.(check (option int)) "histograms have no scalar value" None (Metrics.value r "lat")
+
+let test_reset () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r "c" in
+  let h = Metrics.histogram r "h" in
+  Metrics.add c 5;
+  Metrics.observe h 123;
+  Metrics.reset r;
+  Alcotest.(check int) "counter zeroed" 0 (Metrics.counter_value c);
+  Alcotest.(check int) "histogram zeroed" 0 (Metrics.histogram_value h).Metrics.h_count;
+  (* old handles still feed the registry *)
+  Metrics.inc c;
+  Alcotest.(check (option int)) "handle alive" (Some 1) (Metrics.value r "c")
+
+let test_metrics_json () =
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter r "a") 3;
+  Metrics.set (Metrics.gauge r "b") (-2);
+  Metrics.observe (Metrics.histogram ~buckets:[ 5 ] r "c") 4;
+  let doc = Metrics.to_json r in
+  (* round-trips through the parser *)
+  match Json.parse (Json.to_string doc) with
+  | Error e -> Alcotest.failf "metrics json does not parse: %s" e
+  | Ok parsed ->
+    let items = Option.get (Json.to_list parsed) in
+    Alcotest.(check int) "three instruments" 3 (List.length items);
+    let first = List.hd items in
+    Alcotest.(check (option string)) "sorted by name" (Some "a")
+      (Option.bind (Json.member "name" first) Json.to_str);
+    Alcotest.(check (option int)) "counter value" (Some 3)
+      (Option.bind (Json.member "value" first) Json.to_int)
+
+(* --- ring buffer --- *)
+
+let test_ring () =
+  let r = Ring.create ~capacity:3 in
+  Alcotest.(check int) "empty" 0 (Ring.length r);
+  List.iter (Ring.push r) [ 1; 2; 3 ];
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3 ] (Ring.to_list r);
+  List.iter (Ring.push r) [ 4; 5 ];
+  Alcotest.(check (list int)) "evicts oldest" [ 3; 4; 5 ] (Ring.to_list r);
+  Alcotest.(check int) "pushed counts everything" 5 (Ring.pushed r);
+  Alcotest.(check int) "dropped" 2 (Ring.dropped r);
+  Alcotest.(check int) "fold sees retained" 12 (Ring.fold (fun acc x -> acc + x) 0 r);
+  Ring.clear r;
+  Alcotest.(check (list int)) "cleared" [] (Ring.to_list r);
+  Alcotest.(check int) "clear resets the totals" 0 (Ring.pushed r);
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Ring.create: capacity must be >= 1") (fun () ->
+      ignore (Ring.create ~capacity:0))
+
+(* --- span tracing + exporters --- *)
+
+let test_span_clock () =
+  let t = Trace.create () in
+  let clock = Clock.create () in
+  let v =
+    Trace.span t ~cat:"phase" ~clock "outer" (fun () ->
+        Clock.advance clock 10;
+        Trace.span t ~clock "inner" (fun () ->
+            Clock.advance clock 5;
+            17))
+  in
+  Alcotest.(check int) "body result" 17 v;
+  match Trace.events t with
+  | [ inner; outer ] ->
+    (* inner completes (and is recorded) first *)
+    Alcotest.(check string) "inner name" "inner" inner.Trace.ev_name;
+    Alcotest.(check int) "inner ts" 10 inner.Trace.ev_ts;
+    Alcotest.(check int) "inner dur" 5 inner.Trace.ev_dur;
+    Alcotest.(check string) "outer name" "outer" outer.Trace.ev_name;
+    Alcotest.(check int) "outer ts" 0 outer.Trace.ev_ts;
+    Alcotest.(check int) "outer dur" 15 outer.Trace.ev_dur
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let test_span_records_on_raise () =
+  let t = Trace.create () in
+  let clock = Clock.create () in
+  (try
+     Trace.span t ~clock "boom" (fun () ->
+         Clock.advance clock 3;
+         failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "span recorded despite raise" 1 (Trace.length t);
+  Alcotest.(check int) "duration kept" 3 (List.hd (Trace.events t)).Trace.ev_dur
+
+let test_chrome_roundtrip () =
+  let t = Trace.create () in
+  Trace.complete t ~cat:"syscall" ~track:2
+    ~args:[ ("site", Json.Int 0x40); ("verdict", Json.Str "allow \"quoted\"") ]
+    ~name:"open" ~ts:100 ~dur:25 ();
+  Trace.complete t ~name:"read" ~ts:125 ~dur:7 ();
+  let s = Trace.chrome_string t in
+  match Json.parse s with
+  | Error e -> Alcotest.failf "chrome trace does not parse: %s" e
+  | Ok doc ->
+    let events = Option.get (Option.bind (Json.member "traceEvents" doc) Json.to_list) in
+    Alcotest.(check int) "two events" 2 (List.length events);
+    let first = List.hd events in
+    let get k conv = Option.bind (Json.member k first) conv in
+    Alcotest.(check (option string)) "name" (Some "open") (get "name" Json.to_str);
+    Alcotest.(check (option string)) "phase is complete" (Some "X") (get "ph" Json.to_str);
+    Alcotest.(check (option int)) "ts" (Some 100) (get "ts" Json.to_int);
+    Alcotest.(check (option int)) "dur" (Some 25) (get "dur" Json.to_int);
+    Alcotest.(check (option int)) "tid" (Some 2) (get "tid" Json.to_int);
+    let args = Option.get (get "args" Option.some) in
+    Alcotest.(check (option string)) "escaped arg survives" (Some "allow \"quoted\"")
+      (Option.bind (Json.member "verdict" args) Json.to_str)
+
+let test_json_lines () =
+  let t = Trace.create () in
+  Trace.complete t ~name:"a" ~ts:0 ~dur:1 ();
+  Trace.complete t ~name:"b" ~ts:1 ~dur:2 ();
+  let lines = String.split_on_char '\n' (String.trim (Trace.to_json_lines t)) in
+  Alcotest.(check int) "one line per event" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "line %S does not parse: %s" line e)
+    lines
+
+let test_trace_bounded () =
+  let t = Trace.create ~capacity:2 () in
+  for i = 1 to 5 do
+    Trace.complete t ~name:"e" ~ts:i ~dur:1 ()
+  done;
+  Alcotest.(check int) "bounded" 2 (Trace.length t);
+  Alcotest.(check int) "dropped" 3 (Trace.dropped t);
+  Alcotest.(check (list int)) "newest kept" [ 4; 5 ]
+    (List.map (fun e -> e.Trace.ev_ts) (Trace.events t))
+
+(* --- JSON parser --- *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.Obj
+      [ ("s", Json.Str "a\"b\\c\nd\tune\x01deux");
+        ("i", Json.Int (-123));
+        ("big", Json.Int max_int);
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Str "x"; Json.Obj [] ]);
+        ("empty", Json.Obj []) ]
+  in
+  match Json.parse (Json.to_string doc) with
+  | Ok parsed -> Alcotest.(check bool) "round-trip equal" true (parsed = doc)
+  | Error e -> Alcotest.failf "round-trip parse failed: %s" e
+
+let test_json_unicode_escape () =
+  match Json.parse {|"a\u00e9A\u20ac"|} with
+  | Ok (Json.Str s) -> Alcotest.(check string) "utf-8 decoded" "a\xc3\xa9A\xe2\x82\xac" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_json_errors () =
+  let bad = [ "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "01"; "{\"a\" 1}"; "" ] in
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "%S should not parse" s
+      | Error _ -> ())
+    bad;
+  (* trailing garbage is rejected *)
+  match Json.parse "1 2" with
+  | Ok _ -> Alcotest.fail "trailing garbage accepted"
+  | Error _ -> ()
+
+let qcheck_json_roundtrip =
+  (* strings chosen to exercise escaping; structure exercises nesting *)
+  let gen =
+    QCheck.Gen.(
+      sized @@ fix (fun self n ->
+          let leaf =
+            oneof
+              [ return Json.Null;
+                map (fun b -> Json.Bool b) bool;
+                map (fun i -> Json.Int i) int;
+                map (fun s -> Json.Str s) (string_size (0 -- 10)) ]
+          in
+          if n = 0 then leaf
+          else
+            frequency
+              [ (2, leaf);
+                (1, map (fun l -> Json.List l) (list_size (0 -- 4) (self (n / 2))));
+                ( 1,
+                  map
+                    (fun kvs -> Json.Obj kvs)
+                    (list_size (0 -- 4)
+                       (pair (string_size (0 -- 6)) (self (n / 2)))) ) ]))
+  in
+  QCheck.Test.make ~name:"json print/parse round-trip" ~count:200 (QCheck.make gen) (fun doc ->
+      match Json.parse (Json.to_string doc) with
+      | Ok parsed -> parsed = doc
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "asc_obs"
+    [ ( "metrics",
+        [ Alcotest.test_case "counter + gauge" `Quick test_counter_gauge;
+          Alcotest.test_case "kind mismatch rejected" `Quick test_kind_mismatch;
+          Alcotest.test_case "histogram bucket edges" `Quick test_histogram_bucket_edges;
+          Alcotest.test_case "reset keeps handles" `Quick test_reset;
+          Alcotest.test_case "to_json round-trips" `Quick test_metrics_json ] );
+      ("ring", [ Alcotest.test_case "bounded fifo" `Quick test_ring ]);
+      ( "trace",
+        [ Alcotest.test_case "span clock arithmetic" `Quick test_span_clock;
+          Alcotest.test_case "span records on raise" `Quick test_span_records_on_raise;
+          Alcotest.test_case "chrome round-trip" `Quick test_chrome_roundtrip;
+          Alcotest.test_case "json-lines" `Quick test_json_lines;
+          Alcotest.test_case "bounded collector" `Quick test_trace_bounded ] );
+      ( "json",
+        [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escape;
+          Alcotest.test_case "malformed inputs" `Quick test_json_errors;
+          QCheck_alcotest.to_alcotest qcheck_json_roundtrip ] ) ]

@@ -374,7 +374,22 @@ let test_monitor_deny () =
   (match stop with
    | Svm.Machine.Killed reason -> Alcotest.(check string) "reason" "not authenticated" reason
    | _ -> Alcotest.fail "expected kill");
-  Alcotest.(check bool) "audited" true (Kernel.audit_log kernel <> [])
+  Alcotest.(check int) "deny counted" 1 (Kernel.denied_count kernel);
+  Alcotest.(check int) "trap counted" 1 (Kernel.syscall_count kernel);
+  (match Kernel.audit_log kernel with
+   | [ Kernel.Denied d ] ->
+     Alcotest.(check int) "audited number" (num Syscall.Getpid) d.number;
+     Alcotest.(check string) "audited reason" "not authenticated" d.reason;
+     let rendered = Kernel.audit_to_string (Kernel.Denied d) in
+     let contains ~sub s =
+       let n = String.length sub in
+       let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+       go 0
+     in
+     Alcotest.(check bool) "rendering mentions DENIED" true (contains ~sub:"DENIED" rendered);
+     Alcotest.(check bool) "rendering carries the reason" true
+       (contains ~sub:"not authenticated" rendered)
+   | _ -> Alcotest.fail "expected exactly one Denied audit entry")
 
 let test_tracing () =
   let kernel = Kernel.create () in
@@ -392,6 +407,41 @@ let test_tracing () =
      Alcotest.(check bool) "first is getpid" true (first.Kernel.t_sem = Some Syscall.Getpid);
      Alcotest.(check int) "result is pid" 1 first.Kernel.t_result
    | [] -> Alcotest.fail "empty trace")
+
+(* the trace ring is bounded but syscall_count sees every trap *)
+let test_trace_ring_cap () =
+  let kernel = Kernel.create ~trace_capacity:3 () in
+  kernel.Kernel.tracing <- true;
+  let getpid = Printf.sprintf " movi r0, %d\n sys\n" (num Syscall.Getpid) in
+  let src = "_start:" ^ String.concat "" (List.init 5 (fun _ -> getpid)) ^ " halt" in
+  let _, _, stop = run_program ~kernel src in
+  check_exit "exit" 1 stop;
+  (* the last getpid leaves pid 1 in r0; Halted reports r0 *)
+  Alcotest.(check int) "all traps counted" 5 (Kernel.syscall_count kernel);
+  Alcotest.(check int) "ring keeps newest 3" 3 (List.length (Kernel.trace kernel));
+  Alcotest.(check int) "per-sem counter" 5
+    (Option.value ~default:0 (Asc_obs.Metrics.value (Kernel.metrics kernel) "kernel.syscall.getpid"));
+  Kernel.clear_trace kernel;
+  Alcotest.(check int) "trace cleared" 0 (List.length (Kernel.trace kernel));
+  Alcotest.(check int) "spans cleared too" 0 (Asc_obs.Trace.length (Kernel.spans kernel));
+  Alcotest.(check int) "count survives clear" 5 (Kernel.syscall_count kernel)
+
+let test_audit_ring_cap () =
+  let kernel = Kernel.create ~audit_capacity:2 () in
+  let deny_all =
+    { Kernel.monitor_name = "deny-all";
+      pre_syscall = (fun _ ~site:_ ~number:_ -> Kernel.Deny "no");
+      post_syscall = Kernel.no_post }
+  in
+  Kernel.set_monitor kernel (Some deny_all);
+  let src = Printf.sprintf "_start: movi r0, %d\n sys\n halt" (num Syscall.Getpid) in
+  for _ = 1 to 3 do ignore (run_program ~kernel src) done;
+  Alcotest.(check int) "audit ring capped" 2 (List.length (Kernel.audit_log kernel));
+  Alcotest.(check int) "every denial counted" 3 (Kernel.denied_count kernel);
+  Kernel.clear_audit kernel;
+  Alcotest.(check (list string)) "audit cleared" []
+    (List.map Kernel.audit_to_string (Kernel.audit_log kernel));
+  Alcotest.(check int) "denied_count survives clear" 3 (Kernel.denied_count kernel)
 
 let test_openbsd_indirect_mmap () =
   let kernel = Kernel.create ~personality:Personality.openbsd () in
@@ -474,6 +524,8 @@ let suite_kernel =
     Alcotest.test_case "execve replaces image" `Quick test_execve_replaces_image;
     Alcotest.test_case "monitor can deny" `Quick test_monitor_deny;
     Alcotest.test_case "tracing" `Quick test_tracing;
+    Alcotest.test_case "trace ring cap" `Quick test_trace_ring_cap;
+    Alcotest.test_case "audit ring cap" `Quick test_audit_ring_cap;
     Alcotest.test_case "openbsd __syscall -> mmap" `Quick test_openbsd_indirect_mmap;
     Alcotest.test_case "getdirentries" `Quick test_getdirentries ]
 
