@@ -12,7 +12,7 @@
 
 let usage =
   "usage: main.exe [table1|table2|table3|table4|table6|andrew|attacks|ablation|bechamel|all]* \
-   [--scale N] [--iterations N] [--json]"
+   [--scale N] [--iterations N] [--json] [--check-baselines DIR] [--tolerance PCT]"
 
 let bechamel_run () =
   let open Bechamel in
@@ -71,6 +71,12 @@ let () =
     | "--json" :: rest ->
       Export.echo := true;
       parse rest
+    | "--check-baselines" :: dir :: rest ->
+      Export.baseline_dir := Some dir;
+      parse rest
+    | "--tolerance" :: v :: rest ->
+      Export.tolerance := float_of_string v;
+      parse rest
     | ("--help" | "-h") :: _ ->
       print_endline usage;
       exit 0
@@ -109,4 +115,9 @@ let () =
       Format.eprintf "unknown benchmark %S@.%s@." other usage;
       exit 1
   in
-  List.iter run selected
+  List.iter run selected;
+  if !Export.failures > 0 then begin
+    Format.eprintf "%d benchmark document(s) regressed beyond baseline tolerance@."
+      !Export.failures;
+    exit 1
+  end

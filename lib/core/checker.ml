@@ -26,10 +26,35 @@ let steps_of registry =
     st_total = Asc_obs.Metrics.counter registry "checker.cycles.total";
     st_checked = Asc_obs.Metrics.counter registry "checker.calls_verified" }
 
+(* The verification step being charged; doubles as the metrics-counter
+   selector and (when a profiler is attached) the synthetic frame name. *)
+type step =
+  | Call_mac
+  | String_mac
+  | Control_flow
+  | Ext
+
+let step_counter steps = function
+  | Call_mac -> steps.st_call_mac
+  | String_mac -> steps.st_string_mac
+  | Control_flow -> steps.st_control_flow
+  | Ext -> steps.st_ext
+
+let step_label = function
+  | Call_mac -> "call_mac"
+  | String_mac -> "string_mac"
+  | Control_flow -> "control_flow"
+  | Ext -> "ext"
+
 let charge (m : Machine.t) steps step n =
   m.cycles <- m.cycles + n;
-  Asc_obs.Metrics.add step n;
-  Asc_obs.Metrics.add steps.st_total n
+  Asc_obs.Metrics.add (step_counter steps step) n;
+  Asc_obs.Metrics.add steps.st_total n;
+  (* verification cycles show up in flamegraphs as <kernel:step> children
+     of the syscall-site frame *)
+  match m.profile with
+  | Some p -> Asc_obs.Profile.charge_label p ("<kernel:" ^ step_label step ^ ">") n
+  | None -> ()
 
 let read_mac m addr =
   match Machine.read_mem m ~addr ~len:16 with
@@ -84,7 +109,7 @@ let parse_ext contents =
 
 let pre ~kernel ~key ~normalize_paths ~steps (p : Process.t) ~site ~number =
   let m = p.machine in
-  charge m steps steps.st_call_mac Cost_model.check_fixed;
+  charge m steps Call_mac Cost_model.check_fixed;
   let r i = m.regs.(i) in
   let descriptor = r 7 in
   if not (Descriptor.is_authenticated descriptor) then deny "unauthenticated system call";
@@ -117,24 +142,24 @@ let pre ~kernel ~key ~normalize_paths ~steps (p : Process.t) ~site ~number =
         e_ext = ext;
         e_control = control }
   in
-  charge m steps steps.st_call_mac (Cost_model.mac_cost (String.length encoded));
+  charge m steps Call_mac (Cost_model.mac_cost (String.length encoded));
   let supplied = read_mac m mac_ptr in
   if not (Cmac.equal_tags (Cmac.mac key encoded) supplied) then deny "call MAC mismatch";
   (* --- step 2: verify authenticated string contents --- *)
   let verified_strings =
     List.map
       (fun (i, ar) ->
-        (i, verify_as m steps steps.st_string_mac key ar (Printf.sprintf "argument %d" i)))
+        (i, verify_as m steps String_mac key ar (Printf.sprintf "argument %d" i)))
       string_args
   in
   let ext_contents =
-    Option.map (fun ar -> verify_as m steps steps.st_ext key ar "extension block") ext
+    Option.map (fun ar -> verify_as m steps Ext key ar "extension block") ext
   in
   (* --- step 3: control-flow policy --- *)
   (match control with
    | None -> ()
    | Some (pred_ref, lbp) ->
-     let pred_contents = verify_as m steps steps.st_control_flow key pred_ref "predecessor set" in
+     let pred_contents = verify_as m steps Control_flow key pred_ref "predecessor set" in
      let last_block =
        match Machine.read_word m lbp with
        | Some v -> v
@@ -145,14 +170,14 @@ let pre ~kernel ~key ~normalize_paths ~steps (p : Process.t) ~site ~number =
        | Some s -> s
        | None -> deny "policy state MAC unreadable"
      in
-     charge m steps steps.st_control_flow (Cost_model.mac_cost 16);
+     charge m steps Control_flow (Cost_model.mac_cost 16);
      let expect = Cmac.mac key (Encoded.state_bytes ~counter:p.counter ~last_block) in
      if not (Cmac.equal_tags expect lb_mac) then deny "policy state corrupted";
      if not (Encoded.predset_mem pred_contents last_block) then
        deny "control-flow violation: block %d may not follow block %d" block last_block;
      (* update: counter++ in kernel space, lastBlock/lbMAC in the application *)
      p.counter <- p.counter + 1;
-     charge m steps steps.st_control_flow (Cost_model.mac_cost 16);
+     charge m steps Control_flow (Cost_model.mac_cost 16);
      let new_mac = Cmac.mac key (Encoded.state_bytes ~counter:p.counter ~last_block:block) in
      if not (Machine.write_word m lbp block && Machine.write_mem m ~addr:(lbp + 8) new_mac) then
        deny "policy state unwritable");
@@ -173,7 +198,7 @@ let pre ~kernel ~key ~normalize_paths ~steps (p : Process.t) ~site ~number =
               (match Patterns.compile pat with
                | Error e -> deny "argument %d: bad pattern (%s)" argi e
                | Ok cp ->
-                 charge m steps steps.st_ext (Patterns.match_cost cp s);
+                 charge m steps Ext (Patterns.match_cost cp s);
                  if not (Patterns.matches cp s) then
                    deny "argument %d: %S does not match pattern %S" argi s pat)))
        (parse_ext contents));

@@ -22,7 +22,11 @@ type tracer = {
          durations are reproducible run to run *)
 }
 
-let new_tracer () = { tr_events = Asc_obs.Trace.create (); tr_clock = Asc_obs.Clock.create () }
+let new_tracer () =
+  let tr_events = Asc_obs.Trace.create () in
+  Asc_obs.Trace.name_process tr_events "asc-installer";
+  Asc_obs.Trace.name_track tr_events ~track:0 "install phases";
+  { tr_events; tr_clock = Asc_obs.Clock.create () }
 
 let phase ?tracer name ~work f =
   match tracer with

@@ -6,8 +6,9 @@
     handle is a bare mutable cell, so {!inc}/{!add}/{!observe} on the trap
     path are O(1) and allocation-free. Registries are independent; a fresh
     kernel gets a fresh registry so benchmark runs do not bleed into each
-    other, while process-wide layers (the SVM interpreter, the PLTO
-    passes) publish into {!default}. *)
+    other (including the per-kernel [svm.instructions]/[svm.cycles]
+    mirrors), while truly process-wide layers (the PLTO passes, the
+    installer gauges) publish into {!default}. *)
 
 type registry
 type counter

@@ -1,0 +1,186 @@
+type frame =
+  | Pc of int
+  | Label of string
+
+type node = {
+  n_frame : frame;
+  n_parent : node option;            (* None only for the root *)
+  n_children : (frame, node) Hashtbl.t;
+  mutable n_self : int;
+  mutable n_calls : int;
+}
+
+type t = {
+  root : node;
+  mutable current : node;
+  mutable total : int;
+}
+
+let make_node ?parent frame =
+  { n_frame = frame;
+    n_parent = parent;
+    n_children = Hashtbl.create 4;
+    n_self = 0;
+    n_calls = 0 }
+
+let create () =
+  let root = make_node (Label "(root)") in
+  { root; current = root; total = 0 }
+
+let enter t frame =
+  let child =
+    match Hashtbl.find_opt t.current.n_children frame with
+    | Some c -> c
+    | None ->
+      let c = make_node ~parent:t.current frame in
+      Hashtbl.replace t.current.n_children frame c;
+      c
+  in
+  child.n_calls <- child.n_calls + 1;
+  t.current <- child
+
+let leave t =
+  match t.current.n_parent with
+  | Some p -> t.current <- p
+  | None -> ()
+
+let charge t n =
+  t.current.n_self <- t.current.n_self + n;
+  t.total <- t.total + n
+
+let charge_label t name n =
+  enter t (Label name);
+  charge t n;
+  leave t
+
+let reset_stack t = t.current <- t.root
+
+let depth t =
+  let rec go n acc = match n.n_parent with None -> acc | Some p -> go p (acc + 1) in
+  go t.current 0
+
+let total_cycles t = t.total
+
+(* ----- exporters ----- *)
+
+let children_sorted ~symbolize node =
+  Hashtbl.fold (fun _ c acc -> c :: acc) node.n_children []
+  |> List.map (fun c -> (symbolize c.n_frame, c))
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let folded ~symbolize t =
+  let out = ref [] in
+  let rec go path node =
+    (* the root is not a real frame: its own charges (cycles retired before
+       any call) are reported under the root pseudo-name *)
+    let path =
+      match node.n_parent with None -> path | Some _ -> symbolize node.n_frame :: path
+    in
+    if node.n_self > 0 then begin
+      let stack = match path with [] -> [ "(root)" ] | p -> List.rev p in
+      out := (stack, node.n_self) :: !out
+    end;
+    List.iter (fun (_, c) -> go path c) (children_sorted ~symbolize node)
+  in
+  go [] t.root;
+  List.sort compare (List.rev !out)
+
+let folded_string ~symbolize t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (stack, cycles) ->
+      Buffer.add_string buf (String.concat ";" stack);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int cycles);
+      Buffer.add_char buf '\n')
+    (folded ~symbolize t);
+  Buffer.contents buf
+
+let parse_folded s =
+  let parse_line lineno line =
+    match String.rindex_opt line ' ' with
+    | None -> Error (Printf.sprintf "line %d: missing cycle count in %S" lineno line)
+    | Some i ->
+      let stack_str = String.sub line 0 i in
+      let count_str = String.sub line (i + 1) (String.length line - i - 1) in
+      (match int_of_string_opt count_str with
+       | None -> Error (Printf.sprintf "line %d: bad cycle count %S" lineno count_str)
+       | Some n when n < 0 -> Error (Printf.sprintf "line %d: negative cycle count" lineno)
+       | Some n ->
+         let stack = String.split_on_char ';' stack_str in
+         if stack = [] || List.exists (fun f -> f = "") stack then
+           Error (Printf.sprintf "line %d: empty frame in %S" lineno stack_str)
+         else Ok (stack, n))
+  in
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: rest -> go (lineno + 1) acc rest
+    | line :: rest ->
+      (match parse_line lineno line with
+       | Ok entry -> go (lineno + 1) (entry :: acc) rest
+       | Error _ as e -> e)
+  in
+  go 1 [] lines
+
+type row = {
+  r_name : string;
+  r_calls : int;
+  r_self : int;
+  r_total : int;
+}
+
+let top ~symbolize t =
+  let tbl : (string, row ref) Hashtbl.t = Hashtbl.create 64 in
+  let cell name =
+    match Hashtbl.find_opt tbl name with
+    | Some r -> r
+    | None ->
+      let r = ref { r_name = name; r_calls = 0; r_self = 0; r_total = 0 } in
+      Hashtbl.replace tbl name r;
+      r
+  in
+  (* DFS carrying the set of names already on the path, so recursive frames
+     contribute their subtree to r_total only once *)
+  let rec go active node =
+    let name = match node.n_parent with None -> None | Some _ -> Some (symbolize node.n_frame) in
+    (match name with
+     | Some nm ->
+       let r = cell nm in
+       r := { !r with r_calls = !r.r_calls + node.n_calls; r_self = !r.r_self + node.n_self }
+     | None -> ());
+    let active' = match name with Some nm -> nm :: active | None -> active in
+    let subtree =
+      Hashtbl.fold (fun _ c acc -> acc + go active' c) node.n_children node.n_self
+    in
+    (match name with
+     | Some nm when not (List.mem nm active) ->
+       let r = cell nm in
+       r := { !r with r_total = !r.r_total + subtree }
+     | _ -> ());
+    subtree
+  in
+  ignore (go [] t.root);
+  (* root self-cycles (work outside any call) appear as their own row *)
+  if t.root.n_self > 0 then begin
+    let r = cell "(root)" in
+    r :=
+      { !r with
+        r_self = !r.r_self + t.root.n_self;
+        r_total = !r.r_total + t.root.n_self }
+  end;
+  Hashtbl.fold (fun _ r acc -> !r :: acc) tbl []
+  |> List.sort (fun a b ->
+         match compare b.r_self a.r_self with 0 -> compare a.r_name b.r_name | c -> c)
+
+let to_json ~symbolize t =
+  Json.Obj
+    [ ("total_cycles", Json.Int t.total);
+      ( "stacks",
+        Json.List
+          (List.map
+             (fun (stack, cycles) ->
+               Json.Obj
+                 [ ("stack", Json.List (List.map (fun f -> Json.Str f) stack));
+                   ("cycles", Json.Int cycles) ])
+             (folded ~symbolize t)) ) ]

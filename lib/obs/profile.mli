@@ -1,0 +1,91 @@
+(** A cycle-exact call-graph profiler.
+
+    The instrumented interpreter maintains a *shadow call stack*: {!enter}
+    on every call, {!leave} on every return, and {!charge} for each retired
+    instruction's modeled cycles, which are credited to the node currently
+    on top of the stack. Because every charged cycle lands on exactly one
+    node, the sum over all nodes equals the machine's retired cycle counter
+    — the invariant the exporters (and [asc_profile]'s self-check) rely on.
+
+    Frames are either raw program counters ([Pc] — call targets, resolved
+    to names only at report time via the caller's [symbolize]) or
+    pre-named synthetic frames ([Label] — kernel-side work such as
+    [<kernel:call_mac>], attributed under the application stack that
+    triggered it).
+
+    The profiler is deliberately independent of the SVM: it never decodes
+    instructions or reads images, so the kernel, the checker and any future
+    interpreter can all charge into the same profile. *)
+
+type frame =
+  | Pc of int        (** call-target address; symbolized at report time *)
+  | Label of string  (** synthetic frame, used verbatim *)
+
+type t
+
+val create : unit -> t
+(** Empty profile; the shadow stack holds only the implicit root. *)
+
+(** {1 Hot-path updates} *)
+
+val enter : t -> frame -> unit
+(** Push a frame (descend into the matching child node, creating it on
+    first use). *)
+
+val leave : t -> unit
+(** Pop to the parent frame. A [leave] at the root is a no-op, so
+    unmatched returns (e.g. from code the profiler never saw call) cannot
+    corrupt the stack. *)
+
+val charge : t -> int -> unit
+(** Credit cycles to the frame currently on top of the stack. *)
+
+val charge_label : t -> string -> int -> unit
+(** [charge_label t name n] charges [n] cycles to a synthetic [Label name]
+    child of the current frame — equivalent to
+    [enter t (Label name); charge t n; leave t]. *)
+
+val reset_stack : t -> unit
+(** Unwind the shadow stack to the root without touching accumulated
+    cycles. Used on [execve], when the application call stack it mirrored
+    ceases to exist. *)
+
+(** {1 Reading} *)
+
+val depth : t -> int
+(** Current shadow-stack depth (0 at the root). *)
+
+val total_cycles : t -> int
+(** Sum of every charge; equals the machine's retired cycle counter when
+    every cycle source is instrumented. *)
+
+(** {1 Exporters} *)
+
+val folded : symbolize:(frame -> string) -> t -> (string list * int) list
+(** One entry per stack with non-zero self cycles:
+    [(\[caller; ...; leaf\], self_cycles)], sorted by stack for
+    deterministic output. The entries' cycles sum to {!total_cycles}. *)
+
+val folded_string : symbolize:(frame -> string) -> t -> string
+(** flamegraph.pl-compatible folded stacks: one
+    ["frame;frame;frame cycles"] line per entry of {!folded}. *)
+
+val parse_folded : string -> ((string list * int) list, string) result
+(** Parse folded-stacks text back into stacks ([Error] describes the first
+    malformed line). [parse_folded (folded_string ~symbolize t)]
+    round-trips whenever frame names contain no [' '] or [';']. *)
+
+type row = {
+  r_name : string;   (** symbolized frame name *)
+  r_calls : int;     (** times the frame was entered *)
+  r_self : int;      (** cycles charged directly to the frame *)
+  r_total : int;     (** self + descendants (recursion counted once) *)
+}
+
+val top : symbolize:(frame -> string) -> t -> row list
+(** Per-name aggregation over the whole tree, sorted by self cycles
+    descending (ties by name). The [r_self] column sums to
+    {!total_cycles}. *)
+
+val to_json : symbolize:(frame -> string) -> t -> Json.t
+(** [{"total_cycles": n, "stacks": [{"stack": [...], "cycles": n}, ...]}] *)

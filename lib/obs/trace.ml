@@ -7,9 +7,20 @@ type event = {
   ev_args : (string * Json.t) list;
 }
 
-type t = { ring : event Ring.t }
+type t = {
+  ring : event Ring.t;
+  track_names : (int, string) Hashtbl.t;
+  mutable process_name : string option;
+}
 
-let create ?(capacity = 65536) () = { ring = Ring.create ~capacity }
+let create ?(capacity = 65536) () =
+  { ring = Ring.create ~capacity; track_names = Hashtbl.create 8; process_name = None }
+
+let name_process t name = t.process_name <- Some name
+
+let name_track t ~track name = Hashtbl.replace t.track_names track name
+
+let track_name t ~track = Hashtbl.find_opt t.track_names track
 
 let complete t ?(cat = "") ?(track = 0) ?(args = []) ~name ~ts ~dur () =
   Ring.push t.ring
@@ -42,9 +53,36 @@ let event_json ev =
       ("tid", Json.Int ev.ev_track);
       ("args", Json.Obj ev.ev_args) ]
 
+(* Chrome trace-event metadata ("ph":"M"): process_name labels the single
+   simulated process, thread_name labels each track (kernel pids, installer
+   phases) so chrome://tracing shows names instead of bare tids. *)
+let metadata_events t =
+  let process =
+    match t.process_name with
+    | None -> []
+    | Some name ->
+      [ Json.Obj
+          [ ("name", Json.Str "process_name");
+            ("ph", Json.Str "M");
+            ("pid", Json.Int 1);
+            ("args", Json.Obj [ ("name", Json.Str name) ]) ] ]
+  in
+  let tracks =
+    Hashtbl.fold (fun track name acc -> (track, name) :: acc) t.track_names []
+    |> List.sort compare
+    |> List.map (fun (track, name) ->
+           Json.Obj
+             [ ("name", Json.Str "thread_name");
+               ("ph", Json.Str "M");
+               ("pid", Json.Int 1);
+               ("tid", Json.Int track);
+               ("args", Json.Obj [ ("name", Json.Str name) ]) ])
+  in
+  process @ tracks
+
 let to_chrome t =
   Json.Obj
-    [ ("traceEvents", Json.List (List.map event_json (events t)));
+    [ ("traceEvents", Json.List (metadata_events t @ List.map event_json (events t)));
       ("displayTimeUnit", Json.Str "ns") ]
 
 let chrome_string t = Json.to_string (to_chrome t)

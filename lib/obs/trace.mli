@@ -24,6 +24,17 @@ type t
 val create : ?capacity:int -> unit -> t
 (** Bounded collector; default capacity 65536 events. *)
 
+val name_process : t -> string -> unit
+(** Label the collector's (single) process; rendered as a ["ph":"M"]
+    [process_name] metadata event by {!to_chrome}. *)
+
+val name_track : t -> track:int -> string -> unit
+(** Label a track (e.g. a kernel pid with its program name); rendered as a
+    [thread_name] metadata event by {!to_chrome}. Names are identity, not
+    events: they survive {!clear} and ring eviction. *)
+
+val track_name : t -> track:int -> string option
+
 val complete :
   t -> ?cat:string -> ?track:int -> ?args:(string * Json.t) list ->
   name:string -> ts:int -> dur:int -> unit -> unit
@@ -48,7 +59,10 @@ val clear : t -> unit
 
 val to_chrome : t -> Json.t
 (** [{"traceEvents": [...], "displayTimeUnit": "ns"}] with one ["ph":"X"]
-    event per span; timestamps are the deterministic clock values. *)
+    event per span; timestamps are the deterministic clock values.
+    {!name_process} / {!name_track} labels lead the list as ["ph":"M"]
+    metadata events so chrome://tracing shows names instead of bare
+    pid/tid numbers. *)
 
 val chrome_string : t -> string
 

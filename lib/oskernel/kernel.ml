@@ -73,6 +73,8 @@ type t = {
   ctr_syscalls : Asc_obs.Metrics.counter;
   ctr_allowed : Asc_obs.Metrics.counter;
   ctr_denied : Asc_obs.Metrics.counter;
+  ctr_vm_instrs : Asc_obs.Metrics.counter;
+  ctr_vm_cycles : Asc_obs.Metrics.counter;
   hist_syscall_cycles : Asc_obs.Metrics.histogram;
   sem_counters : (Syscall.sem, Asc_obs.Metrics.counter) Hashtbl.t;
 }
@@ -82,10 +84,12 @@ let create ?(personality = Personality.linux) ?obs ?(trace_capacity = 65536)
   let vfs = Vfs.create () in
   List.iter (Vfs.mkdir_p vfs) [ "/tmp"; "/etc"; "/bin"; "/dev"; "/home" ];
   let obs = match obs with Some r -> r | None -> Asc_obs.Metrics.create () in
+  let spans = Asc_obs.Trace.create () in
+  Asc_obs.Trace.name_process spans "asc-kernel";
   { vfs;
     pers = personality;
     obs;
-    spans = Asc_obs.Trace.create ();
+    spans;
     trace = Asc_obs.Ring.create ~capacity:trace_capacity;
     audit = Asc_obs.Ring.create ~capacity:audit_capacity;
     next_pid = 1;
@@ -95,6 +99,11 @@ let create ?(personality = Personality.linux) ?obs ?(trace_capacity = 65536)
       Asc_obs.Metrics.counter obs "kernel.syscalls.total" ~help:"traps taken (incl. denied)";
     ctr_allowed = Asc_obs.Metrics.counter obs "kernel.syscalls.allowed";
     ctr_denied = Asc_obs.Metrics.counter obs "kernel.syscalls.denied";
+    ctr_vm_instrs =
+      Asc_obs.Metrics.counter obs "svm.instructions"
+        ~help:"instructions retired by this kernel's processes";
+    ctr_vm_cycles =
+      Asc_obs.Metrics.counter obs "svm.cycles" ~help:"modeled cycles (app + kernel charges)";
     hist_syscall_cycles =
       Asc_obs.Metrics.histogram obs "kernel.syscall_cycles"
         ~help:"modeled cycles per dispatched syscall (trap + check + work)";
@@ -153,6 +162,7 @@ let spawn t ?(stdin = "") ?(libs = []) ~program img =
   let heap_start = (top + Svm.Asm.page_size - 1) / Svm.Asm.page_size * Svm.Asm.page_size in
   let pid = t.next_pid in
   t.next_pid <- pid + 1;
+  Asc_obs.Trace.name_track t.spans ~track:pid program;
   let proc = Process.create ~pid ~program ~machine ~heap_start in
   proc.Process.stdin <- stdin;
   proc
@@ -175,7 +185,13 @@ let err e = Ret (-Errno.code e)
 let lift = function Ok v -> v | Error e -> -Errno.code e
 let lift_unit = function Ok () -> 0 | Error e -> -Errno.code e
 
-let charge (m : Machine.t) n = m.cycles <- m.cycles + n
+(* Every kernel-side cycle charge goes through here so the shadow-stack
+   profiler (when attached) sees the same total the machine counts. *)
+let charge (m : Machine.t) n =
+  m.cycles <- m.cycles + n;
+  match m.profile with
+  | Some p -> Asc_obs.Profile.charge p n
+  | None -> ()
 
 let max_io = 1 lsl 20
 
@@ -391,6 +407,14 @@ let sys_execve t (p : Process.t) path =
           m.regs.(Isa.sp) <- Machine.stack_top m;
           m.pc <- img.Obj_file.entry;
           Process.reset_for_exec p ~program:canon ~heap_start:(Loader.initial_brk img);
+          (* the old image's shadow call stack is gone with its memory; leave
+             a single <kernel:execve> frame for the dispatcher's trailing
+             [Profile.leave] to pop, landing the new image at the root *)
+          (match m.profile with
+           | Some prof ->
+             Asc_obs.Profile.reset_stack prof;
+             Asc_obs.Profile.enter prof (Asc_obs.Profile.Label "<kernel:execve>")
+           | None -> ());
           Asc_obs.Ring.push t.audit (Execve { pid = p.pid; path = canon });
           Ret 0))
 
@@ -553,6 +577,14 @@ let run t (p : Process.t) ~max_cycles =
     let number = m.regs.(0) in
     let args = Array.init 6 (fun i -> m.regs.(i + 1)) in
     let ts0 = m.cycles in
+    (* kernel-side work (trap, checks, dispatch) profiles under a synthetic
+       per-call-site frame, e.g. [write@site_0x1a0] *)
+    (match m.profile with
+     | Some prof ->
+       Asc_obs.Profile.enter prof
+         (Asc_obs.Profile.Label
+            (Printf.sprintf "%s@site_0x%x" (sem_name t number None) site))
+     | None -> ());
     Asc_obs.Metrics.inc t.ctr_syscalls;
     charge m (Cost_model.trap_entry + Cost_model.syscall_dispatch);
     let verdict =
@@ -560,7 +592,8 @@ let run t (p : Process.t) ~max_cycles =
       | None -> Allow
       | Some mon -> mon.pre_syscall p ~site ~number
     in
-    match verdict with
+    let action =
+      match verdict with
     | Deny reason ->
       Asc_obs.Metrics.inc t.ctr_denied;
       Asc_obs.Ring.push t.audit
@@ -613,8 +646,20 @@ let run t (p : Process.t) ~max_cycles =
        | Ret v ->
          m.regs.(0) <- v;
          Machine.Sys_continue)
+    in
+    (match m.profile with
+     | Some prof -> Asc_obs.Profile.leave prof
+     | None -> ());
+    action
   in
-  Machine.run p.machine ~on_sys ~max_cycles
+  let m = p.machine in
+  let start_instrs = m.instrs and start_cycles = m.cycles in
+  let stop = Machine.run m ~on_sys ~max_cycles in
+  (* per-kernel mirrors of the machine totals: registries created per
+     kernel (the default) never see another run's instructions *)
+  Asc_obs.Metrics.add t.ctr_vm_instrs (m.instrs - start_instrs);
+  Asc_obs.Metrics.add t.ctr_vm_cycles (m.cycles - start_cycles);
+  stop
 
 let trace t = Asc_obs.Ring.to_list t.trace
 

@@ -63,6 +63,11 @@ type t = {
   ctr_syscalls : Asc_obs.Metrics.counter;
   ctr_allowed : Asc_obs.Metrics.counter;
   ctr_denied : Asc_obs.Metrics.counter;
+  ctr_vm_instrs : Asc_obs.Metrics.counter;
+  (** [svm.instructions] in {!metrics}: instructions retired under this
+      kernel, mirrored from machine deltas by {!run} so kernels with
+      separate registries never bleed into each other. *)
+  ctr_vm_cycles : Asc_obs.Metrics.counter;   (** likewise [svm.cycles] *)
   hist_syscall_cycles : Asc_obs.Metrics.histogram;
   sem_counters : (Syscall.sem, Asc_obs.Metrics.counter) Hashtbl.t;
 }

@@ -16,6 +16,7 @@ type t = {
   mutable cycles : int;
   mutable instrs : int;
   mutable stopped : stop option;
+  mutable profile : Asc_obs.Profile.t option;
 }
 
 type sys_action =
@@ -30,7 +31,8 @@ let create ~mem_size =
     pc = 0;
     cycles = 0;
     instrs = 0;
-    stopped = None }
+    stopped = None;
+    profile = None }
 
 let stack_top t = Bytes.length t.mem - 16
 
@@ -109,12 +111,7 @@ let eval_cond c a b =
   | Isa.Le -> a <= b
   | Isa.Gt -> a > b
 
-(* process-wide totals across every machine, for the default registry *)
-let obs_instrs = Asc_obs.Metrics.counter Asc_obs.Metrics.default "svm.instructions"
-let obs_cycles = Asc_obs.Metrics.counter Asc_obs.Metrics.default "svm.cycles"
-
 let run t ~on_sys ~max_cycles =
-  let start_instrs = t.instrs and start_cycles = t.cycles in
   let r = t.regs in
   let push v =
     r.(Isa.sp) <- r.(Isa.sp) - 8;
@@ -140,8 +137,14 @@ let run t ~on_sys ~max_cycles =
            match Isa.decode t.mem ~pos:pc with
            | None -> raise (Fault (Bad_opcode pc))
            | Some i ->
-             t.cycles <- t.cycles + Cost_model.instr_cost i;
+             let cost = Cost_model.instr_cost i in
+             t.cycles <- t.cycles + cost;
              t.instrs <- t.instrs + 1;
+             (* the instruction's cost belongs to the frame executing it:
+                charge before Call pushes / Ret pops the shadow stack *)
+             (match t.profile with
+              | Some p -> Asc_obs.Profile.charge p cost
+              | None -> ());
              t.pc <- pc + Isa.instr_size;
              (match i with
               | Isa.Halt -> t.stopped <- Some (Halted r.(0))
@@ -159,11 +162,21 @@ let run t ~on_sys ~max_cycles =
               | Isa.Jr rs -> t.pc <- r.(rs)
               | Isa.Call target ->
                 push t.pc;
-                t.pc <- target
+                t.pc <- target;
+                (match t.profile with
+                 | Some p -> Asc_obs.Profile.enter p (Asc_obs.Profile.Pc target)
+                 | None -> ())
               | Isa.Callr rs ->
                 push t.pc;
-                t.pc <- r.(rs)
-              | Isa.Ret -> t.pc <- pop ()
+                t.pc <- r.(rs);
+                (match t.profile with
+                 | Some p -> Asc_obs.Profile.enter p (Asc_obs.Profile.Pc t.pc)
+                 | None -> ())
+              | Isa.Ret ->
+                t.pc <- pop ();
+                (match t.profile with
+                 | Some p -> Asc_obs.Profile.leave p
+                 | None -> ())
               | Isa.Push rs -> push r.(rs)
               | Isa.Pop rd -> r.(rd) <- pop ()
               | Isa.Sys ->
@@ -175,7 +188,4 @@ let run t ~on_sys ~max_cycles =
         loop ()
       end
   in
-  let stop = loop () in
-  Asc_obs.Metrics.add obs_instrs (t.instrs - start_instrs);
-  Asc_obs.Metrics.add obs_cycles (t.cycles - start_cycles);
-  stop
+  loop ()

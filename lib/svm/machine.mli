@@ -25,6 +25,12 @@ type t = {
   mutable cycles : int;
   mutable instrs : int;      (** instructions retired (deterministic) *)
   mutable stopped : stop option;
+  mutable profile : Asc_obs.Profile.t option;
+  (** When set, [run] mirrors control flow onto the profiler's shadow call
+      stack: each retired instruction's modeled cost is charged to the
+      current frame, [Call]/[Callr] enter a [Pc target] frame, [Ret]
+      leaves. [None] (the default) costs nothing and changes nothing —
+      cycle accounting is identical either way. *)
 }
 
 type sys_action =
@@ -42,9 +48,10 @@ val stack_top : t -> int
 val run : t -> on_sys:(t -> sys_action) -> max_cycles:int -> stop
 (** Execute until halt, fault, kill or cycle budget exhaustion. [on_sys] is
     invoked for every [Sys] with pc already advanced past the instruction,
-    so the call site is [t.pc - Isa.instr_size]. Each run also adds its
-    instruction/cycle deltas to the process-wide [svm.instructions] /
-    [svm.cycles] counters in [Asc_obs.Metrics.default]. *)
+    so the call site is [t.pc - Isa.instr_size]. Instruction/cycle totals
+    live only in [t.instrs]/[t.cycles]; metric accounting is the caller's
+    concern (the kernel mirrors deltas into its per-kernel registry), so
+    concurrent machines never bleed into a shared counter. *)
 
 (** {2 Memory accessors (bounds-checked; [None] on out-of-range)} *)
 

@@ -81,6 +81,22 @@ let test_metrics_json () =
     Alcotest.(check (option int)) "counter value" (Some 3)
       (Option.bind (Json.member "value" first) Json.to_int)
 
+let qcheck_histogram_conservation =
+  (* whatever is observed, every observation lands in exactly one bucket:
+     h_count = sum of bucket counts + h_overflow, and sum/count track the
+     raw observations *)
+  QCheck.Test.make ~name:"histogram count = buckets + overflow" ~count:200
+    QCheck.(list (int_bound 5000))
+    (fun obs ->
+      let r = Metrics.create () in
+      let h = Metrics.histogram ~buckets:[ 10; 100; 1000 ] r "lat" in
+      List.iter (Metrics.observe h) obs;
+      let s = Metrics.histogram_value h in
+      let in_buckets = List.fold_left (fun acc (_, c) -> acc + c) 0 s.Metrics.h_buckets in
+      s.Metrics.h_count = in_buckets + s.Metrics.h_overflow
+      && s.Metrics.h_count = List.length obs
+      && s.Metrics.h_sum = List.fold_left ( + ) 0 obs)
+
 (* --- ring buffer --- *)
 
 let test_ring () =
@@ -158,6 +174,39 @@ let test_chrome_roundtrip () =
     Alcotest.(check (option string)) "escaped arg survives" (Some "allow \"quoted\"")
       (Option.bind (Json.member "verdict" args) Json.to_str)
 
+let test_chrome_metadata () =
+  let t = Trace.create () in
+  Trace.name_process t "asc-kernel";
+  Trace.name_track t ~track:2 "/bin/calc";
+  Trace.name_track t ~track:1 "init";
+  Trace.complete t ~name:"open" ~track:2 ~ts:0 ~dur:1 ();
+  Alcotest.(check (option string)) "track name kept" (Some "/bin/calc")
+    (Trace.track_name t ~track:2);
+  Alcotest.(check (option string)) "unnamed track" None (Trace.track_name t ~track:9);
+  match Json.parse (Trace.chrome_string t) with
+  | Error e -> Alcotest.failf "chrome trace does not parse: %s" e
+  | Ok doc ->
+    let events = Option.get (Option.bind (Json.member "traceEvents" doc) Json.to_list) in
+    Alcotest.(check int) "1 process + 2 thread metadata + 1 span" 4 (List.length events);
+    let get ev k conv = Option.bind (Json.member k ev) conv in
+    (match events with
+     | [ proc; t1; t2; span ] ->
+       Alcotest.(check (option string)) "process_name first" (Some "process_name")
+         (get proc "name" Json.to_str);
+       Alcotest.(check (option string)) "metadata phase" (Some "M") (get proc "ph" Json.to_str);
+       Alcotest.(check (option string)) "process label" (Some "asc-kernel")
+         (Option.bind (get proc "args" Option.some) (fun a ->
+              Option.bind (Json.member "name" a) Json.to_str));
+       Alcotest.(check (option string)) "thread_name" (Some "thread_name")
+         (get t1 "name" Json.to_str);
+       Alcotest.(check (option int)) "tracks sorted" (Some 1) (get t1 "tid" Json.to_int);
+       Alcotest.(check (option int)) "second track" (Some 2) (get t2 "tid" Json.to_int);
+       Alcotest.(check (option string)) "track label" (Some "/bin/calc")
+         (Option.bind (get t2 "args" Option.some) (fun a ->
+              Option.bind (Json.member "name" a) Json.to_str));
+       Alcotest.(check (option string)) "span still X" (Some "X") (get span "ph" Json.to_str)
+     | _ -> Alcotest.fail "unexpected event shape")
+
 let test_json_lines () =
   let t = Trace.create () in
   Trace.complete t ~name:"a" ~ts:0 ~dur:1 ();
@@ -180,6 +229,81 @@ let test_trace_bounded () =
   Alcotest.(check int) "dropped" 3 (Trace.dropped t);
   Alcotest.(check (list int)) "newest kept" [ 4; 5 ]
     (List.map (fun e -> e.Trace.ev_ts) (Trace.events t))
+
+(* --- baseline regression gate --- *)
+
+module Baseline = Asc_obs.Baseline
+
+let bench_doc rows =
+  Json.Obj
+    [ ("table", Json.Str "table4");
+      ("rows",
+       Json.List
+         (List.map
+            (fun (name, cycles) ->
+              Json.Obj [ ("name", Json.Str name); ("cycles", Json.Int cycles) ])
+            rows)) ]
+
+let test_baseline_within_tolerance () =
+  let base = bench_doc [ ("getpid", 1000); ("read", 7000) ] in
+  let actual = bench_doc [ ("getpid", 1040); ("read", 6800) ] in
+  (match Baseline.compare ~tolerance:5.0 ~baseline:base ~actual with
+   | Ok () -> ()
+   | Error ps -> Alcotest.failf "4%% drift rejected at 5%%: %s" (String.concat "; " ps));
+  (* Int and Float are numerically interchangeable *)
+  match
+    Baseline.compare ~tolerance:1.0 ~baseline:(Json.Obj [ ("x", Json.Int 10) ])
+      ~actual:(Json.Obj [ ("x", Json.Float 10.0) ])
+  with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "10 vs 10.0 should compare equal"
+
+let test_baseline_regression_detected () =
+  let base = bench_doc [ ("getpid", 1000); ("read", 7000) ] in
+  let actual = bench_doc [ ("getpid", 1200); ("read", 7000) ] in
+  match Baseline.compare ~tolerance:10.0 ~baseline:base ~actual with
+  | Ok () -> Alcotest.fail "20% drift passed a 10% gate"
+  | Error [ msg ] ->
+    Alcotest.(check bool) "message names the path" true
+      (String.length msg > 0 && String.sub msg 0 1 = "$")
+  | Error ps -> Alcotest.failf "expected one problem, got %d" (List.length ps)
+
+let test_baseline_near_zero_floor () =
+  (* the max(...,1) floor keeps near-zero leaves from demanding equality *)
+  match
+    Baseline.compare ~tolerance:10.0 ~baseline:(Json.Obj [ ("x", Json.Int 0) ])
+      ~actual:(Json.Obj [ ("x", Json.Float 0.05) ])
+  with
+  | Ok () -> ()
+  | Error ps -> Alcotest.failf "tiny absolute drift rejected: %s" (String.concat "; " ps)
+
+let test_baseline_schema_strict () =
+  let check_fails name base actual =
+    match Baseline.compare ~tolerance:100.0 ~baseline:base ~actual with
+    | Ok () -> Alcotest.failf "%s should fail regardless of tolerance" name
+    | Error _ -> ()
+  in
+  check_fails "missing key"
+    (Json.Obj [ ("a", Json.Int 1); ("b", Json.Int 2) ])
+    (Json.Obj [ ("a", Json.Int 1) ]);
+  check_fails "unexpected key"
+    (Json.Obj [ ("a", Json.Int 1) ])
+    (Json.Obj [ ("a", Json.Int 1); ("b", Json.Int 2) ]);
+  check_fails "list length" (Json.List [ Json.Int 1 ]) (Json.List [ Json.Int 1; Json.Int 2 ]);
+  check_fails "kind change" (Json.Obj [ ("a", Json.Str "x") ]) (Json.Obj [ ("a", Json.Int 3) ]);
+  check_fails "string change"
+    (Json.Obj [ ("name", Json.Str "getpid") ])
+    (Json.Obj [ ("name", Json.Str "getppid") ]);
+  check_fails "bool change" (Json.Bool true) (Json.Bool false);
+  (* every offending leaf is reported, not just the first *)
+  match
+    Baseline.compare ~tolerance:1.0
+      ~baseline:(bench_doc [ ("a", 100); ("b", 100) ])
+      ~actual:(bench_doc [ ("a", 200); ("b", 300) ])
+  with
+  | Error [ _; _ ] -> ()
+  | Error ps -> Alcotest.failf "expected 2 problems, got %d" (List.length ps)
+  | Ok () -> Alcotest.fail "regressions not detected"
 
 (* --- JSON parser --- *)
 
@@ -253,14 +377,21 @@ let () =
           Alcotest.test_case "kind mismatch rejected" `Quick test_kind_mismatch;
           Alcotest.test_case "histogram bucket edges" `Quick test_histogram_bucket_edges;
           Alcotest.test_case "reset keeps handles" `Quick test_reset;
-          Alcotest.test_case "to_json round-trips" `Quick test_metrics_json ] );
+          Alcotest.test_case "to_json round-trips" `Quick test_metrics_json;
+          QCheck_alcotest.to_alcotest qcheck_histogram_conservation ] );
       ("ring", [ Alcotest.test_case "bounded fifo" `Quick test_ring ]);
       ( "trace",
         [ Alcotest.test_case "span clock arithmetic" `Quick test_span_clock;
           Alcotest.test_case "span records on raise" `Quick test_span_records_on_raise;
           Alcotest.test_case "chrome round-trip" `Quick test_chrome_roundtrip;
+          Alcotest.test_case "chrome metadata events" `Quick test_chrome_metadata;
           Alcotest.test_case "json-lines" `Quick test_json_lines;
           Alcotest.test_case "bounded collector" `Quick test_trace_bounded ] );
+      ( "baseline",
+        [ Alcotest.test_case "within tolerance" `Quick test_baseline_within_tolerance;
+          Alcotest.test_case "regression detected" `Quick test_baseline_regression_detected;
+          Alcotest.test_case "near-zero floor" `Quick test_baseline_near_zero_floor;
+          Alcotest.test_case "schema must match exactly" `Quick test_baseline_schema_strict ] );
       ( "json",
         [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;
           Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escape;

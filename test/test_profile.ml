@@ -1,0 +1,277 @@
+(* Tests for the shadow-call-stack profiler: the Profile tree itself, the
+   folded-stacks exporter and parser, and the end-to-end invariant that a
+   profiled run accounts for exactly the cycles the machine retires —
+   application instructions, kernel dispatch and the checker's per-step
+   verification charges alike. *)
+
+open Oskernel
+module Profile = Asc_obs.Profile
+module Metrics = Asc_obs.Metrics
+
+let sym = function
+  | Profile.Label s -> s
+  | Profile.Pc a -> Printf.sprintf "0x%x" a
+
+(* --- the tree --- *)
+
+let test_enter_charge_leave () =
+  let p = Profile.create () in
+  Profile.charge p 5;
+  Profile.enter p (Profile.Label "main");
+  Profile.charge p 10;
+  Profile.enter p (Profile.Pc 0x100);
+  Profile.charge p 7;
+  Profile.leave p;
+  Profile.enter p (Profile.Pc 0x100);
+  Profile.charge p 3;
+  Profile.leave p;
+  Profile.leave p;
+  Alcotest.(check int) "total" 25 (Profile.total_cycles p);
+  Alcotest.(check int) "depth back at root" 0 (Profile.depth p);
+  Alcotest.(check
+              (list (pair (list string) int)))
+    "folded stacks"
+    [ ([ "(root)" ], 5); ([ "main" ], 10); ([ "main"; "0x100" ], 10) ]
+    (Profile.folded ~symbolize:sym p);
+  match Profile.top ~symbolize:sym p with
+  | rows ->
+    let find name = List.find (fun r -> r.Profile.r_name = name) rows in
+    let m = find "main" in
+    Alcotest.(check int) "main calls" 1 m.Profile.r_calls;
+    Alcotest.(check int) "main self" 10 m.Profile.r_self;
+    Alcotest.(check int) "main total" 20 m.Profile.r_total;
+    let c = find "0x100" in
+    Alcotest.(check int) "child called twice" 2 c.Profile.r_calls;
+    Alcotest.(check int) "child self = total" c.Profile.r_self c.Profile.r_total
+
+let test_leave_at_root_is_noop () =
+  let p = Profile.create () in
+  Profile.leave p;
+  Profile.leave p;
+  Profile.charge p 1;
+  Alcotest.(check int) "still accounted" 1 (Profile.total_cycles p);
+  Alcotest.(check int) "depth" 0 (Profile.depth p)
+
+let test_charge_label () =
+  let p = Profile.create () in
+  Profile.enter p (Profile.Label "write@site_0x40");
+  Profile.charge_label p "<kernel:call_mac>" 1520;
+  Profile.charge_label p "<kernel:call_mac>" 1520;
+  Profile.charge p 900;
+  Profile.leave p;
+  Alcotest.(check int) "depth" 0 (Profile.depth p);
+  Alcotest.(check
+              (list (pair (list string) int)))
+    "labelled child accumulates"
+    [ ([ "write@site_0x40" ], 900);
+      ([ "write@site_0x40"; "<kernel:call_mac>" ], 3040) ]
+    (Profile.folded ~symbolize:sym p)
+
+let test_recursion_total_counted_once () =
+  let p = Profile.create () in
+  (* f -> f -> f, 10 cycles at each level *)
+  Profile.enter p (Profile.Pc 1);
+  Profile.charge p 10;
+  Profile.enter p (Profile.Pc 1);
+  Profile.charge p 10;
+  Profile.enter p (Profile.Pc 1);
+  Profile.charge p 10;
+  Profile.leave p;
+  Profile.leave p;
+  Profile.leave p;
+  let rows = Profile.top ~symbolize:sym p in
+  let f = List.find (fun r -> r.Profile.r_name = "0x1") rows in
+  Alcotest.(check int) "three activations" 3 f.Profile.r_calls;
+  Alcotest.(check int) "self sums levels" 30 f.Profile.r_self;
+  Alcotest.(check int) "recursive total not double-counted" 30 f.Profile.r_total
+
+let test_reset_stack () =
+  let p = Profile.create () in
+  Profile.enter p (Profile.Pc 1);
+  Profile.enter p (Profile.Pc 2);
+  Alcotest.(check int) "depth 2" 2 (Profile.depth p);
+  Profile.reset_stack p;
+  Alcotest.(check int) "depth 0" 0 (Profile.depth p);
+  Profile.charge p 4;
+  Alcotest.(check
+              (list (pair (list string) int)))
+    "charges land at root after reset"
+    [ ([ "(root)" ], 4) ]
+    (Profile.folded ~symbolize:sym p)
+
+(* --- folded text round-trip --- *)
+
+let test_folded_roundtrip () =
+  let p = Profile.create () in
+  Profile.charge p 2;
+  Profile.enter p (Profile.Label "main");
+  Profile.charge p 11;
+  Profile.enter p (Profile.Label "write@site_0x1a0");
+  Profile.charge_label p "<kernel:call_mac>" 1520;
+  Profile.charge p 900;
+  Profile.leave p;
+  Profile.leave p;
+  let stacks = Profile.folded ~symbolize:sym p in
+  let text = Profile.folded_string ~symbolize:sym p in
+  (match Profile.parse_folded text with
+   | Ok reparsed ->
+     Alcotest.(check (list (pair (list string) int))) "round-trip" stacks reparsed
+   | Error e -> Alcotest.failf "parse_folded failed: %s" e);
+  let sum = List.fold_left (fun acc (_, c) -> acc + c) 0 stacks in
+  Alcotest.(check int) "stacks sum to total" (Profile.total_cycles p) sum
+
+let test_parse_folded_errors () =
+  let bad =
+    [ "main;f";              (* no count *)
+      "main;f x";            (* non-numeric count *)
+      "main;f -3";           (* negative count *)
+      "main;;f 10";          (* empty frame *)
+      " 10" ]                (* empty stack *)
+  in
+  List.iter
+    (fun s ->
+      match Profile.parse_folded s with
+      | Ok _ -> Alcotest.failf "%S should not parse" s
+      | Error _ -> ())
+    bad;
+  match Profile.parse_folded "a;b 1\n\nc 2\n" with
+  | Ok [ ([ "a"; "b" ], 1); ([ "c" ], 2) ] -> ()
+  | Ok _ -> Alcotest.fail "unexpected parse"
+  | Error e -> Alcotest.failf "blank lines should be skipped: %s" e
+
+(* --- end-to-end: profiled authenticated run --- *)
+
+let key = Asc_crypto.Cmac.of_raw "0123456789abcdef"
+
+let compile_workload name =
+  let personality = Personality.linux in
+  match Workloads.Registry.by_name ~scale:1 name with
+  | None -> Alcotest.failf "workload %s missing" name
+  | Some w -> (w, Workloads.Registry.compile ~personality w)
+
+let profiled_run () =
+  let personality = Personality.linux in
+  let w, img = compile_workload "calc" in
+  let inst =
+    match
+      Asc_core.Installer.install ~key ~personality ~program:w.Workloads.Registry.name img
+    with
+    | Ok i -> i
+    | Error e -> Alcotest.failf "install failed: %s" e
+  in
+  let kernel = Kernel.create ~personality () in
+  w.Workloads.Registry.setup kernel;
+  Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ()));
+  let proc =
+    Kernel.spawn kernel ~stdin:w.Workloads.Registry.stdin
+      ~program:w.Workloads.Registry.name inst.Asc_core.Installer.image
+  in
+  let prof = Profile.create () in
+  proc.Process.machine.Svm.Machine.profile <- Some prof;
+  let stop = Kernel.run kernel proc ~max_cycles:200_000_000 in
+  (kernel, proc, prof, stop)
+
+let test_total_cycles_invariant () =
+  let _, proc, prof, stop = profiled_run () in
+  (match stop with
+   | Svm.Machine.Halted 0 -> ()
+   | _ -> Alcotest.fail "calc did not halt cleanly");
+  let m = proc.Process.machine in
+  Alcotest.(check int) "profiler accounts every retired cycle"
+    m.Svm.Machine.cycles (Profile.total_cycles prof);
+  let stacks = Profile.folded ~symbolize:sym prof in
+  Alcotest.(check bool) "non-empty" true (stacks <> []);
+  let sum = List.fold_left (fun acc (_, c) -> acc + c) 0 stacks in
+  Alcotest.(check int) "folded sums to the same total" m.Svm.Machine.cycles sum;
+  Alcotest.(check bool) "kernel verification frames present" true
+    (List.exists (fun (stack, _) -> List.mem "<kernel:call_mac>" stack) stacks)
+
+let test_checker_cycles_match_kernel_frames () =
+  let kernel, _, prof, _ = profiled_run () in
+  (* the <kernel:step> frames must sum to exactly the checker's own
+     per-step counters *)
+  let checker_total =
+    match Metrics.value (Kernel.metrics kernel) "checker.cycles.total" with
+    | Some v -> v
+    | None -> Alcotest.fail "checker counters missing"
+  in
+  let frame_total =
+    List.fold_left
+      (fun acc (stack, c) ->
+        match List.rev stack with
+        | leaf :: _
+          when String.length leaf > 8
+               && String.sub leaf 0 8 = "<kernel:"
+               && leaf <> "<kernel:execve>" ->
+          acc + c
+        | _ -> acc)
+      0
+      (Profile.folded ~symbolize:sym prof)
+  in
+  Alcotest.(check int) "<kernel:*> frames = checker cycle counters"
+    checker_total frame_total
+
+let test_unprofiled_run_identical () =
+  (* attaching the profiler must not change the cycle accounting *)
+  let _, proc1, _, _ = profiled_run () in
+  let personality = Personality.linux in
+  let w, img = compile_workload "calc" in
+  let inst =
+    match
+      Asc_core.Installer.install ~key ~personality ~program:w.Workloads.Registry.name img
+    with
+    | Ok i -> i
+    | Error e -> Alcotest.failf "install failed: %s" e
+  in
+  let kernel = Kernel.create ~personality () in
+  w.Workloads.Registry.setup kernel;
+  Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ()));
+  let proc2 =
+    Kernel.spawn kernel ~stdin:w.Workloads.Registry.stdin
+      ~program:w.Workloads.Registry.name inst.Asc_core.Installer.image
+  in
+  ignore (Kernel.run kernel proc2 ~max_cycles:200_000_000);
+  Alcotest.(check int) "same cycles with and without profiler"
+    proc2.Process.machine.Svm.Machine.cycles proc1.Process.machine.Svm.Machine.cycles;
+  Alcotest.(check int) "same instruction count"
+    proc2.Process.machine.Svm.Machine.instrs proc1.Process.machine.Svm.Machine.instrs
+
+(* --- satellite: per-kernel svm counters do not bleed --- *)
+
+let test_vm_counters_isolated () =
+  let kernel_a, proc, _, _ = profiled_run () in
+  let kernel_b = Kernel.create () in
+  let m = proc.Process.machine in
+  Alcotest.(check (option int)) "kernel A saw the run's instructions"
+    (Some m.Svm.Machine.instrs)
+    (Metrics.value (Kernel.metrics kernel_a) "svm.instructions");
+  Alcotest.(check (option int)) "kernel A saw the run's cycles"
+    (Some m.Svm.Machine.cycles)
+    (Metrics.value (Kernel.metrics kernel_a) "svm.cycles");
+  Alcotest.(check (option int)) "kernel B saw nothing" (Some 0)
+    (Metrics.value (Kernel.metrics kernel_b) "svm.instructions");
+  (* the process-wide default registry no longer aggregates machine runs *)
+  Alcotest.(check (option int)) "default registry untouched" None
+    (Metrics.value Metrics.default "svm.instructions")
+
+let () =
+  Alcotest.run "profile"
+    [ ( "tree",
+        [ Alcotest.test_case "enter/charge/leave" `Quick test_enter_charge_leave;
+          Alcotest.test_case "leave at root is a no-op" `Quick test_leave_at_root_is_noop;
+          Alcotest.test_case "charge_label" `Quick test_charge_label;
+          Alcotest.test_case "recursion counted once in totals" `Quick
+            test_recursion_total_counted_once;
+          Alcotest.test_case "reset_stack" `Quick test_reset_stack ] );
+      ( "folded",
+        [ Alcotest.test_case "round-trip" `Quick test_folded_roundtrip;
+          Alcotest.test_case "malformed inputs rejected" `Quick test_parse_folded_errors ] );
+      ( "end-to-end",
+        [ Alcotest.test_case "every retired cycle accounted" `Quick
+            test_total_cycles_invariant;
+          Alcotest.test_case "kernel frames = checker counters" `Quick
+            test_checker_cycles_match_kernel_frames;
+          Alcotest.test_case "profiler does not perturb cycles" `Quick
+            test_unprofiled_run_identical;
+          Alcotest.test_case "per-kernel vm counters isolated" `Quick
+            test_vm_counters_isolated ] ) ]
