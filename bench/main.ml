@@ -11,7 +11,7 @@
    replaces rdtsc); Bechamel measures the harness's real wall-clock cost. *)
 
 let usage =
-  "usage: main.exe [table1|table2|table3|table4|table6|andrew|attacks|ablation|bechamel|all]* \
+  "usage: main.exe [table1|table2|table3|table4|table5|table6|andrew|attacks|ablation|bechamel|all]* \
    [--scale N] [--iterations N] [--json] [--check-baselines DIR] [--tolerance PCT]"
 
 let bechamel_run () =
@@ -22,6 +22,7 @@ let bechamel_run () =
       [ test "table1" Tables.table1;
         test "table2" Tables.table2;
         test "table3" Tables.table3;
+        test "table5(scale=1)" (Tables.table5 ~scale:1);
         test "table6(scale=1)" (Tables.table6 ~scale:1);
         test "andrew(1 iter)" (Tables.andrew ~iterations:1);
         test "attacks" Tables.attacks ]
@@ -92,7 +93,8 @@ let () =
     | "table2" -> Tables.table2 ()
     | "table3" -> Tables.table3 ()
     | "table4" -> Microbench.table4 ()
-    | "table5" | "table6" -> Tables.table6 ~scale:!scale ()
+    | "table5" -> Tables.table5 ~scale:!scale ()
+    | "table6" -> Tables.table6 ~scale:!scale ()
     | "andrew" -> Tables.andrew ~iterations:!iterations ()
     | "attacks" -> Tables.attacks ()
     | "ablation" ->
@@ -105,6 +107,7 @@ let () =
       Tables.table2 ();
       Tables.table3 ();
       Microbench.table4 ();
+      Tables.table5 ~scale:!scale ();
       Tables.table6 ~scale:!scale ();
       Tables.andrew ~iterations:!iterations ();
       Tables.attacks ();

@@ -4,7 +4,7 @@
 open Cmdliner
 open Oskernel
 
-let run input key_hex os enforce stdin_text normalize files libs =
+let run input key_hex os enforce stdin_text normalize files libs audit_out =
   let ( let* ) = Result.bind in
   let result =
     let* personality = Common.personality_of_string os in
@@ -34,6 +34,17 @@ let run input key_hex os enforce stdin_text normalize files libs =
           (Some (Asc_core.Checker.monitor ~kernel ~key ~normalize_paths:normalize ()));
         Ok ()
     in
+    (* --audit-out: record every audit entry in a tamper-evident CMAC chain
+       (keyed like the checker) and export it as JSONL after the run *)
+    let* authlog =
+      match audit_out with
+      | None -> Ok None
+      | Some _ ->
+        let* key = Common.key_of_hex key_hex in
+        let log = Asc_obs.Authlog.create ~key () in
+        Kernel.set_authlog kernel (Some log);
+        Ok (Some log)
+    in
     let stdin =
       match (stdin_text, w) with
       | Some s, _ -> s
@@ -62,12 +73,33 @@ let run input key_hex os enforce stdin_text normalize files libs =
     let err = Kernel.stderr_of proc in
     if err <> "" then Format.eprintf "%s" err;
     Format.eprintf "[%d cycles]@." proc.Process.machine.Svm.Machine.cycles;
+    (match (authlog, audit_out) with
+     | Some log, Some path ->
+       Asc_obs.Authlog.export_file log path;
+       (* the head is the out-of-band commitment: record it somewhere the
+          process under test cannot reach (here: the operator's console) *)
+       Format.eprintf "[audit chain: %d records -> %s, head %s]@."
+         (Asc_obs.Authlog.appended log) path
+         (Asc_obs.Authlog.hex (Asc_obs.Authlog.head_mac log))
+     | _ -> ());
     (match stop with
      | Svm.Machine.Halted code ->
        Format.eprintf "[exit %d]@." code;
        Ok code
      | Svm.Machine.Killed reason ->
        Format.eprintf "[killed: %s]@." reason;
+       (* one-line forensic summary of the structured violation, when the
+          deny produced one *)
+       List.iter
+         (fun e ->
+           match e with
+           | Kernel.Violation { violation = v; _ } ->
+             Format.eprintf "[violation] step=%s class=%s site=0x%x: %s@."
+               (Violation.step_name v.Violation.v_step)
+               (Violation.attack_class v.Violation.v_step)
+               v.Violation.v_site v.Violation.v_reason
+           | _ -> ())
+         (Kernel.audit_log kernel);
        List.iter
          (fun e -> Format.eprintf "[audit] %s@." (Kernel.audit_to_string e))
          (Kernel.audit_log kernel);
@@ -117,12 +149,17 @@ let lib_arg =
          ~doc:"Map a shared-library SEF image (from asc-install --library) into the \
                process (repeatable).")
 
+let audit_out_arg =
+  Arg.(value & opt (some string) None & info [ "audit-out" ] ~docv:"FILE"
+         ~doc:"Export the run's audit log as a tamper-evident JSONL chain (keyed with \
+               $(b,--key)); inspect it with asc-audit.")
+
 let cmd =
   let doc = "run a program on the simulated kernel" in
   Cmd.v
     (Cmd.info "asc-run" ~doc)
     Term.(
       const run $ input_arg $ key_arg $ os_arg $ enforce_arg $ stdin_arg $ normalize_arg
-      $ file_arg $ lib_arg)
+      $ file_arg $ lib_arg $ audit_out_arg)
 
 let () = exit (Cmd.eval' cmd)

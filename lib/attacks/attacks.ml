@@ -2,14 +2,21 @@ open Svm
 open Oskernel
 module Cmac = Asc_crypto.Cmac
 
+type block = {
+  b_reason : string;
+  b_step : Violation.step option;
+}
+
 type outcome =
   | Succeeded of string
-  | Blocked of string
+  | Blocked of block
   | Crashed of string
 
 let pp_outcome ppf = function
   | Succeeded e -> Format.fprintf ppf "SUCCEEDED (%s)" e
-  | Blocked r -> Format.fprintf ppf "BLOCKED (%s)" r
+  | Blocked { b_reason; b_step = Some s } ->
+    Format.fprintf ppf "BLOCKED[%s] (%s)" (Violation.step_name s) b_reason
+  | Blocked { b_reason; b_step = None } -> Format.fprintf ppf "BLOCKED (%s)" b_reason
   | Crashed r -> Format.fprintf ppf "CRASHED (%s)" r
 
 let key = Cmac.of_raw "attack-demo-key!"
@@ -80,11 +87,13 @@ let check_no_newline payload what =
                            delivered through read_line" what i))
     payload
 
-let run_victim ~protected ~payload ?(patch = fun (_ : Machine.t) -> ()) () =
+let run_victim ~protected ?(prepare = fun (_ : Kernel.t) -> ()) ~payload
+    ?(patch = fun (_ : Machine.t) -> ()) () =
   let kernel = Kernel.create ~personality () in
   if protected then
     Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ()));
   kernel.Kernel.tracing <- true;
+  prepare kernel;
   let ls = Lazy.force (if protected then ls_auth else ls_plain) in
   let sh = Lazy.force (if protected then sh_auth else sh_plain) in
   Kernel.install_binary kernel ~path:"/bin/ls" ls;
@@ -95,10 +104,26 @@ let run_victim ~protected ~payload ?(patch = fun (_ : Machine.t) -> ()) () =
   let stop = Kernel.run kernel proc ~max_cycles:100_000_000 in
   (kernel, proc, stop)
 
+(* the last structured violation the kernel audited for this pid — the
+   checker's account of *which verification step* refused the call *)
+let last_violation kernel pid =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Kernel.Violation { pid = p; violation; _ } when p = pid -> Some violation
+      | _ -> acc)
+    None (Kernel.audit_log kernel)
+
+let blocked kernel (proc : Process.t) reason =
+  Blocked
+    { b_reason = reason;
+      b_step =
+        Option.map (fun v -> v.Violation.v_step) (last_violation kernel proc.Process.pid) }
+
 let classify ~goal (kernel, proc, stop) =
   let out = Kernel.stdout_of proc in
   match stop with
-  | Machine.Killed reason -> Blocked reason
+  | Machine.Killed reason -> blocked kernel proc reason
   | Machine.Halted _ | Machine.Faulted _ | Machine.Cycle_limit ->
     (match goal kernel out with
      | Some evidence -> Succeeded evidence
@@ -106,6 +131,25 @@ let classify ~goal (kernel, proc, stop) =
        (match stop with
         | Machine.Faulted (_, pc) -> Crashed (Printf.sprintf "fault at 0x%x" pc)
         | _ -> Crashed "goal not reached"))
+
+(* Classify, then — for protected runs that were blocked — require the
+   structured violation step to be the one this attack is supposed to trip:
+   the assertion is on the step variant, not a substring of the reason. *)
+let finish what ~protected ~expect ~goal run =
+  match classify ~goal run with
+  | Blocked b when protected ->
+    (match b.b_step with
+     | Some s when List.mem s expect -> Blocked b
+     | Some s ->
+       failwith
+         (Printf.sprintf "attacks: %s blocked at step %s, expected one of [%s]" what
+            (Violation.step_name s)
+            (String.concat "; " (List.map Violation.step_name expect)))
+     | None ->
+       failwith
+         (Printf.sprintf "attacks: %s blocked without a structured violation (%s)" what
+            b.b_reason))
+  | outcome -> outcome
 
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -116,22 +160,34 @@ let pwned_goal _kernel out = if contains out "pwned shell" then Some "shell exec
 
 (* ----- attack 1: classic shellcode injection ----- *)
 
-let shellcode ~protected =
+let run_shellcode ~protected ~prepare =
   let image = Lazy.force (if protected then victim_auth else victim_plain) in
   let buf = probe_buffer_addr image in
-  (* shellcode: execve("/bin/sh") with the string carried in the payload *)
-  let code = Bytes.create 24 in
-  Isa.encode (Isa.Movi (1, buf + 24)) code ~pos:0;
-  Isa.encode (Isa.Movi (0, num Syscall.Execve)) code ~pos:8;
-  Isa.encode Isa.Sys code ~pos:16;
+  (* shellcode: execve("/bin/sh") with the string carried in the payload.
+     Like any raw shellcode it sets up its own register state — including
+     the descriptor register, which it has no authenticated value for: the
+     call reaches the kernel without the authentication marker, rather
+     than riding whatever descriptor the interrupted call left behind. *)
+  let code = Bytes.create 32 in
+  Isa.encode (Isa.Movi (7, 0)) code ~pos:0;
+  Isa.encode (Isa.Movi (1, buf + ret_distance + 8)) code ~pos:8;
+  Isa.encode (Isa.Movi (0, num Syscall.Execve)) code ~pos:16;
+  Isa.encode Isa.Sys code ~pos:24;
   let payload =
-    Bytes.to_string code ^ "/bin/sh\000" (* at buf+24 *)
+    Bytes.to_string code (* fills the 32-byte buffer exactly *)
     ^ le64 buf (* out param: self-copy keeps the payload intact *)
     ^ String.make 8 'F' (* saved fp *)
     ^ le64 buf (* return address -> shellcode *)
+    ^ "/bin/sh\000" (* at buf + ret_distance + 8 *)
   in
   check_no_newline payload "shellcode";
-  classify ~goal:pwned_goal (run_victim ~protected ~payload ())
+  run_victim ~protected ~prepare ~payload ()
+
+let shellcode_expect = [ Violation.Unauthenticated ]
+
+let shellcode ~protected =
+  finish "shellcode" ~protected ~expect:shellcode_expect ~goal:pwned_goal
+    (run_shellcode ~protected ~prepare:ignore)
 
 (* ----- attack 2: mimicry via authenticated calls from another binary ----- *)
 
@@ -164,7 +220,16 @@ let extract_auth_site image =
   done;
   List.rev !sites
 
-let mimicry ~protected =
+let mimicry_goal kernel _out =
+  let socket_number = num Syscall.Socket in
+  let made_socket =
+    List.exists
+      (fun t -> t.Kernel.t_sem = Some Syscall.Socket && t.Kernel.t_number = socket_number)
+      (Kernel.trace kernel)
+  in
+  if made_socket then Some "foreign authenticated syscall executed" else None
+
+let run_mimicry ~protected ~prepare =
   (* donor application: makes a socket call the victim never makes *)
   let donor_src = "int main() { socket(1, 1, 0); return 0; }" in
   let donor = install ~program_id:9 ~program:"donor" (compile donor_src) in
@@ -202,16 +267,15 @@ let mimicry ~protected =
   in
   match usable with
   | [] -> failwith "attacks: no newline-free mimicry payload found"
-  | payload :: _ ->
-    let goal kernel _out =
-      let made_socket =
-        List.exists
-          (fun t -> t.Kernel.t_sem = Some Syscall.Socket && t.Kernel.t_number = socket_number)
-          (Kernel.trace kernel)
-      in
-      if made_socket then Some "foreign authenticated syscall executed" else None
-    in
-    classify ~goal (run_victim ~protected ~payload ())
+  | payload :: _ -> run_victim ~protected ~prepare ~payload ()
+
+(* the spliced site sits at a different address than the donor's, so the
+   rebuilt encoded call (step 1) no longer matches the carried call MAC *)
+let mimicry_expect = [ Violation.Call_mac; Violation.Control_flow ]
+
+let mimicry ~protected =
+  finish "mimicry" ~protected ~expect:mimicry_expect ~goal:mimicry_goal
+    (run_mimicry ~protected ~prepare:ignore)
 
 (* ----- attack 3: non-control data ----- *)
 
@@ -219,7 +283,7 @@ let mimicry ~protected =
    execve system call with /bin/sh": a pure data overwrite — control flow
    is never hijacked. We grant the attacker an arbitrary-write primitive
    (e.g. a heap overflow) by patching the string in process memory. *)
-let non_control_data ~protected =
+let run_non_control_data ~protected ~prepare =
   let patch (m : Machine.t) =
     (* overwrite every occurrence of "/bin/ls" in writable+readable memory *)
     let needle = "/bin/ls" in
@@ -233,7 +297,13 @@ let non_control_data ~protected =
     done;
     if !found = 0 then failwith "attacks: /bin/ls not found in memory"
   in
-  classify ~goal:pwned_goal (run_victim ~protected ~payload:"notes.txt\n" ~patch ())
+  run_victim ~protected ~prepare ~payload:"notes.txt\n" ~patch ()
+
+let non_control_data_expect = [ Violation.String_mac ]
+
+let non_control_data ~protected =
+  finish "non-control-data" ~protected ~expect:non_control_data_expect ~goal:pwned_goal
+    (run_non_control_data ~protected ~prepare:ignore)
 
 (* ----- §5.5: Frankenstein ----- *)
 
@@ -313,9 +383,42 @@ let frankenstein ~cross =
   end;
   let stop = Kernel.run kernel proc ~max_cycles:100_000_000 in
   match stop with
-  | Machine.Killed reason -> Blocked reason
+  | Machine.Killed reason ->
+    (match blocked kernel proc reason with
+     | Blocked b as outcome when cross ->
+       (* A's spliced site carries valid MACs, so it must be the
+          control-flow policy (predecessor set / state MAC) that trips *)
+       (match b.b_step with
+        | Some Violation.Control_flow -> outcome
+        | Some s ->
+          failwith
+            (Printf.sprintf "attacks: frankenstein blocked at step %s, expected control_flow"
+               (Violation.step_name s))
+        | None -> failwith "attacks: frankenstein blocked without a structured violation")
+     | outcome -> outcome)
   | Machine.Halted _ ->
     if cross then Crashed "cross-application call was not blocked"
     else Succeeded "single-application chain permitted"
   | Machine.Faulted (_, pc) -> Crashed (Printf.sprintf "fault at 0x%x" pc)
   | Machine.Cycle_limit -> Crashed "cycle limit"
+
+(* ----- forensic runs: the §4.1 attacks with the flight recorder on ----- *)
+
+let forensic_expectations =
+  [ ("shellcode", shellcode_expect);
+    ("mimicry", mimicry_expect);
+    ("non-control-data", non_control_data_expect) ]
+
+let forensic_runs () =
+  let runners =
+    [ ("shellcode", shellcode_expect, pwned_goal, run_shellcode);
+      ("mimicry", mimicry_expect, mimicry_goal, run_mimicry);
+      ("non-control-data", non_control_data_expect, pwned_goal, run_non_control_data) ]
+  in
+  List.map
+    (fun (name, expect, goal, runf) ->
+      let log = Asc_obs.Authlog.create ~key () in
+      let prepare kernel = Kernel.set_authlog kernel (Some log) in
+      let ((kernel, _, _) as run) = runf ~protected:true ~prepare in
+      (name, kernel, finish name ~protected:true ~expect ~goal run))
+    runners

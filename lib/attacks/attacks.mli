@@ -19,16 +19,46 @@
     from two applications; with globally unique block ids it is forced to
     execute the calls of a single application only. *)
 
+type block = {
+  b_reason : string;  (** the kill reason, verbatim *)
+  b_step : Oskernel.Violation.step option;
+      (** which verification step refused the call, from the kernel's
+          structured audit entry; [None] when the deny came from an
+          unstructured monitor *)
+}
+
 type outcome =
   | Succeeded of string  (** attacker's goal reached; payload = evidence *)
-  | Blocked of string    (** monitor killed the process; reason *)
+  | Blocked of block     (** monitor killed the process *)
   | Crashed of string    (** process faulted before reaching the goal *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
+val key : Asc_crypto.Cmac.key
+(** The install/verification key shared by every attack experiment (also
+    the chain key of {!forensic_runs}' authenticated audit logs). *)
+
+(** Each protected run additionally asserts (raising [Failure] otherwise)
+    that the structured violation step is the one the attack is supposed
+    to trip: shellcode ⇒ [Unauthenticated], mimicry ⇒ [Call_mac] (the
+    spliced site address breaks the rebuilt encoded call), non-control
+    data ⇒ [String_mac], cross-application Frankenstein ⇒
+    [Control_flow]. *)
+
 val shellcode : protected:bool -> outcome
 val mimicry : protected:bool -> outcome
 val non_control_data : protected:bool -> outcome
+
+val forensic_expectations : (string * Oskernel.Violation.step list) list
+(** attack name ⇒ acceptable violation steps, as asserted by the runs. *)
+
+val forensic_runs : unit -> (string * Oskernel.Kernel.t * outcome) list
+(** Run the three §4.1 attacks protected, each against a fresh kernel with
+    a tamper-evident audit chain attached ({!Oskernel.Kernel.set_authlog},
+    chain key = {!key}). Returns [(name, kernel, outcome)] so callers can
+    inspect the forensic {!Oskernel.Violation.snapshot} in the kernel's
+    audit log and verify the chain — the corpus behind
+    [asc_audit classify]. *)
 
 val frankenstein : cross:bool -> outcome
 (** [cross:true] splices application B's authenticated call after

@@ -2,9 +2,38 @@ open Svm
 open Oskernel
 module Cmac = Asc_crypto.Cmac
 
-exception Deny of string
+(* A structured verification failure: which step of the pipeline refused
+   the call, the human-readable detail, and — when the failure was a MAC
+   comparison — hex prefixes of both sides, so the audit trail can show
+   *what* disagreed rather than only that something did. *)
+type fail = {
+  f_step : Violation.step;
+  f_reason : string;
+  f_expected : string option;  (* hex prefix of the MAC the checker computed *)
+  f_got : string option;       (* hex prefix of the MAC the process supplied *)
+}
 
-let deny fmt = Format.kasprintf (fun s -> raise (Deny s)) fmt
+exception Deny of fail
+
+let deny step fmt =
+  Format.kasprintf
+    (fun s -> raise (Deny { f_step = step; f_reason = s; f_expected = None; f_got = None }))
+    fmt
+
+let mac_prefix s =
+  let n = min 8 (String.length s) in
+  String.concat "" (List.init n (fun i -> Printf.sprintf "%02x" (Char.code s.[i])))
+
+let deny_mac step ~expected ~got fmt =
+  Format.kasprintf
+    (fun s ->
+      raise
+        (Deny
+           { f_step = step;
+             f_reason = s;
+             f_expected = Some (mac_prefix expected);
+             f_got = Some (mac_prefix got) }))
+    fmt
 
 (* Per-verification-step cycle attribution (§3.4 / Table 4): every cycle
    the checker charges to the machine is also credited to exactly one step
@@ -56,23 +85,33 @@ let charge (m : Machine.t) steps step n =
   | Some p -> Asc_obs.Profile.charge_label p ("<kernel:" ^ step_label step ^ ">") n
   | None -> ()
 
+(* charging-step → violation-step: the charge attribution is 4-way (the
+   Table 4 decomposition) while violations name the finer-grained cause *)
+let vstep_of = function
+  | Call_mac -> Violation.Call_mac
+  | String_mac -> Violation.String_mac
+  | Control_flow -> Violation.Control_flow
+  | Ext -> Violation.Ext
+
 let read_mac m addr =
   match Machine.read_mem m ~addr ~len:16 with
   | Some s -> s
-  | None -> deny "call MAC pointer 0x%x unreadable" addr
+  | None -> deny Violation.Call_mac "call MAC pointer 0x%x unreadable" addr
 
 let read_as_header m ~ptr what =
   match Auth_string.read_header (Machine.read_byte m) ~ptr with
   | Some (len, mac) -> { Encoded.as_addr = ptr; as_len = len; as_mac = mac }
-  | None -> deny "%s: bad authenticated-string header at 0x%x" what ptr
+  | None -> deny Violation.Call_mac "%s: bad authenticated-string header at 0x%x" what ptr
 
 let verify_as m steps step key (r : Encoded.as_ref) what =
   match Machine.read_mem m ~addr:r.as_addr ~len:r.as_len with
-  | None -> deny "%s: string contents unreadable" what
+  | None -> deny (vstep_of step) "%s: string contents unreadable" what
   | Some contents ->
     charge m steps step (Cost_model.mac_cost r.as_len);
-    if not (Cmac.equal_tags (Auth_string.mac_of key contents) r.as_mac) then
-      deny "%s: string authentication failed" what;
+    let expect = Auth_string.mac_of key contents in
+    if not (Cmac.equal_tags expect r.as_mac) then
+      deny_mac (vstep_of step) ~expected:expect ~got:r.as_mac
+        "%s: string authentication failed" what;
     contents
 
 (* parse a verified §5 extension block: sequence of
@@ -82,13 +121,13 @@ let parse_ext contents =
   let byte i = Char.code contents.[i] in
   let rec go i acc =
     if i >= n then List.rev acc
-    else if i + 3 > n then deny "malformed extension block"
+    else if i + 3 > n then deny Violation.Ext "malformed extension block"
     else begin
       let argi = byte i and kind = byte (i + 1) and count = byte (i + 2) in
       match kind with
       | 1 ->
         let need = 8 * count in
-        if i + 3 + need > n then deny "malformed extension set";
+        if i + 3 + need > n then deny Violation.Ext "malformed extension set";
         let vs =
           List.init count (fun k ->
               let base = i + 3 + (8 * k) in
@@ -100,9 +139,9 @@ let parse_ext contents =
         in
         go (i + 3 + need) ((argi, `Set vs) :: acc)
       | 2 ->
-        if i + 3 + count > n then deny "malformed extension pattern";
+        if i + 3 + count > n then deny Violation.Ext "malformed extension pattern";
         go (i + 3 + count) ((argi, `Pattern (String.sub contents (i + 3) count)) :: acc)
-      | k -> deny "unknown extension kind %d" k
+      | k -> deny Violation.Ext "unknown extension kind %d" k
     end
   in
   go 0 []
@@ -112,7 +151,8 @@ let pre ~kernel ~key ~normalize_paths ~steps (p : Process.t) ~site ~number =
   charge m steps Call_mac Cost_model.check_fixed;
   let r i = m.regs.(i) in
   let descriptor = r 7 in
-  if not (Descriptor.is_authenticated descriptor) then deny "unauthenticated system call";
+  if not (Descriptor.is_authenticated descriptor) then
+    deny Violation.Unauthenticated "unauthenticated system call";
   let block = r 8 in
   let pred_ptr = r 9 and lb_ptr = r 10 and mac_ptr = r 11 and ext_ptr = r 14 in
   (* --- step 1: rebuild the encoded call and check the call MAC --- *)
@@ -144,7 +184,9 @@ let pre ~kernel ~key ~normalize_paths ~steps (p : Process.t) ~site ~number =
   in
   charge m steps Call_mac (Cost_model.mac_cost (String.length encoded));
   let supplied = read_mac m mac_ptr in
-  if not (Cmac.equal_tags (Cmac.mac key encoded) supplied) then deny "call MAC mismatch";
+  let call_mac = Cmac.mac key encoded in
+  if not (Cmac.equal_tags call_mac supplied) then
+    deny_mac Violation.Call_mac ~expected:call_mac ~got:supplied "call MAC mismatch";
   (* --- step 2: verify authenticated string contents --- *)
   let verified_strings =
     List.map
@@ -163,24 +205,26 @@ let pre ~kernel ~key ~normalize_paths ~steps (p : Process.t) ~site ~number =
      let last_block =
        match Machine.read_word m lbp with
        | Some v -> v
-       | None -> deny "policy state unreadable"
+       | None -> deny Violation.Control_flow "policy state unreadable"
      in
      let lb_mac =
        match Machine.read_mem m ~addr:(lbp + 8) ~len:16 with
        | Some s -> s
-       | None -> deny "policy state MAC unreadable"
+       | None -> deny Violation.Control_flow "policy state MAC unreadable"
      in
      charge m steps Control_flow (Cost_model.mac_cost 16);
      let expect = Cmac.mac key (Encoded.state_bytes ~counter:p.counter ~last_block) in
-     if not (Cmac.equal_tags expect lb_mac) then deny "policy state corrupted";
+     if not (Cmac.equal_tags expect lb_mac) then
+       deny_mac Violation.Control_flow ~expected:expect ~got:lb_mac "policy state corrupted";
      if not (Encoded.predset_mem pred_contents last_block) then
-       deny "control-flow violation: block %d may not follow block %d" block last_block;
+       deny Violation.Control_flow
+         "control-flow violation: block %d may not follow block %d" block last_block;
      (* update: counter++ in kernel space, lastBlock/lbMAC in the application *)
      p.counter <- p.counter + 1;
      charge m steps Control_flow (Cost_model.mac_cost 16);
      let new_mac = Cmac.mac key (Encoded.state_bytes ~counter:p.counter ~last_block:block) in
      if not (Machine.write_word m lbp block && Machine.write_mem m ~addr:(lbp + 8) new_mac) then
-       deny "policy state unwritable");
+       deny Violation.Control_flow "policy state unwritable");
   (* --- §5 extensions: allowed-value sets and argument patterns --- *)
   (match ext_contents with
    | None -> ()
@@ -190,17 +234,19 @@ let pre ~kernel ~key ~normalize_paths ~steps (p : Process.t) ~site ~number =
          match e with
          | `Set vs ->
            if not (List.mem (r (argi + 1)) vs) then
-             deny "argument %d value %d not in allowed set" argi (r (argi + 1))
+             deny Violation.Ext "argument %d value %d not in allowed set" argi (r (argi + 1))
          | `Pattern pat ->
            (match Machine.read_cstring m ~addr:(r (argi + 1)) ~max:4096 with
-            | None -> deny "argument %d: unreadable string for pattern check" argi
+            | None ->
+              deny Violation.Pattern "argument %d: unreadable string for pattern check" argi
             | Some s ->
               (match Patterns.compile pat with
-               | Error e -> deny "argument %d: bad pattern (%s)" argi e
+               | Error e -> deny Violation.Pattern "argument %d: bad pattern (%s)" argi e
                | Ok cp ->
                  charge m steps Ext (Patterns.match_cost cp s);
                  if not (Patterns.matches cp s) then
-                   deny "argument %d: %S does not match pattern %S" argi s pat)))
+                   deny Violation.Pattern
+                     "argument %d: %S does not match pattern %S" argi s pat)))
        (parse_ext contents));
   (* --- §5.4: in-kernel file name normalization --- *)
   if normalize_paths then begin
@@ -220,7 +266,8 @@ let pre ~kernel ~key ~normalize_paths ~steps (p : Process.t) ~site ~number =
             in
             match Vfs.normalize kernel.Kernel.vfs ~cwd:p.cwd path with
             | Ok canon when canon <> path ->
-              deny "path %S normalizes to %S (possible symlink attack)" path canon
+              deny Violation.Normalization
+                "path %S normalizes to %S (possible symlink attack)" path canon
             | Ok _ | Error _ -> ()
           end)
         verified_strings
@@ -235,5 +282,13 @@ let monitor ~kernel ~key ?(normalize_paths = false) () =
         | () ->
           Asc_obs.Metrics.inc steps.st_checked;
           Kernel.Allow
-        | exception Deny reason -> Kernel.Deny reason);
+        | exception Deny f ->
+          Kernel.Deny_violation
+            { Violation.v_step = f.f_step;
+              v_site = site;
+              v_number = number;
+              v_sem = None;
+              v_reason = f.f_reason;
+              v_expected_mac = f.f_expected;
+              v_got_mac = f.f_got });
     post_syscall = Kernel.no_post }

@@ -11,8 +11,11 @@
     memory checker: [lbMAC = MAC(counter ++ lastBlock)] with the nonce
     counter held in kernel memory ({!Oskernel.Process.t}'s [counter]).
 
-    Any failure terminates the process ([Deny]); unauthenticated calls
-    (descriptor marker absent) are likewise blocked. The checker charges
+    Any failure terminates the process with a structured
+    [Kernel.Deny_violation] naming the failing step
+    ({!Oskernel.Violation.step}) and, for MAC comparisons, hex prefixes of
+    the expected and supplied tags; unauthenticated calls (descriptor
+    marker absent) are likewise blocked. The checker charges
     the modeled verification cycles ({!Svm.Cost_model}) to the machine, so
     the Table 4/6 benchmarks reflect its cost.
 

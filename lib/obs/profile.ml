@@ -61,6 +61,12 @@ let depth t =
 
 let total_cycles t = t.total
 
+let current_stack ~symbolize t =
+  let rec go n acc =
+    match n.n_parent with None -> acc | Some p -> go p (symbolize n.n_frame :: acc)
+  in
+  go t.current []
+
 (* ----- exporters ----- *)
 
 let children_sorted ~symbolize node =

@@ -59,6 +59,11 @@ val total_cycles : t -> int
 (** Sum of every charge; equals the machine's retired cycle counter when
     every cycle source is instrumented. *)
 
+val current_stack : symbolize:(frame -> string) -> t -> string list
+(** The live shadow stack, outermost frame first (empty at the root). Used
+    by the kernel's forensic snapshot to record what the process was
+    executing when a violation killed it. *)
+
 (** {1 Exporters} *)
 
 val folded : symbolize:(frame -> string) -> t -> (string list * int) list

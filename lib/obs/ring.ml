@@ -14,6 +14,8 @@ let length t = t.len
 let pushed t = t.pushed
 let dropped t = t.pushed - t.len
 
+let peek_oldest t = if t.len = 0 then None else t.slots.(t.start)
+
 let push t x =
   let cap = Array.length t.slots in
   if t.len < cap then begin

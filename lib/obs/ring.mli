@@ -25,6 +25,9 @@ val pushed : 'a t -> int
 val dropped : 'a t -> int
 (** [pushed - length]: elements lost to eviction since the last clear. *)
 
+val peek_oldest : 'a t -> 'a option
+(** The element eviction would discard next; [None] when empty. *)
+
 val clear : 'a t -> unit
 
 val to_list : 'a t -> 'a list

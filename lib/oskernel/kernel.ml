@@ -3,6 +3,7 @@ open Svm
 type verdict =
   | Allow
   | Deny of string
+  | Deny_violation of Violation.t
 
 type monitor = {
   monitor_name : string;
@@ -21,7 +22,7 @@ let compose_monitors name monitors =
           | m :: rest ->
             (match m.pre_syscall p ~site ~number with
              | Allow -> go rest
-             | Deny _ as d -> d)
+             | (Deny _ | Deny_violation _) as d -> d)
         in
         go monitors);
     post_syscall =
@@ -38,27 +39,71 @@ type trace_entry = {
 
 type audit_entry =
   | Denied of { pid : int; program : string; site : int; number : int; reason : string }
-  | Execve of { pid : int; path : string }
+  | Execve of { pid : int; program : string; path : string }
+  | Violation of {
+      pid : int;
+      program : string;
+      violation : Violation.t;
+      snapshot : Violation.snapshot;
+    }
 
 let audit_to_string = function
   | Denied { pid; program; site; number; reason } ->
     Printf.sprintf "pid %d DENIED %s at site 0x%x number %d: %s" pid program site number reason
-  | Execve { pid; path } -> Printf.sprintf "pid %d execve %s" pid path
+  | Execve { pid; program = _; path } -> Printf.sprintf "pid %d execve %s" pid path
+  | Violation { pid; program; violation; snapshot = _ } ->
+    Printf.sprintf "pid %d VIOLATION %s %s" pid program (Violation.to_string violation)
 
-let audit_to_json = function
+(* Every variant carries the same envelope — "kind", "pid", "program" — and
+   call-shaped variants share the "site"/"number" field names, so consumers
+   can dispatch on "kind" without per-variant null checks. *)
+let audit_to_json entry =
+  let open Asc_obs.Json in
+  let envelope kind pid program rest = Obj (("kind", Str kind) :: ("pid", Int pid) :: ("program", Str program) :: rest) in
+  match entry with
   | Denied { pid; program; site; number; reason } ->
-    Asc_obs.Json.Obj
-      [ ("event", Asc_obs.Json.Str "denied");
-        ("pid", Asc_obs.Json.Int pid);
-        ("program", Asc_obs.Json.Str program);
-        ("site", Asc_obs.Json.Int site);
-        ("number", Asc_obs.Json.Int number);
-        ("reason", Asc_obs.Json.Str reason) ]
-  | Execve { pid; path } ->
-    Asc_obs.Json.Obj
-      [ ("event", Asc_obs.Json.Str "execve");
-        ("pid", Asc_obs.Json.Int pid);
-        ("path", Asc_obs.Json.Str path) ]
+    envelope "denied" pid program
+      [ ("site", Int site); ("number", Int number); ("reason", Str reason) ]
+  | Execve { pid; program; path } -> envelope "execve" pid program [ ("path", Str path) ]
+  | Violation { pid; program; violation; snapshot } ->
+    let fields = match Violation.to_json violation with Obj f -> f | _ -> [] in
+    envelope "violation" pid program
+      (fields @ [ ("snapshot", Violation.snapshot_to_json snapshot) ])
+
+let audit_of_json j =
+  let open Asc_obs.Json in
+  let ( let* ) = Result.bind in
+  let get_int k =
+    match Option.bind (member k j) to_int with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "audit entry: missing int field %S" k)
+  in
+  let get_str k =
+    match Option.bind (member k j) to_str with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "audit entry: missing string field %S" k)
+  in
+  let* kind = get_str "kind" in
+  let* pid = get_int "pid" in
+  let* program = get_str "program" in
+  match kind with
+  | "denied" ->
+    let* site = get_int "site" in
+    let* number = get_int "number" in
+    let* reason = get_str "reason" in
+    Ok (Denied { pid; program; site; number; reason })
+  | "execve" ->
+    let* path = get_str "path" in
+    Ok (Execve { pid; program; path })
+  | "violation" ->
+    let* violation = Violation.of_json j in
+    let* snapshot =
+      match member "snapshot" j with
+      | Some s -> Violation.snapshot_of_json s
+      | None -> Error "audit entry: violation missing snapshot"
+    in
+    Ok (Violation { pid; program; violation; snapshot })
+  | k -> Error (Printf.sprintf "audit entry: unknown kind %S" k)
 
 type t = {
   vfs : Vfs.t;
@@ -70,6 +115,7 @@ type t = {
   mutable next_pid : int;
   mutable monitor : monitor option;
   mutable tracing : bool;
+  mutable authlog : Asc_obs.Authlog.t option;
   ctr_syscalls : Asc_obs.Metrics.counter;
   ctr_allowed : Asc_obs.Metrics.counter;
   ctr_denied : Asc_obs.Metrics.counter;
@@ -95,6 +141,7 @@ let create ?(personality = Personality.linux) ?obs ?(trace_capacity = 65536)
     next_pid = 1;
     monitor = None;
     tracing = false;
+    authlog = None;
     ctr_syscalls =
       Asc_obs.Metrics.counter obs "kernel.syscalls.total" ~help:"traps taken (incl. denied)";
     ctr_allowed = Asc_obs.Metrics.counter obs "kernel.syscalls.allowed";
@@ -121,6 +168,16 @@ let sem_counter t sem =
     c
 
 let set_monitor t m = t.monitor <- m
+let set_authlog t l = t.authlog <- l
+let authlog t = t.authlog
+
+(* All audit events funnel through here: the bounded ring for cheap
+   retention, plus (when attached) the tamper-evident CMAC chain. *)
+let audit_push t entry =
+  Asc_obs.Ring.push t.audit entry;
+  match t.authlog with
+  | Some log -> Asc_obs.Authlog.append log (audit_to_json entry)
+  | None -> ()
 
 let install_binary t ~path img =
   match Vfs.create_file t.vfs ~cwd:"/" path ~contents:(Obj_file.serialize img) with
@@ -384,6 +441,7 @@ let sys_fstat t (p : Process.t) fd buf =
   | Some (Process.Sock _) -> put 0 4
 
 let sys_execve t (p : Process.t) path =
+  let caller = p.program in
   match Vfs.normalize t.vfs ~cwd:p.cwd path with
   | Error e -> Ret (-Errno.code e)
   | Ok canon ->
@@ -415,7 +473,7 @@ let sys_execve t (p : Process.t) path =
              Asc_obs.Profile.reset_stack prof;
              Asc_obs.Profile.enter prof (Asc_obs.Profile.Label "<kernel:execve>")
            | None -> ());
-          Asc_obs.Ring.push t.audit (Execve { pid = p.pid; path = canon });
+          audit_push t (Execve { pid = p.pid; program = caller; path = canon });
           Ret 0))
 
 let path_arg (p : Process.t) addr k =
@@ -571,6 +629,50 @@ let sem_name t number sem =
      | Some s -> Syscall.name s
      | None -> Printf.sprintf "syscall#%d" number)
 
+(* ----- forensic snapshot (captured at deny time, before teardown) ----- *)
+
+let snapshot_history = 8
+
+let hex_of s =
+  String.concat ""
+    (List.init (String.length s) (fun i -> Printf.sprintf "%02x" (Char.code s.[i])))
+
+let ring_tail n ring =
+  let l = Asc_obs.Ring.to_list ring in
+  let len = List.length l in
+  if len <= n then l else List.filteri (fun i _ -> i >= len - n) l
+
+let capture_snapshot t (p : Process.t) =
+  let m = p.machine in
+  (* the policy-state pointer of the trapping call, when the site follows
+     the authenticated calling convention; garbage registers simply yield
+     unreadable (None) state, which is itself forensic signal *)
+  let lbp = m.Machine.regs.(10) in
+  { Violation.sn_regs = Array.sub m.Machine.regs 0 Violation.snapshot_regs;
+    sn_pc = m.Machine.pc;
+    sn_cycles = m.Machine.cycles;
+    sn_instrs = m.Machine.instrs;
+    sn_counter = p.Process.counter;
+    sn_last_block = Machine.read_word m lbp;
+    sn_lb_mac = Option.map hex_of (Machine.read_mem m ~addr:(lbp + 8) ~len:16);
+    sn_recent =
+      List.map
+        (fun e ->
+          { Violation.c_name = sem_name t e.t_number e.t_sem;
+            c_number = e.t_number;
+            c_site = e.t_site;
+            c_result = e.t_result })
+        (ring_tail snapshot_history t.trace);
+    sn_shadow_stack =
+      (match m.Machine.profile with
+       | Some prof ->
+         Asc_obs.Profile.current_stack
+           ~symbolize:(function
+             | Asc_obs.Profile.Pc a -> Printf.sprintf "0x%x" a
+             | Asc_obs.Profile.Label l -> l)
+           prof
+       | None -> []) }
+
 let run t (p : Process.t) ~max_cycles =
   let on_sys (m : Machine.t) =
     let site = m.pc - Isa.instr_size in
@@ -592,21 +694,46 @@ let run t (p : Process.t) ~max_cycles =
       | None -> Allow
       | Some mon -> mon.pre_syscall p ~site ~number
     in
+    let deny_span ~reason ~step =
+      if t.tracing then
+        Asc_obs.Trace.complete t.spans ~cat:"syscall" ~track:p.pid
+          ~args:
+            ([ ("site", Asc_obs.Json.Int site);
+               ("number", Asc_obs.Json.Int number);
+               ("verdict", Asc_obs.Json.Str "deny");
+               ("reason", Asc_obs.Json.Str reason) ]
+            @ match step with None -> [] | Some s -> [ ("step", Asc_obs.Json.Str s) ])
+          ~name:(sem_name t number None) ~ts:ts0 ~dur:(m.cycles - ts0) ()
+    in
     let action =
       match verdict with
     | Deny reason ->
       Asc_obs.Metrics.inc t.ctr_denied;
-      Asc_obs.Ring.push t.audit
-        (Denied { pid = p.pid; program = p.program; site; number; reason });
-      if t.tracing then
-        Asc_obs.Trace.complete t.spans ~cat:"syscall" ~track:p.pid
-          ~args:
-            [ ("site", Asc_obs.Json.Int site);
-              ("number", Asc_obs.Json.Int number);
-              ("verdict", Asc_obs.Json.Str "deny");
-              ("reason", Asc_obs.Json.Str reason) ]
-          ~name:(sem_name t number None) ~ts:ts0 ~dur:(m.cycles - ts0) ();
+      audit_push t (Denied { pid = p.pid; program = p.program; site; number; reason });
+      deny_span ~reason ~step:None;
       Machine.Sys_kill reason
+    | Deny_violation v ->
+      Asc_obs.Metrics.inc t.ctr_denied;
+      (* the kernel, not the monitor, is authoritative for where the trap
+         came from and what was asked *)
+      let v =
+        { v with
+          Violation.v_site = site;
+          v_number = number;
+          v_sem =
+            (match v.Violation.v_sem with
+             | Some _ as s -> s
+             | None -> Option.map Syscall.name (Personality.sem_of t.pers number)) }
+      in
+      audit_push t
+        (Violation
+           { pid = p.pid;
+             program = p.program;
+             violation = v;
+             snapshot = capture_snapshot t p });
+      deny_span ~reason:v.Violation.v_reason
+        ~step:(Some (Violation.step_name v.Violation.v_step));
+      Machine.Sys_kill v.Violation.v_reason
     | Allow ->
       Asc_obs.Metrics.inc t.ctr_allowed;
       (* resolve semantics, following the OpenBSD-style indirect call *)

@@ -11,6 +11,13 @@
 type verdict =
   | Allow
   | Deny of string  (** process is terminated; reason is audited *)
+  | Deny_violation of Violation.t
+      (** Like [Deny] but structured: the kernel audits a {!Violation}
+          entry carrying the failing verification step and a forensic
+          snapshot captured before teardown. The kill reason is the
+          violation's [v_reason]. The kernel overwrites [v_site]/[v_number]
+          with the actual trap coordinates and resolves [v_sem] when the
+          monitor left it [None]. *)
 
 type monitor = {
   monitor_name : string;
@@ -43,12 +50,33 @@ type trace_entry = {
     JSON) instead of string-parsing pre-formatted log lines. *)
 type audit_entry =
   | Denied of { pid : int; program : string; site : int; number : int; reason : string }
-  | Execve of { pid : int; path : string }
+      (** an unstructured monitor (e.g. Systrace, capability tracking)
+          denied the call *)
+  | Execve of { pid : int; program : string; path : string }
+      (** [program] is the image that issued the call, [path] the image
+          exec'd into *)
+  | Violation of {
+      pid : int;
+      program : string;
+      violation : Violation.t;
+      snapshot : Violation.snapshot;
+    }  (** a structured deny: which verification step failed, plus the
+           machine/policy state at deny time *)
 
 val audit_to_string : audit_entry -> string
 (** The traditional one-line rendering. *)
 
 val audit_to_json : audit_entry -> Asc_obs.Json.t
+(** Uniform schema: every variant carries ["kind"], ["pid"] and
+    ["program"]; call-shaped variants share ["site"]/["number"]; the
+    violation variant flattens {!Violation.to_json} into the envelope and
+    nests the snapshot under ["snapshot"]. *)
+
+val audit_of_json : Asc_obs.Json.t -> (audit_entry, string) result
+(** Inverse of {!audit_to_json}: [audit_of_json (audit_to_json e) = Ok e]. *)
+
+val snapshot_history : int
+(** Number of trace-ring entries embedded in a forensic snapshot (8). *)
 
 type t = {
   vfs : Vfs.t;
@@ -60,6 +88,9 @@ type t = {
   mutable next_pid : int;
   mutable monitor : monitor option;
   mutable tracing : bool;               (** gates the trace ring and span collector *)
+  mutable authlog : Asc_obs.Authlog.t option;
+  (** when set, every audit entry is also appended to this tamper-evident
+      CMAC chain; see {!set_authlog} *)
   ctr_syscalls : Asc_obs.Metrics.counter;
   ctr_allowed : Asc_obs.Metrics.counter;
   ctr_denied : Asc_obs.Metrics.counter;
@@ -93,6 +124,14 @@ val syscall_count : t -> int
 val denied_count : t -> int
 
 val set_monitor : t -> monitor option -> unit
+
+val set_authlog : t -> Asc_obs.Authlog.t option -> unit
+(** Attach (or detach) a tamper-evident audit chain. While attached, every
+    audit entry's JSON rendering is appended to the chain as it is pushed
+    to the ring; {!clear_audit} empties the ring but never rewrites the
+    chain — the chain is the part the process under test cannot undo. *)
+
+val authlog : t -> Asc_obs.Authlog.t option
 
 val install_binary : t -> path:string -> Svm.Obj_file.t -> unit
 (** Serialize a SEF image into the VFS so [execve] can load it. *)

@@ -10,6 +10,16 @@ let check_blocked what = function
   | Attacks.Blocked _ -> ()
   | o -> Alcotest.failf "%s: expected block, got %a" what Attacks.pp_outcome o
 
+let check_blocked_step what expected = function
+  | Attacks.Blocked { Attacks.b_step = Some s; _ } ->
+    if not (List.mem s expected) then
+      Alcotest.failf "%s: blocked at %s, expected one of [%s]" what
+        (Oskernel.Violation.step_name s)
+        (String.concat "; " (List.map Oskernel.Violation.step_name expected))
+  | Attacks.Blocked { Attacks.b_step = None; _ } ->
+    Alcotest.failf "%s: blocked without a structured violation" what
+  | o -> Alcotest.failf "%s: expected block, got %a" what Attacks.pp_outcome o
+
 let test_shellcode_unprotected () =
   check_succeeded "shellcode vs unprotected" (Attacks.shellcode ~protected:false)
 
@@ -29,10 +39,61 @@ let test_ncd_blocked () =
   check_blocked "non-control-data vs ASC" (Attacks.non_control_data ~protected:true)
 
 let test_frankenstein_cross_blocked () =
-  check_blocked "frankenstein cross-app" (Attacks.frankenstein ~cross:true)
+  check_blocked_step "frankenstein cross-app" [ Oskernel.Violation.Control_flow ]
+    (Attacks.frankenstein ~cross:true)
 
 let test_frankenstein_single_app_confined () =
   check_succeeded "frankenstein single-app chain" (Attacks.frankenstein ~cross:false)
+
+(* --- the classification table (§4.1 forensic signatures) --- *)
+
+(* Every step an attack may legitimately trip must classify to the attack's
+   own name — the table asc_audit's classifier implements. *)
+let test_classification_table () =
+  List.iter
+    (fun (name, steps) ->
+      List.iter
+        (fun step ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s via %s" name (Oskernel.Violation.step_name step))
+            name
+            (Oskernel.Violation.attack_class step))
+        steps)
+    Attacks.forensic_expectations;
+  (* and the remaining steps map to their own documented classes *)
+  Alcotest.(check string) "pattern is non-control-data" "non-control-data"
+    (Oskernel.Violation.attack_class Oskernel.Violation.Pattern);
+  Alcotest.(check string) "ext is non-control-data" "non-control-data"
+    (Oskernel.Violation.attack_class Oskernel.Violation.Ext);
+  Alcotest.(check string) "normalization is the symlink race" "symlink-race"
+    (Oskernel.Violation.attack_class Oskernel.Violation.Normalization)
+
+(* The full forensic pipeline: each protected attack leaves a verifiable
+   tamper-evident chain whose violation record classifies the attack. *)
+let test_forensic_runs () =
+  let runs = Attacks.forensic_runs () in
+  Alcotest.(check int) "three attacks" 3 (List.length runs);
+  List.iter
+    (fun (name, kernel, outcome) ->
+      check_blocked name outcome;
+      match Oskernel.Kernel.authlog kernel with
+      | None -> Alcotest.failf "%s: no authlog attached" name
+      | Some log ->
+        let exported = Asc_obs.Authlog.export_string log in
+        (match Asc_obs.Authlog.verify_string ~key:Attacks.key exported with
+         | Ok n -> Alcotest.(check bool) (name ^ ": chain non-empty") true (n > 0)
+         | Error e -> Alcotest.failf "%s: chain broken: %a" name Asc_obs.Authlog.pp_verify_error e);
+        let violation_class =
+          List.find_map
+            (function
+              | Oskernel.Kernel.Violation { violation = v; _ } ->
+                Some (Oskernel.Violation.attack_class v.Oskernel.Violation.v_step)
+              | _ -> None)
+            (Oskernel.Kernel.audit_log kernel)
+        in
+        Alcotest.(check (option string)) (name ^ ": classified from the record") (Some name)
+          violation_class)
+    runs
 
 let () =
   Alcotest.run "attacks"
@@ -46,4 +107,6 @@ let () =
           Alcotest.test_case "frankenstein cross-app blocked" `Quick
             test_frankenstein_cross_blocked;
           Alcotest.test_case "frankenstein confined to one app" `Quick
-            test_frankenstein_single_app_confined ] ) ]
+            test_frankenstein_single_app_confined;
+          Alcotest.test_case "classification table" `Quick test_classification_table;
+          Alcotest.test_case "forensic runs verify + classify" `Quick test_forensic_runs ] ) ]

@@ -391,6 +391,140 @@ let test_monitor_deny () =
        (contains ~sub:"not authenticated" rendered)
    | _ -> Alcotest.fail "expected exactly one Denied audit entry")
 
+(* --- structured violations: forensic snapshot + audit chain entry --- *)
+
+let test_violation_snapshot () =
+  let kernel = Kernel.create () in
+  kernel.Kernel.tracing <- true;
+  let calls = ref 0 in
+  (* allow four calls, then produce a structured deny; the kernel must
+     overwrite the monitor's placeholder site/number with the real trap
+     coordinates and resolve the syscall name *)
+  let mon =
+    { Kernel.monitor_name = "deny-fifth";
+      pre_syscall =
+        (fun _ ~site:_ ~number:_ ->
+          incr calls;
+          if !calls < 5 then Kernel.Allow
+          else
+            Kernel.Deny_violation
+              { Violation.v_step = Violation.Control_flow;
+                v_site = 0;
+                v_number = 0;
+                v_sem = None;
+                v_reason = "policy violation";
+                v_expected_mac = Some "00ff";
+                v_got_mac = Some "ff00" });
+      post_syscall = Kernel.no_post }
+  in
+  Kernel.set_monitor kernel (Some mon);
+  let getpid = Printf.sprintf " movi r0, %d\n sys\n" (num Syscall.Getpid) in
+  let src = "_start:" ^ String.concat "" (List.init 5 (fun _ -> getpid)) ^ " halt" in
+  let kernel, _, stop = run_program ~kernel src in
+  (match stop with
+   | Svm.Machine.Killed reason -> Alcotest.(check string) "kill reason" "policy violation" reason
+   | _ -> Alcotest.fail "expected kill");
+  match Kernel.audit_log kernel with
+  | [ Kernel.Violation { violation = v; snapshot = sn; pid; program } ] ->
+    Alcotest.(check int) "pid" 1 pid;
+    Alcotest.(check string) "program" "test" program;
+    Alcotest.(check string) "step survives" "control_flow" (Violation.step_name v.Violation.v_step);
+    Alcotest.(check (option string)) "sem resolved by the kernel" (Some "getpid")
+      v.Violation.v_sem;
+    Alcotest.(check int) "number overridden" (num Syscall.Getpid) v.Violation.v_number;
+    Alcotest.(check bool) "site overridden" true (v.Violation.v_site > 0);
+    Alcotest.(check (option string)) "expected MAC kept" (Some "00ff") v.Violation.v_expected_mac;
+    Alcotest.(check int) "r0..r11 captured" Violation.snapshot_regs
+      (Array.length sn.Violation.sn_regs);
+    Alcotest.(check int) "r0 holds the trap number" (num Syscall.Getpid)
+      sn.Violation.sn_regs.(0);
+    Alcotest.(check int) "kernel nonce counter" 0 sn.Violation.sn_counter;
+    (* the snapshot's recent-call history must be exactly the tail of the
+       kernel's trace ring (the denied call itself is never dispatched, so
+       it appears in neither) *)
+    let trace = Kernel.trace kernel in
+    Alcotest.(check int) "four calls dispatched before the deny" 4 (List.length trace);
+    let tail =
+      let n = List.length trace in
+      List.filteri (fun i _ -> i >= n - Kernel.snapshot_history) trace
+    in
+    Alcotest.(check int) "history length" (List.length tail)
+      (List.length sn.Violation.sn_recent);
+    List.iter2
+      (fun (c : Violation.call) (t : Kernel.trace_entry) ->
+        Alcotest.(check int) "history number" t.Kernel.t_number c.Violation.c_number;
+        Alcotest.(check int) "history site" t.Kernel.t_site c.Violation.c_site;
+        Alcotest.(check int) "history result" t.Kernel.t_result c.Violation.c_result)
+      sn.Violation.sn_recent tail
+  | entries -> Alcotest.failf "expected exactly one Violation entry, got %d" (List.length entries)
+
+(* audit entries survive the JSON round trip, and every variant carries the
+   uniform envelope (kind/pid/program) *)
+let qcheck_audit_json_roundtrip =
+  let open QCheck.Gen in
+  let s = string_size ~gen:printable (0 -- 10) in
+  let nat = 0 -- 100_000 in
+  let opt_s = opt s in
+  let gen_call =
+    map
+      (fun ((c_name, c_number), (c_site, c_result)) ->
+        { Violation.c_name; c_number; c_site; c_result })
+      (pair (pair s nat) (pair nat nat))
+  in
+  let gen_violation =
+    oneofl Violation.all_steps >>= fun v_step ->
+    nat >>= fun v_site ->
+    nat >>= fun v_number ->
+    opt_s >>= fun v_sem ->
+    s >>= fun v_reason ->
+    opt_s >>= fun v_expected_mac ->
+    opt_s >>= fun v_got_mac ->
+    return { Violation.v_step; v_site; v_number; v_sem; v_reason; v_expected_mac; v_got_mac }
+  in
+  let gen_snapshot =
+    array_size (return Violation.snapshot_regs) nat >>= fun sn_regs ->
+    nat >>= fun sn_pc ->
+    nat >>= fun sn_cycles ->
+    nat >>= fun sn_instrs ->
+    nat >>= fun sn_counter ->
+    opt nat >>= fun sn_last_block ->
+    opt_s >>= fun sn_lb_mac ->
+    list_size (0 -- 4) gen_call >>= fun sn_recent ->
+    list_size (0 -- 3) s >>= fun sn_shadow_stack ->
+    return
+      { Violation.sn_regs;
+        sn_pc;
+        sn_cycles;
+        sn_instrs;
+        sn_counter;
+        sn_last_block;
+        sn_lb_mac;
+        sn_recent;
+        sn_shadow_stack }
+  in
+  let gen_entry =
+    oneof
+      [ map
+          (fun ((pid, program), ((site, number), reason)) ->
+            Kernel.Denied { pid; program; site; number; reason })
+          (pair (pair nat s) (pair (pair nat nat) s));
+        map
+          (fun ((pid, program), path) -> Kernel.Execve { pid; program; path })
+          (pair (pair nat s) s);
+        (pair (pair nat s) (pair gen_violation gen_snapshot)
+        >>= fun ((pid, program), (violation, snapshot)) ->
+         return (Kernel.Violation { pid; program; violation; snapshot })) ]
+  in
+  QCheck.Test.make ~name:"audit_to_json round-trip" ~count:300 (QCheck.make gen_entry)
+    (fun entry ->
+      let j = Kernel.audit_to_json entry in
+      let has k = Asc_obs.Json.member k j <> None in
+      has "kind" && has "pid" && has "program"
+      &&
+      match Kernel.audit_of_json j with
+      | Ok entry' -> entry' = entry
+      | Error _ -> false)
+
 let test_tracing () =
   let kernel = Kernel.create () in
   kernel.Kernel.tracing <- true;
@@ -523,6 +657,8 @@ let suite_kernel =
     Alcotest.test_case "unknown syscall -> ENOSYS" `Quick test_unknown_syscall_enosys;
     Alcotest.test_case "execve replaces image" `Quick test_execve_replaces_image;
     Alcotest.test_case "monitor can deny" `Quick test_monitor_deny;
+    Alcotest.test_case "violation snapshot" `Quick test_violation_snapshot;
+    QCheck_alcotest.to_alcotest qcheck_audit_json_roundtrip;
     Alcotest.test_case "tracing" `Quick test_tracing;
     Alcotest.test_case "trace ring cap" `Quick test_trace_ring_cap;
     Alcotest.test_case "audit ring cap" `Quick test_audit_ring_cap;
