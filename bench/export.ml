@@ -6,6 +6,13 @@
 
 let echo = ref false (* --json: also print each document to stdout *)
 
+(* --no-vcache / --vcache-size N: shared knobs for the verified-MAC cache
+   columns of the table generators. With the cache off, table4 exports
+   under the name "table4_novcache" so the two configurations keep
+   separate baselines. *)
+let use_vcache = ref true
+let vcache_capacity = ref 1024
+
 (* --check-baselines DIR: after writing each document, diff it against the
    committed snapshot DIR/BENCH_<name>.json. The schema must match exactly;
    numeric leaves may drift within --tolerance percent. *)

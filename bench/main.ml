@@ -11,8 +11,9 @@
    replaces rdtsc); Bechamel measures the harness's real wall-clock cost. *)
 
 let usage =
-  "usage: main.exe [table1|table2|table3|table4|table5|table6|andrew|attacks|ablation|bechamel|all]* \
-   [--scale N] [--iterations N] [--json] [--check-baselines DIR] [--tolerance PCT]"
+  "usage: main.exe [table1|table2|table3|table4|table5|table6|andrew|attacks|vcache|ablation|bechamel|all]* \
+   [--scale N] [--iterations N] [--json] [--check-baselines DIR] [--tolerance PCT] \
+   [--no-vcache] [--vcache-size N]"
 
 let bechamel_run () =
   let open Bechamel in
@@ -78,6 +79,12 @@ let () =
     | "--tolerance" :: v :: rest ->
       Export.tolerance := float_of_string v;
       parse rest
+    | "--no-vcache" :: rest ->
+      Export.use_vcache := false;
+      parse rest
+    | "--vcache-size" :: v :: rest ->
+      Export.vcache_capacity := int_of_string v;
+      parse rest
     | ("--help" | "-h") :: _ ->
       print_endline usage;
       exit 0
@@ -97,6 +104,7 @@ let () =
     | "table6" -> Tables.table6 ~scale:!scale ()
     | "andrew" -> Tables.andrew ~iterations:!iterations ()
     | "attacks" -> Tables.attacks ()
+    | "vcache" -> Tables.vcache_parity ()
     | "ablation" ->
       Microbench.ablation_control_flow ();
       Microbench.ablation_userspace ();
@@ -111,6 +119,7 @@ let () =
       Tables.table6 ~scale:!scale ();
       Tables.andrew ~iterations:!iterations ();
       Tables.attacks ();
+      Tables.vcache_parity ();
       Microbench.ablation_control_flow ();
       Microbench.ablation_userspace ();
       Tables.ablation_patterns ()

@@ -63,8 +63,9 @@ let cases =
 
 (* Run one trial; returns the measured cycle delta together with the
    kernel, whose per-kernel metrics registry carries the checker's
-   per-verification-step cycle counters for the run. *)
-let measure_run ~authenticated ~control_flow case =
+   per-verification-step cycle counters for the run (and, with
+   [use_vcache], the verified-MAC cache's hit/miss counters). *)
+let measure_run ~authenticated ?(use_vcache = false) ~control_flow case =
   let img = Svm.Asm.assemble_exn (loop_program ~body:case.c_body) in
   let img =
     if not authenticated then img
@@ -76,16 +77,24 @@ let measure_run ~authenticated ~control_flow case =
   in
   let kernel = Kernel.create ~personality () in
   case.c_setup kernel;
-  if authenticated then
-    Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ()));
+  if authenticated then begin
+    let vcache =
+      if use_vcache then
+        Some
+          (Asc_core.Vcache.create ~capacity:!Export.vcache_capacity
+             ~registry:(Kernel.metrics kernel) ())
+      else None
+    in
+    Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ?vcache ()))
+  end;
   let proc = Kernel.spawn kernel ~stdin:case.c_stdin ~program:case.c_name img in
   match Kernel.run kernel proc ~max_cycles:4_000_000_000 with
   | Svm.Machine.Halted _ -> (proc.Process.machine.Svm.Machine.regs.(1), kernel)
   | Svm.Machine.Killed r -> failwith (case.c_name ^ " killed: " ^ r)
   | _ -> failwith (case.c_name ^ " did not complete")
 
-let measure_once ~authenticated ~control_flow case =
-  fst (measure_run ~authenticated ~control_flow case)
+let measure_once ~authenticated ?use_vcache ~control_flow case =
+  fst (measure_run ~authenticated ?use_vcache ~control_flow case)
 
 (* Table 4's decomposition: per-call cycles attributed to each verification
    step of §3.4, read back from the checker's step counters. The steps sum
@@ -98,14 +107,24 @@ type verification = {
   v_total : int;
 }
 
-let verification_of ~control_flow case =
-  let _, kernel = measure_run ~authenticated:true ~control_flow case in
+let verification_of ?(use_vcache = false) ~control_flow case =
+  let _, kernel = measure_run ~authenticated:true ~use_vcache ~control_flow case in
+  let raw name = Option.value ~default:0 (Asc_obs.Metrics.value (Kernel.metrics kernel) name) in
   let v name =
-    let raw = Option.value ~default:0 (Asc_obs.Metrics.value (Kernel.metrics kernel) name) in
-    if raw mod iterations <> 0 then
+    let r = raw name in
+    (* with the cache on, the first iteration pays the CMAC cost and later
+       ones the hit cost, so per-step charges are no longer uniform *)
+    if (not use_vcache) && r mod iterations <> 0 then
       failwith (Printf.sprintf "%s: %s not uniform across iterations" case.c_name name);
-    raw / iterations
+    r / iterations
   in
+  (* the attribution invariant holds exactly on the raw counters in both
+     modes; the per-call record below may round each step independently *)
+  if
+    raw "checker.cycles.call_mac" + raw "checker.cycles.string_mac"
+    + raw "checker.cycles.control_flow" + raw "checker.cycles.ext"
+    <> raw "checker.cycles.total"
+  then failwith (case.c_name ^ ": verification steps do not sum to the total");
   let r =
     { v_call_mac = v "checker.cycles.call_mac";
       v_string_mac = v "checker.cycles.string_mac";
@@ -113,9 +132,7 @@ let verification_of ~control_flow case =
       v_ext = v "checker.cycles.ext";
       v_total = v "checker.cycles.total" }
   in
-  if r.v_call_mac + r.v_string_mac + r.v_control_flow + r.v_ext <> r.v_total then
-    failwith (case.c_name ^ ": verification steps do not sum to the total");
-  r
+  (r, raw "vcache.hits", raw "vcache.misses")
 
 (* 12 trials, drop highest and lowest, average the remaining 10. The cycle
    model is deterministic, so the trials agree — the structure is kept to
@@ -132,50 +149,98 @@ let empty_loop_cost =
                                 { c_name = "empty"; c_body = ""; c_stdin = ""; c_setup = ignore })
      / iterations)
 
-let per_call ?(control_flow = true) ~authenticated case =
+let per_call ?(control_flow = true) ?use_vcache ~authenticated case =
   let total =
-    trial_average (fun () -> measure_once ~authenticated ~control_flow case)
+    trial_average (fun () -> measure_once ~authenticated ?use_vcache ~control_flow case)
   in
   (total / iterations) - Lazy.force empty_loop_cost
 
+(* One Table 4 row with the verified-MAC cache on: per-call cycles, the
+   per-step decomposition, and the cache's own hit/miss counters. Gated
+   here rather than in a test so every benchmark run re-proves the cache's
+   two headline properties: it actually hits on a repeated call site, and
+   hitting is strictly cheaper than recomputing the CMAC. *)
+let vcache_row ~auth case =
+  let auth_vc = per_call ~authenticated:true ~use_vcache:true case in
+  let v_vc, hits, misses = verification_of ~use_vcache:true ~control_flow:true case in
+  if hits = 0 then failwith (case.c_name ^ ": verified-MAC cache never hit");
+  if auth_vc >= auth then
+    failwith
+      (Printf.sprintf "%s: vcache did not reduce cycles/call (%d >= %d)" case.c_name auth_vc
+         auth);
+  (auth_vc, v_vc, hits, misses)
+
 let table4 () =
-  Format.printf "@.Table 4: Effect of authentication (cycles per call)@.";
-  Format.printf "%-16s %10s %14s %10s@." "System Call" "Original" "Authenticated" "Overhead";
+  let vc = !Export.use_vcache in
+  Format.printf "@.Table 4: Effect of authentication (cycles per call)%s@."
+    (if vc then "" else " [vcache off]");
+  if vc then
+    Format.printf "%-16s %10s %14s %10s %12s %9s@." "System Call" "Original" "Authenticated"
+      "Overhead" "Auth+cache" "Hit rate"
+  else Format.printf "%-16s %10s %14s %10s@." "System Call" "Original" "Authenticated" "Overhead";
   let rows =
     List.map
       (fun case ->
         let orig = per_call ~authenticated:false case in
         let auth = per_call ~authenticated:true case in
         let overhead = 100. *. float_of_int (auth - orig) /. float_of_int orig in
-        Format.printf "%-16s %10d %14d %9.1f%%@." case.c_name orig auth overhead;
-        (case, orig, auth, overhead, verification_of ~control_flow:true case))
+        let v, _, _ = verification_of ~control_flow:true case in
+        let cache = if vc then Some (vcache_row ~auth case) else None in
+        (match cache with
+         | Some (auth_vc, _, hits, misses) ->
+           Format.printf "%-16s %10d %14d %9.1f%% %12d %8.1f%%@." case.c_name orig auth
+             overhead auth_vc
+             (100. *. float_of_int hits /. float_of_int (hits + misses))
+         | None -> Format.printf "%-16s %10d %14d %9.1f%%@." case.c_name orig auth overhead);
+        (case, orig, auth, overhead, v, cache))
       cases
   in
   Format.printf "%-16s %10d@." "rdtsc cost" Svm.Cost_model.rdcyc_cost;
   Format.printf "%-16s %10d@." "loop cost" (Lazy.force empty_loop_cost);
   let open Asc_obs.Json in
-  Export.write ~name:"table4"
+  let verification_json v =
+    Obj
+      [ ("call_mac", Int v.v_call_mac);
+        ("string_mac", Int v.v_string_mac);
+        ("control_flow", Int v.v_control_flow);
+        ("ext", Int v.v_ext);
+        ("total", Int v.v_total) ]
+  in
+  Export.write ~name:(if vc then "table4" else "table4_novcache")
     (Obj
        [ ("table", Str "table4");
          ("iterations", Int iterations);
+         ("vcache", Bool vc);
+         ("vcache_capacity", Int (if vc then !Export.vcache_capacity else 0));
          ("rdtsc_cost", Int Svm.Cost_model.rdcyc_cost);
          ("loop_cost", Int (Lazy.force empty_loop_cost));
          ( "rows",
            List
              (List.map
-                (fun (case, orig, auth, overhead, v) ->
+                (fun (case, orig, auth, overhead, v, cache) ->
                   Obj
-                    [ ("name", Str case.c_name);
-                      ("original", Int orig);
-                      ("authenticated", Int auth);
-                      ("overhead_pct", Float overhead);
-                      ( "verification",
-                        Obj
-                          [ ("call_mac", Int v.v_call_mac);
-                            ("string_mac", Int v.v_string_mac);
-                            ("control_flow", Int v.v_control_flow);
-                            ("ext", Int v.v_ext);
-                            ("total", Int v.v_total) ] ) ])
+                    ([ ("name", Str case.c_name);
+                       ("original", Int orig);
+                       ("authenticated", Int auth);
+                       ("overhead_pct", Float overhead);
+                       ("verification", verification_json v) ]
+                     @
+                     match cache with
+                     | None -> []
+                     | Some (auth_vc, v_vc, hits, misses) ->
+                       [ ("authenticated_vcache", Int auth_vc);
+                         ( "overhead_vcache_pct",
+                           Float (100. *. float_of_int (auth_vc - orig) /. float_of_int orig)
+                         );
+                         ("verification_vcache", verification_json v_vc);
+                         ( "vcache",
+                           Obj
+                             [ ("hits", Int hits);
+                               ("misses", Int misses);
+                               ( "hit_rate_pct",
+                                 Float
+                                   (100. *. float_of_int hits
+                                    /. float_of_int (hits + misses)) ) ] ) ]))
                 rows) ) ])
 
 (* ablation: authenticated calls with and without control-flow policies *)

@@ -4,7 +4,8 @@
 open Cmdliner
 open Oskernel
 
-let run input key_hex os enforce stdin_text normalize files libs audit_out =
+let run input key_hex os enforce stdin_text normalize files libs audit_out no_vcache
+    vcache_size =
   let ( let* ) = Result.bind in
   let result =
     let* personality = Common.personality_of_string os in
@@ -26,13 +27,23 @@ let run input key_hex os enforce stdin_text normalize files libs audit_out =
              | Error e -> Error (Oskernel.Errno.name e)))
         (Ok ()) files
     in
-    let* () =
-      if not enforce then Ok ()
+    let* vcache =
+      if not enforce then Ok None
       else
         let* key = Common.key_of_hex key_hex in
+        let* vcache =
+          if no_vcache then Ok None
+          else if vcache_size < 1 then
+            Error (Printf.sprintf "--vcache-size must be >= 1, got %d" vcache_size)
+          else
+            Ok
+              (Some
+                 (Asc_core.Vcache.create ~capacity:vcache_size
+                    ~registry:(Kernel.metrics kernel) ()))
+        in
         Kernel.set_monitor kernel
-          (Some (Asc_core.Checker.monitor ~kernel ~key ~normalize_paths:normalize ()));
-        Ok ()
+          (Some (Asc_core.Checker.monitor ~kernel ~key ~normalize_paths:normalize ?vcache ()));
+        Ok vcache
     in
     (* --audit-out: record every audit entry in a tamper-evident CMAC chain
        (keyed like the checker) and export it as JSONL after the run *)
@@ -73,6 +84,12 @@ let run input key_hex os enforce stdin_text normalize files libs audit_out =
     let err = Kernel.stderr_of proc in
     if err <> "" then Format.eprintf "%s" err;
     Format.eprintf "[%d cycles]@." proc.Process.machine.Svm.Machine.cycles;
+    (match vcache with
+     | Some vc ->
+       Format.eprintf "[vcache: %d hits, %d misses, %d evictions, %d invalidations, %d cycles saved]@."
+         (Asc_core.Vcache.hits vc) (Asc_core.Vcache.misses vc) (Asc_core.Vcache.evictions vc)
+         (Asc_core.Vcache.invalidations vc) (Asc_core.Vcache.cycles_saved vc)
+     | None -> ());
     (match (authlog, audit_out) with
      | Some log, Some path ->
        Asc_obs.Authlog.export_file log path;
@@ -154,12 +171,22 @@ let audit_out_arg =
          ~doc:"Export the run's audit log as a tamper-evident JSONL chain (keyed with \
                $(b,--key)); inspect it with asc-audit.")
 
+let no_vcache_arg =
+  Arg.(value & flag & info [ "no-vcache" ]
+         ~doc:"Disable the checker's verified-MAC cache (every call recomputes its CMACs). \
+               Only meaningful with $(b,--enforce).")
+
+let vcache_size_arg =
+  Arg.(value & opt int 1024 & info [ "vcache-size" ] ~docv:"N"
+         ~doc:"Capacity (entries) of the checker's verified-MAC cache; least-recently-used \
+               entries are evicted beyond it.")
+
 let cmd =
   let doc = "run a program on the simulated kernel" in
   Cmd.v
     (Cmd.info "asc-run" ~doc)
     Term.(
       const run $ input_arg $ key_arg $ os_arg $ enforce_arg $ stdin_arg $ normalize_arg
-      $ file_arg $ lib_arg $ audit_out_arg)
+      $ file_arg $ lib_arg $ audit_out_arg $ no_vcache_arg $ vcache_size_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -9,10 +9,11 @@
 
    Run with: dune exec examples/attack_demo.exe *)
 
-let show name (description : string) f =
+let show name (description : string)
+    (f : ?use_vcache:bool -> protected:bool -> unit -> Attacks.outcome) =
   Format.printf "@.=== %s ===@.%s@." name description;
-  Format.printf "  unprotected:   %a@." Attacks.pp_outcome (f ~protected:false);
-  Format.printf "  authenticated: %a@." Attacks.pp_outcome (f ~protected:true)
+  Format.printf "  unprotected:   %a@." Attacks.pp_outcome (f ~protected:false ());
+  Format.printf "  authenticated: %a@." Attacks.pp_outcome (f ~protected:true ())
 
 let () =
   Format.printf "victim: reads a filename into char buf[32] via an unbounded read,@.";
@@ -35,9 +36,9 @@ let () =
   Format.printf
     "a program composed of authenticated calls from applications A and B:@.";
   Format.printf "  cross-application chain: %a@." Attacks.pp_outcome
-    (Attacks.frankenstein ~cross:true);
+    (Attacks.frankenstein ~cross:true ());
   Format.printf "  single-application chain: %a@." Attacks.pp_outcome
-    (Attacks.frankenstein ~cross:false);
+    (Attacks.frankenstein ~cross:false ());
   Format.printf
     "-> a Frankenstein program is forced to execute the calls of a single@.";
   Format.printf "   application only, as the paper concludes.@."

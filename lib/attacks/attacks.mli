@@ -45,9 +45,15 @@ val key : Asc_crypto.Cmac.key
     data ⇒ [String_mac], cross-application Frankenstein ⇒
     [Control_flow]. *)
 
-val shellcode : protected:bool -> outcome
-val mimicry : protected:bool -> outcome
-val non_control_data : protected:bool -> outcome
+(** [use_vcache] (default [false]) attaches a verified-MAC cache
+    ({!Asc_core.Vcache}) to the checker. The cache only accelerates
+    successful verifications, so every attack must trip the exact same
+    violation step with it on — the deny-parity property the cache's
+    soundness argument rests on (and that [asc_bench vcache] gates). *)
+
+val shellcode : ?use_vcache:bool -> protected:bool -> unit -> outcome
+val mimicry : ?use_vcache:bool -> protected:bool -> unit -> outcome
+val non_control_data : ?use_vcache:bool -> protected:bool -> unit -> outcome
 
 val forensic_expectations : (string * Oskernel.Violation.step list) list
 (** attack name ⇒ acceptable violation steps, as asserted by the runs. *)
@@ -60,7 +66,7 @@ val forensic_runs : unit -> (string * Oskernel.Kernel.t * outcome) list
     audit log and verify the chain — the corpus behind
     [asc_audit classify]. *)
 
-val frankenstein : cross:bool -> outcome
+val frankenstein : ?use_vcache:bool -> cross:bool -> unit -> outcome
 (** [cross:true] splices application B's authenticated call after
     application A's chain (must be blocked); [cross:false] runs B's own
     chain alone from start (allowed — the Frankenstein program is confined

@@ -103,15 +103,44 @@ let read_as_header m ~ptr what =
   | Some (len, mac) -> { Encoded.as_addr = ptr; as_len = len; as_mac = mac }
   | None -> deny Violation.Call_mac "%s: bad authenticated-string header at 0x%x" what ptr
 
-let verify_as m steps step key (r : Encoded.as_ref) what =
+(* A cache hit replaces the modeled CMAC cycles with the (much cheaper)
+   hit cost, still charged to the same step counter so the Table 4
+   decomposition keeps summing; the skipped cycles feed the cache's
+   cycles-saved gauge. The miss/slow path is byte-identical to the
+   uncached checker, including what it denies and how. *)
+let cache_hit vcache ckey ~mac =
+  match vcache with
+  | None -> false
+  | Some vc -> Vcache.check vc ckey ~mac
+
+let charge_hit m steps step vcache ~len =
+  charge m steps step (Cost_model.vcache_hit_cost len);
+  match vcache with
+  | Some vc -> Vcache.note_saved vc (Cost_model.mac_cost len - Cost_model.vcache_hit_cost len)
+  | None -> ()
+
+let cache_remember vcache ckey ~mac =
+  match vcache with
+  | None -> ()
+  | Some vc -> Vcache.remember vc ckey ~mac
+
+let verify_as m steps step ~vcache ~pid key (r : Encoded.as_ref) what =
   match Machine.read_mem m ~addr:r.as_addr ~len:r.as_len with
   | None -> deny (vstep_of step) "%s: string contents unreadable" what
   | Some contents ->
-    charge m steps step (Cost_model.mac_cost r.as_len);
-    let expect = Auth_string.mac_of key contents in
-    if not (Cmac.equal_tags expect r.as_mac) then
-      deny_mac (vstep_of step) ~expected:expect ~got:r.as_mac
-        "%s: string authentication failed" what;
+    (* sound to cache: the key carries the full contents — every byte the
+       string MAC covers — so tampered bytes or a tampered tag miss *)
+    let ckey = Vcache.Str { pid; bytes = contents } in
+    if cache_hit vcache ckey ~mac:r.as_mac then
+      charge_hit m steps step vcache ~len:r.as_len
+    else begin
+      charge m steps step (Cost_model.mac_cost r.as_len);
+      let expect = Auth_string.mac_of key contents in
+      if not (Cmac.equal_tags expect r.as_mac) then
+        deny_mac (vstep_of step) ~expected:expect ~got:r.as_mac
+          "%s: string authentication failed" what;
+      cache_remember vcache ckey ~mac:r.as_mac
+    end;
     contents
 
 (* parse a verified §5 extension block: sequence of
@@ -146,7 +175,7 @@ let parse_ext contents =
   in
   go 0 []
 
-let pre ~kernel ~key ~normalize_paths ~steps (p : Process.t) ~site ~number =
+let pre ~kernel ~key ~normalize_paths ~vcache ~steps (p : Process.t) ~site ~number =
   let m = p.machine in
   charge m steps Call_mac Cost_model.check_fixed;
   let r i = m.regs.(i) in
@@ -182,26 +211,38 @@ let pre ~kernel ~key ~normalize_paths ~steps (p : Process.t) ~site ~number =
         e_ext = ext;
         e_control = control }
   in
-  charge m steps Call_mac (Cost_model.mac_cost (String.length encoded));
   let supplied = read_mac m mac_ptr in
-  let call_mac = Cmac.mac key encoded in
-  if not (Cmac.equal_tags call_mac supplied) then
-    deny_mac Violation.Call_mac ~expected:call_mac ~got:supplied "call MAC mismatch";
+  (* sound to cache: [encoded] is the call MAC's exact input — trap number,
+     site, descriptor, block id, constant args, string/ext/control
+     references with their tags — so any tampered covered byte misses *)
+  let call_key = Vcache.Call { pid = p.pid; site; encoded } in
+  if cache_hit vcache call_key ~mac:supplied then
+    charge_hit m steps Call_mac vcache ~len:(String.length encoded)
+  else begin
+    charge m steps Call_mac (Cost_model.mac_cost (String.length encoded));
+    let call_mac = Cmac.mac key encoded in
+    if not (Cmac.equal_tags call_mac supplied) then
+      deny_mac Violation.Call_mac ~expected:call_mac ~got:supplied "call MAC mismatch";
+    cache_remember vcache call_key ~mac:supplied
+  end;
   (* --- step 2: verify authenticated string contents --- *)
   let verified_strings =
     List.map
       (fun (i, ar) ->
-        (i, verify_as m steps String_mac key ar (Printf.sprintf "argument %d" i)))
+        (i, verify_as m steps String_mac ~vcache ~pid:p.pid key ar (Printf.sprintf "argument %d" i)))
       string_args
   in
   let ext_contents =
-    Option.map (fun ar -> verify_as m steps Ext key ar "extension block") ext
+    Option.map (fun ar -> verify_as m steps Ext ~vcache ~pid:p.pid key ar "extension block") ext
   in
   (* --- step 3: control-flow policy --- *)
   (match control with
    | None -> ()
    | Some (pred_ref, lbp) ->
-     let pred_contents = verify_as m steps Control_flow key pred_ref "predecessor set" in
+     (* the predecessor set is content-stable (cacheable like any
+        authenticated string); the lbMAC below is nonce-fresh by design —
+        the kernel-held counter changes every call — and is never cached *)
+     let pred_contents = verify_as m steps Control_flow ~vcache ~pid:p.pid key pred_ref "predecessor set" in
      let last_block =
        match Machine.read_word m lbp with
        | Some v -> v
@@ -273,12 +314,20 @@ let pre ~kernel ~key ~normalize_paths ~steps (p : Process.t) ~site ~number =
         verified_strings
   end
 
-let monitor ~kernel ~key ?(normalize_paths = false) () =
+let monitor ~kernel ~key ?(normalize_paths = false) ?vcache () =
   let steps = steps_of kernel.Kernel.obs in
+  (* lifecycle invalidation: execve replaces the image the cached
+     verifications were performed against, and teardown frees the pid for
+     reuse — both drop every entry the pid owns *)
+  (match vcache with
+   | Some vc ->
+     Kernel.add_lifecycle_hook kernel (function
+       | Kernel.Proc_exec { pid } | Kernel.Proc_exit { pid } -> Vcache.invalidate_pid vc pid)
+   | None -> ());
   { Kernel.monitor_name = "asc-checker";
     pre_syscall =
       (fun p ~site ~number ->
-        match pre ~kernel ~key ~normalize_paths ~steps p ~site ~number with
+        match pre ~kernel ~key ~normalize_paths ~vcache ~steps p ~site ~number with
         | () ->
           Asc_obs.Metrics.inc steps.st_checked;
           Kernel.Allow

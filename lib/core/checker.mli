@@ -30,8 +30,20 @@ val monitor :
   kernel:Oskernel.Kernel.t ->
   key:Asc_crypto.Cmac.key ->
   ?normalize_paths:bool ->
+  ?vcache:Vcache.t ->
   unit ->
   Oskernel.Kernel.monitor
 (** [normalize_paths] additionally resolves every verified pathname
     argument through the VFS and denies the call when normalization
-    changes it (the §5.4 symlink-race defense). Default [false]. *)
+    changes it (the §5.4 symlink-race defense). Default [false].
+
+    [vcache] attaches a verified-MAC cache ({!Vcache}): call-MAC and
+    authenticated-string checks that hit it are charged
+    [Svm.Cost_model.vcache_hit_cost] instead of the CMAC cost (still on
+    the same per-step counter, so the decomposition keeps summing), while
+    misses — including every tampered descriptor, string or tag, whose
+    key cannot match — take the unchanged slow path to the same
+    structured deny. The nonce-fresh control-flow [lbMAC] is always
+    verified. The monitor registers a kernel lifecycle hook that
+    invalidates the pid's entries on [execve] and process teardown.
+    Default: no cache (every check recomputes, the pre-cache behavior). *)

@@ -29,6 +29,13 @@ let compose_monitors name monitors =
       (fun p ~site ~sem ~result ->
         List.iter (fun m -> m.post_syscall p ~site ~sem ~result) monitors) }
 
+(* Process lifecycle notifications for caches keyed by pid: execve replaces
+   the image the cached facts were derived from, and teardown frees the pid
+   for reuse — either way, per-pid state must be dropped. *)
+type lifecycle =
+  | Proc_exec of { pid : int }
+  | Proc_exit of { pid : int }
+
 type trace_entry = {
   t_sem : Syscall.sem option;
   t_number : int;
@@ -116,6 +123,7 @@ type t = {
   mutable monitor : monitor option;
   mutable tracing : bool;
   mutable authlog : Asc_obs.Authlog.t option;
+  mutable lifecycle_hooks : (lifecycle -> unit) list;
   ctr_syscalls : Asc_obs.Metrics.counter;
   ctr_allowed : Asc_obs.Metrics.counter;
   ctr_denied : Asc_obs.Metrics.counter;
@@ -142,6 +150,7 @@ let create ?(personality = Personality.linux) ?obs ?(trace_capacity = 65536)
     monitor = None;
     tracing = false;
     authlog = None;
+    lifecycle_hooks = [];
     ctr_syscalls =
       Asc_obs.Metrics.counter obs "kernel.syscalls.total" ~help:"traps taken (incl. denied)";
     ctr_allowed = Asc_obs.Metrics.counter obs "kernel.syscalls.allowed";
@@ -170,6 +179,9 @@ let sem_counter t sem =
 let set_monitor t m = t.monitor <- m
 let set_authlog t l = t.authlog <- l
 let authlog t = t.authlog
+
+let add_lifecycle_hook t f = t.lifecycle_hooks <- t.lifecycle_hooks @ [ f ]
+let lifecycle_event t ev = List.iter (fun f -> f ev) t.lifecycle_hooks
 
 (* All audit events funnel through here: the bounded ring for cheap
    retention, plus (when attached) the tamper-evident CMAC chain. *)
@@ -474,6 +486,7 @@ let sys_execve t (p : Process.t) path =
              Asc_obs.Profile.enter prof (Asc_obs.Profile.Label "<kernel:execve>")
            | None -> ());
           audit_push t (Execve { pid = p.pid; program = caller; path = canon });
+          lifecycle_event t (Proc_exec { pid = p.pid });
           Ret 0))
 
 let path_arg (p : Process.t) addr k =
@@ -786,6 +799,11 @@ let run t (p : Process.t) ~max_cycles =
      kernel (the default) never see another run's instructions *)
   Asc_obs.Metrics.add t.ctr_vm_instrs (m.instrs - start_instrs);
   Asc_obs.Metrics.add t.ctr_vm_cycles (m.cycles - start_cycles);
+  (* terminal stops tear the process down; a cycle-limit stop may resume *)
+  (match stop with
+   | Machine.Halted _ | Machine.Killed _ | Machine.Faulted _ ->
+     lifecycle_event t (Proc_exit { pid = p.pid })
+   | Machine.Cycle_limit -> ());
   stop
 
 let trace t = Asc_obs.Ring.to_list t.trace

@@ -34,6 +34,17 @@ type monitor = {
 val no_post : Process.t -> site:int -> sem:Syscall.sem option -> result:int -> unit
 (** A post hook that does nothing. *)
 
+(** Process lifecycle notifications, delivered to {!add_lifecycle_hook}
+    subscribers. Monitors that cache per-pid facts (the checker's
+    verified-MAC cache) subscribe to drop state when it can no longer be
+    trusted: [Proc_exec] fires after [execve] replaced the image the facts
+    were derived from; [Proc_exit] fires when {!run} ends in a terminal
+    stop (halt, kill or fault — not a resumable cycle-limit stop), after
+    which the pid could in principle be reused. *)
+type lifecycle =
+  | Proc_exec of { pid : int }
+  | Proc_exit of { pid : int }
+
 val compose_monitors : string -> monitor list -> monitor
 (** Run pre hooks in order (first [Deny] wins) and all post hooks. *)
 
@@ -91,6 +102,8 @@ type t = {
   mutable authlog : Asc_obs.Authlog.t option;
   (** when set, every audit entry is also appended to this tamper-evident
       CMAC chain; see {!set_authlog} *)
+  mutable lifecycle_hooks : (lifecycle -> unit) list;
+  (** subscribers to process lifecycle events; see {!add_lifecycle_hook} *)
   ctr_syscalls : Asc_obs.Metrics.counter;
   ctr_allowed : Asc_obs.Metrics.counter;
   ctr_denied : Asc_obs.Metrics.counter;
@@ -124,6 +137,11 @@ val syscall_count : t -> int
 val denied_count : t -> int
 
 val set_monitor : t -> monitor option -> unit
+
+val add_lifecycle_hook : t -> (lifecycle -> unit) -> unit
+(** Subscribe to {!lifecycle} events; hooks run in subscription order,
+    synchronously, from [execve] dispatch ([Proc_exec]) and from the tail
+    of {!run} ([Proc_exit]). *)
 
 val set_authlog : t -> Asc_obs.Authlog.t option -> unit
 (** Attach (or detach) a tamper-evident audit chain. While attached, every

@@ -27,5 +27,9 @@ let mac_setup = 150
 let check_fixed = 250
 let context_switch = 2600
 
+let vcache_hit_base = 60
+let vcache_hit_per_block = 4
+
 let mac_cost len = mac_setup + (aes_block * ((len + 16) / 16))
 let copy_cost len = len * per_byte_copy / per_byte_copy_denom
+let vcache_hit_cost len = vcache_hit_base + (vcache_hit_per_block * ((len + 16) / 16))

@@ -44,9 +44,26 @@ val context_switch : int
 (** Cost of one context switch; used by the user-space-daemon ablation (the
     Systrace-style monitor pays two of these per checked call). *)
 
+val vcache_hit_base : int
+(** Fixed cost of a verified-MAC cache hit: hash of the key material plus
+    the bucket probe. *)
+
+val vcache_hit_per_block : int
+(** Per-16-byte-block cost of confirming a cache hit (the kernel compares
+    the stored key bytes against the bytes the MAC covers, so a hit is
+    never cheaper than reading its own key). *)
+
 val mac_cost : int -> int
 (** [mac_cost len] is the modeled cost of MACing [len] bytes:
     [mac_setup + aes_block * ceil((len+1)/16)] (+1 for padding block). *)
 
 val copy_cost : int -> int
 (** [copy_cost len] is the modeled user/kernel copy cost for [len] bytes. *)
+
+val vcache_hit_cost : int -> int
+(** [vcache_hit_cost len] is the modeled cost of a verified-MAC cache hit
+    whose key covers [len] bytes:
+    [vcache_hit_base + vcache_hit_per_block * ceil((len+1)/16)]. Strictly
+    below {!mac_cost} for every length (the base and per-block constants
+    are both smaller), so skipping a MAC via the cache always saves
+    cycles. *)

@@ -21,29 +21,70 @@ let check_blocked_step what expected = function
   | o -> Alcotest.failf "%s: expected block, got %a" what Attacks.pp_outcome o
 
 let test_shellcode_unprotected () =
-  check_succeeded "shellcode vs unprotected" (Attacks.shellcode ~protected:false)
+  check_succeeded "shellcode vs unprotected" (Attacks.shellcode ~protected:false ())
 
 let test_shellcode_blocked () =
-  check_blocked "shellcode vs ASC" (Attacks.shellcode ~protected:true)
+  check_blocked "shellcode vs ASC" (Attacks.shellcode ~protected:true ())
 
 let test_mimicry_unprotected () =
-  check_succeeded "mimicry vs unprotected" (Attacks.mimicry ~protected:false)
+  check_succeeded "mimicry vs unprotected" (Attacks.mimicry ~protected:false ())
 
 let test_mimicry_blocked () =
-  check_blocked "mimicry vs ASC" (Attacks.mimicry ~protected:true)
+  check_blocked "mimicry vs ASC" (Attacks.mimicry ~protected:true ())
 
 let test_ncd_unprotected () =
-  check_succeeded "non-control-data vs unprotected" (Attacks.non_control_data ~protected:false)
+  check_succeeded "non-control-data vs unprotected"
+    (Attacks.non_control_data ~protected:false ())
 
 let test_ncd_blocked () =
-  check_blocked "non-control-data vs ASC" (Attacks.non_control_data ~protected:true)
+  check_blocked "non-control-data vs ASC" (Attacks.non_control_data ~protected:true ())
 
 let test_frankenstein_cross_blocked () =
   check_blocked_step "frankenstein cross-app" [ Oskernel.Violation.Control_flow ]
-    (Attacks.frankenstein ~cross:true)
+    (Attacks.frankenstein ~cross:true ())
 
 let test_frankenstein_single_app_confined () =
-  check_succeeded "frankenstein single-app chain" (Attacks.frankenstein ~cross:false)
+  check_succeeded "frankenstein single-app chain" (Attacks.frankenstein ~cross:false ())
+
+(* --- deny parity: the verified-MAC cache must not change any verdict --- *)
+
+(* The cache only remembers *successful* verifications, so every attack must
+   be blocked at the exact same violation step with it enabled. Each run*
+   function already asserts the expected step internally; here we addition-
+   ally compare the step against the cache-off run of the same attack. *)
+let step_of what = function
+  | Attacks.Blocked { Attacks.b_step = Some s; _ } -> s
+  | o -> Alcotest.failf "%s: expected a structured block, got %a" what Attacks.pp_outcome o
+
+let test_vcache_deny_parity () =
+  List.iter
+    (fun ((name : string),
+          (attack : ?use_vcache:bool -> protected:bool -> unit -> Attacks.outcome)) ->
+      let off = step_of (name ^ " (cache off)") (attack ~use_vcache:false ~protected:true ()) in
+      let on = step_of (name ^ " (cache on)") (attack ~use_vcache:true ~protected:true ()) in
+      Alcotest.(check string)
+        (name ^ ": same violation step with the vcache enabled")
+        (Oskernel.Violation.step_name off)
+        (Oskernel.Violation.step_name on))
+    [ ("shellcode", Attacks.shellcode);
+      ("mimicry", Attacks.mimicry);
+      ("non-control-data", Attacks.non_control_data) ]
+
+let test_vcache_frankenstein_parity () =
+  let off =
+    step_of "frankenstein cross (cache off)"
+      (Attacks.frankenstein ~use_vcache:false ~cross:true ())
+  in
+  let on =
+    step_of "frankenstein cross (cache on)"
+      (Attacks.frankenstein ~use_vcache:true ~cross:true ())
+  in
+  Alcotest.(check string) "frankenstein cross: same step with the vcache enabled"
+    (Oskernel.Violation.step_name off)
+    (Oskernel.Violation.step_name on);
+  (* and the legal single-application chain still runs to completion *)
+  check_succeeded "frankenstein single-app chain (cache on)"
+    (Attacks.frankenstein ~use_vcache:true ~cross:false ())
 
 (* --- the classification table (§4.1 forensic signatures) --- *)
 
@@ -108,5 +149,9 @@ let () =
             test_frankenstein_cross_blocked;
           Alcotest.test_case "frankenstein confined to one app" `Quick
             test_frankenstein_single_app_confined;
+          Alcotest.test_case "vcache deny parity (shellcode/mimicry/ncd)" `Quick
+            test_vcache_deny_parity;
+          Alcotest.test_case "vcache deny parity (frankenstein)" `Quick
+            test_vcache_frankenstein_parity;
           Alcotest.test_case "classification table" `Quick test_classification_table;
           Alcotest.test_case "forensic runs verify + classify" `Quick test_forensic_runs ] ) ]
