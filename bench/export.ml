@@ -13,6 +13,11 @@ let echo = ref false (* --json: also print each document to stdout *)
 let use_vcache = ref true
 let vcache_capacity = ref 1024
 
+(* --no-precomp: disable the exec-time precompiled-site table columns. Only
+   meaningful while the vcache is on (the precomp config is measured on top
+   of it); with it off, table4 exports as "table4_noprecomp". *)
+let use_precomp = ref true
+
 (* --check-baselines DIR: after writing each document, diff it against the
    committed snapshot DIR/BENCH_<name>.json. The schema must match exactly;
    numeric leaves may drift within --tolerance percent. *)

@@ -11,9 +11,9 @@
    replaces rdtsc); Bechamel measures the harness's real wall-clock cost. *)
 
 let usage =
-  "usage: main.exe [table1|table2|table3|table4|table5|table6|andrew|attacks|vcache|ablation|bechamel|all]* \
+  "usage: main.exe [table1|table2|table3|table4|table5|table6|andrew|attacks|vcache|precomp|ablation|bechamel|all]* \
    [--scale N] [--iterations N] [--json] [--check-baselines DIR] [--tolerance PCT] \
-   [--no-vcache] [--vcache-size N]"
+   [--no-vcache] [--vcache-size N] [--no-precomp]"
 
 let bechamel_run () =
   let open Bechamel in
@@ -85,6 +85,9 @@ let () =
     | "--vcache-size" :: v :: rest ->
       Export.vcache_capacity := int_of_string v;
       parse rest
+    | "--no-precomp" :: rest ->
+      Export.use_precomp := false;
+      parse rest
     | ("--help" | "-h") :: _ ->
       print_endline usage;
       exit 0
@@ -105,6 +108,7 @@ let () =
     | "andrew" -> Tables.andrew ~iterations:!iterations ()
     | "attacks" -> Tables.attacks ()
     | "vcache" -> Tables.vcache_parity ()
+    | "precomp" -> Tables.precomp_parity ()
     | "ablation" ->
       Microbench.ablation_control_flow ();
       Microbench.ablation_userspace ();
@@ -120,6 +124,7 @@ let () =
       Tables.andrew ~iterations:!iterations ();
       Tables.attacks ();
       Tables.vcache_parity ();
+      Tables.precomp_parity ();
       Microbench.ablation_control_flow ();
       Microbench.ablation_userspace ();
       Tables.ablation_patterns ()

@@ -64,8 +64,11 @@ let cases =
 (* Run one trial; returns the measured cycle delta together with the
    kernel, whose per-kernel metrics registry carries the checker's
    per-verification-step cycle counters for the run (and, with
-   [use_vcache], the verified-MAC cache's hit/miss counters). *)
-let measure_run ~authenticated ?(use_vcache = false) ~control_flow case =
+   [use_vcache]/[use_precomp], the fast paths' hit/miss counters), and the
+   host-side allocation gauge: minor-heap words allocated per loop
+   iteration strictly around [Kernel.run]. *)
+let measure_run ~authenticated ?(use_vcache = false) ?(use_precomp = false) ~control_flow
+    case =
   let img = Svm.Asm.assemble_exn (loop_program ~body:case.c_body) in
   let img =
     if not authenticated then img
@@ -85,16 +88,26 @@ let measure_run ~authenticated ?(use_vcache = false) ~control_flow case =
              ~registry:(Kernel.metrics kernel) ())
       else None
     in
-    Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ?vcache ()))
+    let precomp =
+      if use_precomp then
+        Some (Asc_core.Precomp.create ~key ~registry:(Kernel.metrics kernel) ())
+      else None
+    in
+    Kernel.set_monitor kernel
+      (Some (Asc_core.Checker.monitor ~kernel ~key ?vcache ?precomp ()))
   end;
   let proc = Kernel.spawn kernel ~stdin:case.c_stdin ~program:case.c_name img in
+  let mw0 = Gc.minor_words () in
   match Kernel.run kernel proc ~max_cycles:4_000_000_000 with
-  | Svm.Machine.Halted _ -> (proc.Process.machine.Svm.Machine.regs.(1), kernel)
+  | Svm.Machine.Halted _ ->
+    let alloc = int_of_float (Gc.minor_words () -. mw0) / iterations in
+    (proc.Process.machine.Svm.Machine.regs.(1), kernel, alloc)
   | Svm.Machine.Killed r -> failwith (case.c_name ^ " killed: " ^ r)
   | _ -> failwith (case.c_name ^ " did not complete")
 
-let measure_once ~authenticated ?use_vcache ~control_flow case =
-  fst (measure_run ~authenticated ?use_vcache ~control_flow case)
+let measure_once ~authenticated ?use_vcache ?use_precomp ~control_flow case =
+  let cycles, _, _ = measure_run ~authenticated ?use_vcache ?use_precomp ~control_flow case in
+  cycles
 
 (* Table 4's decomposition: per-call cycles attributed to each verification
    step of §3.4, read back from the checker's step counters. The steps sum
@@ -107,19 +120,21 @@ type verification = {
   v_total : int;
 }
 
-let verification_of ?(use_vcache = false) ~control_flow case =
-  let _, kernel = measure_run ~authenticated:true ~use_vcache ~control_flow case in
+let verification_of ?(use_vcache = false) ?(use_precomp = false) ~control_flow case =
+  let _, kernel, _ =
+    measure_run ~authenticated:true ~use_vcache ~use_precomp ~control_flow case
+  in
   let raw name = Option.value ~default:0 (Asc_obs.Metrics.value (Kernel.metrics kernel) name) in
   let v name =
     let r = raw name in
-    (* with the cache on, the first iteration pays the CMAC cost and later
+    (* with a fast path on, the first iteration pays the CMAC cost and later
        ones the hit cost, so per-step charges are no longer uniform *)
-    if (not use_vcache) && r mod iterations <> 0 then
+    if (not (use_vcache || use_precomp)) && r mod iterations <> 0 then
       failwith (Printf.sprintf "%s: %s not uniform across iterations" case.c_name name);
     r / iterations
   in
-  (* the attribution invariant holds exactly on the raw counters in both
-     modes; the per-call record below may round each step independently *)
+  (* the attribution invariant holds exactly on the raw counters in every
+     mode; the per-call record below may round each step independently *)
   if
     raw "checker.cycles.call_mac" + raw "checker.cycles.string_mac"
     + raw "checker.cycles.control_flow" + raw "checker.cycles.ext"
@@ -132,7 +147,7 @@ let verification_of ?(use_vcache = false) ~control_flow case =
       v_ext = v "checker.cycles.ext";
       v_total = v "checker.cycles.total" }
   in
-  (r, raw "vcache.hits", raw "vcache.misses")
+  (r, raw)
 
 (* 12 trials, drop highest and lowest, average the remaining 10. The cycle
    model is deterministic, so the trials agree — the structure is kept to
@@ -149,9 +164,10 @@ let empty_loop_cost =
                                 { c_name = "empty"; c_body = ""; c_stdin = ""; c_setup = ignore })
      / iterations)
 
-let per_call ?(control_flow = true) ?use_vcache ~authenticated case =
+let per_call ?(control_flow = true) ?use_vcache ?use_precomp ~authenticated case =
   let total =
-    trial_average (fun () -> measure_once ~authenticated ?use_vcache ~control_flow case)
+    trial_average (fun () ->
+        measure_once ~authenticated ?use_vcache ?use_precomp ~control_flow case)
   in
   (total / iterations) - Lazy.force empty_loop_cost
 
@@ -162,7 +178,8 @@ let per_call ?(control_flow = true) ?use_vcache ~authenticated case =
    hitting is strictly cheaper than recomputing the CMAC. *)
 let vcache_row ~auth case =
   let auth_vc = per_call ~authenticated:true ~use_vcache:true case in
-  let v_vc, hits, misses = verification_of ~use_vcache:true ~control_flow:true case in
+  let v_vc, raw = verification_of ~use_vcache:true ~control_flow:true case in
+  let hits = raw "vcache.hits" and misses = raw "vcache.misses" in
   if hits = 0 then failwith (case.c_name ^ ": verified-MAC cache never hit");
   if auth_vc >= auth then
     failwith
@@ -170,11 +187,48 @@ let vcache_row ~auth case =
          auth);
   (auth_vc, v_vc, hits, misses)
 
+(* One Table 4 row with both fast paths armed — the precompiled-site table
+   in front of the vcache. Two gates, re-proved on every benchmark run:
+   the table actually hits on a repeated call site, and its per-call cost
+   is *strictly* below the vcache-only column — on these static-argument
+   loops the memo hit skips even the encoded-call serialization the vcache
+   key needs. *)
+type precomp_stats = {
+  p_hits : int;
+  p_misses : int;
+  p_resumes : int;
+  p_fallbacks : int;
+  p_compiles : int;
+}
+
+let precomp_row ~auth_vc case =
+  let auth_pre = per_call ~authenticated:true ~use_vcache:true ~use_precomp:true case in
+  let v_pre, raw =
+    verification_of ~use_vcache:true ~use_precomp:true ~control_flow:true case
+  in
+  let stats =
+    { p_hits = raw "precomp.hits";
+      p_misses = raw "precomp.misses";
+      p_resumes = raw "precomp.resumes";
+      p_fallbacks = raw "precomp.fallbacks";
+      p_compiles = raw "precomp.compiles" }
+  in
+  if stats.p_hits = 0 then failwith (case.c_name ^ ": precompiled-site table never hit");
+  if auth_pre >= auth_vc then
+    failwith
+      (Printf.sprintf "%s: precomp not strictly below the vcache path (%d >= %d)"
+         case.c_name auth_pre auth_vc);
+  (auth_pre, v_pre, stats)
+
 let table4 () =
   let vc = !Export.use_vcache in
+  let pre = vc && !Export.use_precomp in
   Format.printf "@.Table 4: Effect of authentication (cycles per call)%s@."
-    (if vc then "" else " [vcache off]");
-  if vc then
+    (if not vc then " [vcache off]" else if not pre then " [precomp off]" else "");
+  if pre then
+    Format.printf "%-16s %10s %14s %10s %12s %9s %10s@." "System Call" "Original"
+      "Authenticated" "Overhead" "Auth+cache" "Hit rate" "Auth+pre"
+  else if vc then
     Format.printf "%-16s %10s %14s %10s %12s %9s@." "System Call" "Original" "Authenticated"
       "Overhead" "Auth+cache" "Hit rate"
   else Format.printf "%-16s %10s %14s %10s@." "System Call" "Original" "Authenticated" "Overhead";
@@ -184,15 +238,31 @@ let table4 () =
         let orig = per_call ~authenticated:false case in
         let auth = per_call ~authenticated:true case in
         let overhead = 100. *. float_of_int (auth - orig) /. float_of_int orig in
-        let v, _, _ = verification_of ~control_flow:true case in
+        let v, _ = verification_of ~control_flow:true case in
         let cache = if vc then Some (vcache_row ~auth case) else None in
-        (match cache with
-         | Some (auth_vc, _, hits, misses) ->
+        let precomp =
+          match cache with
+          | Some (auth_vc, _, _, _) when pre -> Some (precomp_row ~auth_vc case)
+          | _ -> None
+        in
+        (* the allocation gauge is read at this configuration's fastest
+           settings — the deployment the row is reporting on *)
+        let _, _, alloc =
+          measure_run ~authenticated:true ~use_vcache:vc ~use_precomp:pre
+            ~control_flow:true case
+        in
+        (match (cache, precomp) with
+         | Some (auth_vc, _, hits, misses), Some (auth_pre, _, _) ->
+           Format.printf "%-16s %10d %14d %9.1f%% %12d %8.1f%% %10d@." case.c_name orig auth
+             overhead auth_vc
+             (100. *. float_of_int hits /. float_of_int (hits + misses))
+             auth_pre
+         | Some (auth_vc, _, hits, misses), None ->
            Format.printf "%-16s %10d %14d %9.1f%% %12d %8.1f%%@." case.c_name orig auth
              overhead auth_vc
              (100. *. float_of_int hits /. float_of_int (hits + misses))
-         | None -> Format.printf "%-16s %10d %14d %9.1f%%@." case.c_name orig auth overhead);
-        (case, orig, auth, overhead, v, cache))
+         | None, _ -> Format.printf "%-16s %10d %14d %9.1f%%@." case.c_name orig auth overhead);
+        (case, orig, auth, overhead, v, cache, precomp, alloc))
       cases
   in
   Format.printf "%-16s %10d@." "rdtsc cost" Svm.Cost_model.rdcyc_cost;
@@ -206,41 +276,62 @@ let table4 () =
         ("ext", Int v.v_ext);
         ("total", Int v.v_total) ]
   in
-  Export.write ~name:(if vc then "table4" else "table4_novcache")
+  let name =
+    if not vc then "table4_novcache" else if pre then "table4" else "table4_noprecomp"
+  in
+  Export.write ~name
     (Obj
        [ ("table", Str "table4");
          ("iterations", Int iterations);
          ("vcache", Bool vc);
          ("vcache_capacity", Int (if vc then !Export.vcache_capacity else 0));
+         ("precomp", Bool pre);
          ("rdtsc_cost", Int Svm.Cost_model.rdcyc_cost);
          ("loop_cost", Int (Lazy.force empty_loop_cost));
          ( "rows",
            List
              (List.map
-                (fun (case, orig, auth, overhead, v, cache) ->
+                (fun (case, orig, auth, overhead, v, cache, precomp, alloc) ->
                   Obj
                     ([ ("name", Str case.c_name);
                        ("original", Int orig);
                        ("authenticated", Int auth);
                        ("overhead_pct", Float overhead);
-                       ("verification", verification_json v) ]
+                       ("verification", verification_json v);
+                       ("alloc_minor_words_per_call", Int alloc) ]
+                     @ (match cache with
+                        | None -> []
+                        | Some (auth_vc, v_vc, hits, misses) ->
+                          [ ("authenticated_vcache", Int auth_vc);
+                            ( "overhead_vcache_pct",
+                              Float
+                                (100. *. float_of_int (auth_vc - orig) /. float_of_int orig)
+                            );
+                            ("verification_vcache", verification_json v_vc);
+                            ( "vcache",
+                              Obj
+                                [ ("hits", Int hits);
+                                  ("misses", Int misses);
+                                  ( "hit_rate_pct",
+                                    Float
+                                      (100. *. float_of_int hits
+                                       /. float_of_int (hits + misses)) ) ] ) ])
                      @
-                     match cache with
+                     match precomp with
                      | None -> []
-                     | Some (auth_vc, v_vc, hits, misses) ->
-                       [ ("authenticated_vcache", Int auth_vc);
-                         ( "overhead_vcache_pct",
-                           Float (100. *. float_of_int (auth_vc - orig) /. float_of_int orig)
+                     | Some (auth_pre, v_pre, st) ->
+                       [ ("authenticated_precomp", Int auth_pre);
+                         ( "overhead_precomp_pct",
+                           Float (100. *. float_of_int (auth_pre - orig) /. float_of_int orig)
                          );
-                         ("verification_vcache", verification_json v_vc);
-                         ( "vcache",
+                         ("verification_precomp", verification_json v_pre);
+                         ( "precomp",
                            Obj
-                             [ ("hits", Int hits);
-                               ("misses", Int misses);
-                               ( "hit_rate_pct",
-                                 Float
-                                   (100. *. float_of_int hits
-                                    /. float_of_int (hits + misses)) ) ] ) ]))
+                             [ ("hits", Int st.p_hits);
+                               ("misses", Int st.p_misses);
+                               ("resumes", Int st.p_resumes);
+                               ("fallbacks", Int st.p_fallbacks);
+                               ("compiles", Int st.p_compiles) ] ) ]))
                 rows) ) ])
 
 (* ablation: authenticated calls with and without control-flow policies *)

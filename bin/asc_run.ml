@@ -5,7 +5,7 @@ open Cmdliner
 open Oskernel
 
 let run input key_hex os enforce stdin_text normalize files libs audit_out no_vcache
-    vcache_size =
+    vcache_size no_precomp =
   let ( let* ) = Result.bind in
   let result =
     let* personality = Common.personality_of_string os in
@@ -27,8 +27,8 @@ let run input key_hex os enforce stdin_text normalize files libs audit_out no_vc
              | Error e -> Error (Oskernel.Errno.name e)))
         (Ok ()) files
     in
-    let* vcache =
-      if not enforce then Ok None
+    let* vcache, precomp =
+      if not enforce then Ok (None, None)
       else
         let* key = Common.key_of_hex key_hex in
         let* vcache =
@@ -41,9 +41,15 @@ let run input key_hex os enforce stdin_text normalize files libs audit_out no_vc
                  (Asc_core.Vcache.create ~capacity:vcache_size
                     ~registry:(Kernel.metrics kernel) ()))
         in
+        let precomp =
+          if no_precomp then None
+          else Some (Asc_core.Precomp.create ~key ~registry:(Kernel.metrics kernel) ())
+        in
         Kernel.set_monitor kernel
-          (Some (Asc_core.Checker.monitor ~kernel ~key ~normalize_paths:normalize ?vcache ()));
-        Ok vcache
+          (Some
+             (Asc_core.Checker.monitor ~kernel ~key ~normalize_paths:normalize ?vcache
+                ?precomp ()));
+        Ok (vcache, precomp)
     in
     (* --audit-out: record every audit entry in a tamper-evident CMAC chain
        (keyed like the checker) and export it as JSONL after the run *)
@@ -89,6 +95,15 @@ let run input key_hex os enforce stdin_text normalize files libs audit_out no_vc
        Format.eprintf "[vcache: %d hits, %d misses, %d evictions, %d invalidations, %d cycles saved]@."
          (Asc_core.Vcache.hits vc) (Asc_core.Vcache.misses vc) (Asc_core.Vcache.evictions vc)
          (Asc_core.Vcache.invalidations vc) (Asc_core.Vcache.cycles_saved vc)
+     | None -> ());
+    (match precomp with
+     | Some pc ->
+       Format.eprintf
+         "[precomp: %d hits, %d resumes, %d fallbacks, %d compiles, %d invalidations, %d \
+          cycles saved]@."
+         (Asc_core.Precomp.hits pc) (Asc_core.Precomp.resumes pc)
+         (Asc_core.Precomp.fallbacks pc) (Asc_core.Precomp.compiles pc)
+         (Asc_core.Precomp.invalidations pc) (Asc_core.Precomp.cycles_saved pc)
      | None -> ());
     (match (authlog, audit_out) with
      | Some log, Some path ->
@@ -181,12 +196,19 @@ let vcache_size_arg =
          ~doc:"Capacity (entries) of the checker's verified-MAC cache; least-recently-used \
                entries are evicted beyond it.")
 
+let no_precomp_arg =
+  Arg.(value & flag & info [ "no-precomp" ]
+         ~doc:"Disable the checker's precompiled-site table (no exec-time per-site fast \
+               path; every call serializes and verifies through the slow path / vcache). \
+               Only meaningful with $(b,--enforce).")
+
 let cmd =
   let doc = "run a program on the simulated kernel" in
   Cmd.v
     (Cmd.info "asc-run" ~doc)
     Term.(
       const run $ input_arg $ key_arg $ os_arg $ enforce_arg $ stdin_arg $ normalize_arg
-      $ file_arg $ lib_arg $ audit_out_arg $ no_vcache_arg $ vcache_size_arg)
+      $ file_arg $ lib_arg $ audit_out_arg $ no_vcache_arg $ vcache_size_arg
+      $ no_precomp_arg)
 
 let () = exit (Cmd.eval' cmd)

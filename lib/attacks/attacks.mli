@@ -49,11 +49,19 @@ val key : Asc_crypto.Cmac.key
     ({!Asc_core.Vcache}) to the checker. The cache only accelerates
     successful verifications, so every attack must trip the exact same
     violation step with it on — the deny-parity property the cache's
-    soundness argument rests on (and that [asc_bench vcache] gates). *)
+    soundness argument rests on (and that [asc_bench vcache] gates).
 
-val shellcode : ?use_vcache:bool -> protected:bool -> unit -> outcome
-val mimicry : ?use_vcache:bool -> protected:bool -> unit -> outcome
-val non_control_data : ?use_vcache:bool -> protected:bool -> unit -> outcome
+    [use_precomp] (default [false]) likewise attaches a precompiled-site
+    table ({!Asc_core.Precomp}). Its fast path proves only calls whose
+    rebuilt MAC matches the supplied tag; every structural or tag
+    mismatch falls back to the unchanged slow path, so the same
+    deny-parity must hold with it on (gated by [asc_bench precomp]). *)
+
+val shellcode : ?use_vcache:bool -> ?use_precomp:bool -> protected:bool -> unit -> outcome
+val mimicry : ?use_vcache:bool -> ?use_precomp:bool -> protected:bool -> unit -> outcome
+
+val non_control_data :
+  ?use_vcache:bool -> ?use_precomp:bool -> protected:bool -> unit -> outcome
 
 val forensic_expectations : (string * Oskernel.Violation.step list) list
 (** attack name ⇒ acceptable violation steps, as asserted by the runs. *)
@@ -66,7 +74,7 @@ val forensic_runs : unit -> (string * Oskernel.Kernel.t * outcome) list
     audit log and verify the chain — the corpus behind
     [asc_audit classify]. *)
 
-val frankenstein : ?use_vcache:bool -> cross:bool -> unit -> outcome
+val frankenstein : ?use_vcache:bool -> ?use_precomp:bool -> cross:bool -> unit -> outcome
 (** [cross:true] splices application B's authenticated call after
     application A's chain (must be blocked); [cross:false] runs B's own
     chain alone from start (allowed — the Frankenstein program is confined

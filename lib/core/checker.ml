@@ -175,7 +175,35 @@ let parse_ext contents =
   in
   go 0 []
 
-let pre ~kernel ~key ~normalize_paths ~vcache ~steps (p : Process.t) ~site ~number =
+(* Precompiled-site fast path (step 1 only): when the per-pid table proves
+   the call MAC — by memo equality or by resuming the saved chaining state
+   over the dynamic suffix — charge the precomp cost into the same
+   call-MAC counter and skip both the encoded-string serialization and the
+   vcache probe. Miss/Fallback charge nothing here; the slow path below is
+   byte-identical to the precomp-off checker. *)
+let precomp_fast precomp m steps ~pid ~call ~supplied =
+  match precomp with
+  | None -> false
+  | Some pc ->
+    (match Precomp.check pc ~pid ~call ~supplied with
+     | Precomp.Hit { suffix_len; encoded_len } ->
+       let cost = Cost_model.precomp_hit_cost suffix_len in
+       charge m steps Call_mac cost;
+       Precomp.note_saved pc (Cost_model.mac_cost encoded_len - cost);
+       true
+     | Precomp.Resumed { suffix_len; encoded_len } ->
+       let cost = Cost_model.precomp_lookup_cost + Cost_model.mac_resume_cost suffix_len in
+       charge m steps Call_mac cost;
+       Precomp.note_saved pc (Cost_model.mac_cost encoded_len - cost);
+       true
+     | Precomp.Miss | Precomp.Fallback -> false)
+
+let precomp_compile precomp ~pid ~call ~encoded ~mac =
+  match precomp with
+  | None -> ()
+  | Some pc -> Precomp.compile pc ~pid ~call ~encoded ~mac
+
+let pre ~kernel ~key ~normalize_paths ~vcache ~precomp ~steps (p : Process.t) ~site ~number =
   let m = p.machine in
   charge m steps Call_mac Cost_model.check_fixed;
   let r i = m.regs.(i) in
@@ -200,30 +228,35 @@ let pre ~kernel ~key ~normalize_paths ~vcache ~steps (p : Process.t) ~site ~numb
       Some (read_as_header m ~ptr:pred_ptr "predecessor set", lb_ptr)
     else None
   in
-  let encoded =
-    Encoded.encode
-      { Encoded.e_number = number;
-        e_site = site;
-        e_descriptor = descriptor;
-        e_block = block;
-        e_const_args = const_args;
-        e_string_args = string_args;
-        e_ext = ext;
-        e_control = control }
+  let call =
+    { Encoded.e_number = number;
+      e_site = site;
+      e_descriptor = descriptor;
+      e_block = block;
+      e_const_args = const_args;
+      e_string_args = string_args;
+      e_ext = ext;
+      e_control = control }
   in
   let supplied = read_mac m mac_ptr in
-  (* sound to cache: [encoded] is the call MAC's exact input — trap number,
-     site, descriptor, block id, constant args, string/ext/control
-     references with their tags — so any tampered covered byte misses *)
-  let call_key = Vcache.Call { pid = p.pid; site; encoded } in
-  if cache_hit vcache call_key ~mac:supplied then
-    charge_hit m steps Call_mac vcache ~len:(String.length encoded)
-  else begin
-    charge m steps Call_mac (Cost_model.mac_cost (String.length encoded));
-    let call_mac = Cmac.mac key encoded in
-    if not (Cmac.equal_tags call_mac supplied) then
-      deny_mac Violation.Call_mac ~expected:call_mac ~got:supplied "call MAC mismatch";
-    cache_remember vcache call_key ~mac:supplied
+  if not (precomp_fast precomp m steps ~pid:p.pid ~call ~supplied) then begin
+    let encoded = Encoded.encode call in
+    (* sound to cache: [encoded] is the call MAC's exact input — trap number,
+       site, descriptor, block id, constant args, string/ext/control
+       references with their tags — so any tampered covered byte misses *)
+    let call_key = Vcache.Call { pid = p.pid; site; encoded } in
+    if cache_hit vcache call_key ~mac:supplied then begin
+      charge_hit m steps Call_mac vcache ~len:(String.length encoded);
+      precomp_compile precomp ~pid:p.pid ~call ~encoded ~mac:supplied
+    end
+    else begin
+      charge m steps Call_mac (Cost_model.mac_cost (String.length encoded));
+      let call_mac = Cmac.mac key encoded in
+      if not (Cmac.equal_tags call_mac supplied) then
+        deny_mac Violation.Call_mac ~expected:call_mac ~got:supplied "call MAC mismatch";
+      cache_remember vcache call_key ~mac:supplied;
+      precomp_compile precomp ~pid:p.pid ~call ~encoded ~mac:supplied
+    end
   end;
   (* --- step 2: verify authenticated string contents --- *)
   let verified_strings =
@@ -314,7 +347,7 @@ let pre ~kernel ~key ~normalize_paths ~vcache ~steps (p : Process.t) ~site ~numb
         verified_strings
   end
 
-let monitor ~kernel ~key ?(normalize_paths = false) ?vcache () =
+let monitor ~kernel ~key ?(normalize_paths = false) ?vcache ?precomp () =
   let steps = steps_of kernel.Kernel.obs in
   (* lifecycle invalidation: execve replaces the image the cached
      verifications were performed against, and teardown frees the pid for
@@ -322,12 +355,21 @@ let monitor ~kernel ~key ?(normalize_paths = false) ?vcache () =
   (match vcache with
    | Some vc ->
      Kernel.add_lifecycle_hook kernel (function
+       | Kernel.Proc_spawn _ -> () (* a fresh pid was already invalidated at exit *)
        | Kernel.Proc_exec { pid } | Kernel.Proc_exit { pid } -> Vcache.invalidate_pid vc pid)
+   | None -> ());
+  (* the precompiled-site table is (re)built whenever a pid's image is
+     established — spawn and execve — and dropped at teardown *)
+  (match precomp with
+   | Some pc ->
+     Kernel.add_lifecycle_hook kernel (function
+       | Kernel.Proc_spawn { pid } | Kernel.Proc_exec { pid } -> Precomp.prepare_pid pc pid
+       | Kernel.Proc_exit { pid } -> Precomp.invalidate_pid pc pid)
    | None -> ());
   { Kernel.monitor_name = "asc-checker";
     pre_syscall =
       (fun p ~site ~number ->
-        match pre ~kernel ~key ~normalize_paths ~vcache ~steps p ~site ~number with
+        match pre ~kernel ~key ~normalize_paths ~vcache ~precomp ~steps p ~site ~number with
         | () ->
           Asc_obs.Metrics.inc steps.st_checked;
           Kernel.Allow

@@ -31,6 +31,7 @@ val monitor :
   key:Asc_crypto.Cmac.key ->
   ?normalize_paths:bool ->
   ?vcache:Vcache.t ->
+  ?precomp:Precomp.t ->
   unit ->
   Oskernel.Kernel.monitor
 (** [normalize_paths] additionally resolves every verified pathname
@@ -46,4 +47,17 @@ val monitor :
     structured deny. The nonce-fresh control-flow [lbMAC] is always
     verified. The monitor registers a kernel lifecycle hook that
     invalidates the pid's entries on [execve] and process teardown.
-    Default: no cache (every check recomputes, the pre-cache behavior). *)
+    Default: no cache (every check recomputes, the pre-cache behavior).
+
+    [precomp] attaches a precompiled-site table ({!Precomp}), the fast
+    path {e in front of} step 1: per-pid tables are (re)built on
+    [Proc_spawn]/[Proc_exec] and dropped on [Proc_exit] (via lifecycle
+    hooks), a site's entry is compiled from its first successful
+    slow-path verification, and later traps that the table proves — memo
+    equality, or a streaming-CMAC resume over the dynamic suffix — are
+    charged [Svm.Cost_model.precomp_hit_cost], respectively
+    [precomp_lookup_cost + mac_resume_cost], on the call-MAC counter
+    without serializing the encoded call at all. Misses and mismatches
+    charge nothing and run the unchanged slow path (composing with
+    [vcache]), so denies are byte-identical with the table on or off.
+    Must be created with the same [key]. Default: no table. *)

@@ -1,4 +1,16 @@
-type key = { aes : Aes.key; k1 : bytes; k2 : bytes }
+type key = {
+  aes : Aes.key;
+  k1 : bytes;
+  k2 : bytes;
+  (* per-key scratch reused by [mac_bytes] and [Streaming.final], hoisted
+     out of the per-call path so the verification hot path allocates only
+     its returned tag. Sound because MAC computations never nest: each one
+     runs to completion before the next starts (no concurrency in the
+     simulated kernel), and the tag is copied out before returning. *)
+  s_x : bytes;
+  s_block : bytes;
+  s_last : bytes;
+}
 
 let tag_len = 16
 
@@ -23,7 +35,7 @@ let of_raw raw =
   Aes.encrypt_block aes zero ~pos:0 l ~dst_pos:0;
   let k1 = double l in
   let k2 = double k1 in
-  { aes; k1; k2 }
+  { aes; k1; k2; s_x = Bytes.create 16; s_block = Bytes.create 16; s_last = Bytes.create 16 }
 
 let xor_into dst src =
   for i = 0 to 15 do
@@ -36,20 +48,20 @@ let mac_bytes key msg ~pos ~len =
   let n_full = len / 16 and rem = len mod 16 in
   (* Number of blocks processed before the (padded or complete) last block. *)
   let head_blocks = if len = 0 then 0 else if rem = 0 then n_full - 1 else n_full in
-  let x = Bytes.make 16 '\000' in
-  let block = Bytes.create 16 in
+  let x = key.s_x and block = key.s_block and last = key.s_last in
+  Bytes.fill x 0 16 '\000';
   for i = 0 to head_blocks - 1 do
     Bytes.blit msg (pos + (16 * i)) block 0 16;
     xor_into x block;
     Aes.encrypt_block key.aes x ~pos:0 x ~dst_pos:0
   done;
-  let last = Bytes.make 16 '\000' in
   let complete = len > 0 && rem = 0 in
   if complete then begin
     Bytes.blit msg (pos + (16 * head_blocks)) last 0 16;
     xor_into last key.k1
   end
   else begin
+    Bytes.fill last 0 16 '\000';
     let tail = len - (16 * head_blocks) in
     Bytes.blit msg (pos + (16 * head_blocks)) last 0 tail;
     Bytes.set last tail '\x80';
@@ -70,3 +82,98 @@ let equal_tags a b =
     done;
     !acc = 0
   end
+
+(* Incremental CMAC. The invariant mirrors the one-shot computation: [st_x]
+   is the CBC chaining value over every *completed* block, and the most
+   recent <= 16 bytes wait in [st_buf] — a full buffered block is only
+   encrypted once more data arrives, because the final block must still be
+   available for the k1/k2 treatment at [final] time. Consequently after any
+   nonempty absorption [st_len] is in 1..16, and [st_len = 0] iff no bytes
+   were absorbed at all — exactly the two shapes [final] distinguishes. *)
+module Streaming = struct
+  type state = {
+    st_key : key;
+    st_x : bytes;
+    st_buf : bytes;
+    mutable st_len : int;
+    mutable st_total : int;
+  }
+
+  type saved = {
+    sv_x : string;
+    sv_buf : string;
+    sv_total : int;
+  }
+
+  let init key =
+    { st_key = key;
+      st_x = Bytes.make 16 '\000';
+      st_buf = Bytes.create 16;
+      st_len = 0;
+      st_total = 0 }
+
+  let total st = st.st_total
+
+  (* fold the full buffered block into the chain; only called when more
+     data follows, so the last block is always withheld *)
+  let flush st =
+    xor_into st.st_x st.st_buf;
+    Aes.encrypt_block st.st_key.aes st.st_x ~pos:0 st.st_x ~dst_pos:0;
+    st.st_len <- 0
+
+  let update st msg ~pos ~len =
+    if pos < 0 || len < 0 || pos + len > Bytes.length msg then
+      invalid_arg "Cmac.Streaming.update: slice out of bounds";
+    let i = ref pos and remaining = ref len in
+    while !remaining > 0 do
+      if st.st_len = 16 then flush st;
+      let n = min !remaining (16 - st.st_len) in
+      Bytes.blit msg !i st.st_buf st.st_len n;
+      st.st_len <- st.st_len + n;
+      i := !i + n;
+      remaining := !remaining - n
+    done;
+    st.st_total <- st.st_total + len
+
+  let update_string st s =
+    update st (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+  let save st =
+    { sv_x = Bytes.to_string st.st_x;
+      sv_buf = Bytes.sub_string st.st_buf 0 st.st_len;
+      sv_total = st.st_total }
+
+  let resume key sv =
+    if String.length sv.sv_x <> 16 then invalid_arg "Cmac.Streaming.resume: bad chaining value";
+    let len = String.length sv.sv_buf in
+    if len > 16 || sv.sv_total < len || (sv.sv_total > 0 && len = 0) then
+      invalid_arg "Cmac.Streaming.resume: inconsistent saved state";
+    let st =
+      { st_key = key;
+        st_x = Bytes.of_string sv.sv_x;
+        st_buf = Bytes.create 16;
+        st_len = len;
+        st_total = sv.sv_total }
+    in
+    Bytes.blit_string sv.sv_buf 0 st.st_buf 0 len;
+    st
+
+  (* Non-destructive: works on the per-key scratch so the state can keep
+     absorbing afterwards (or be finalized again). *)
+  let final st =
+    let k = st.st_key in
+    Bytes.blit st.st_x 0 k.s_x 0 16;
+    if st.st_total > 0 && st.st_len = 16 then begin
+      Bytes.blit st.st_buf 0 k.s_last 0 16;
+      xor_into k.s_last k.k1
+    end
+    else begin
+      Bytes.fill k.s_last 0 16 '\000';
+      Bytes.blit st.st_buf 0 k.s_last 0 st.st_len;
+      Bytes.set k.s_last st.st_len '\x80';
+      xor_into k.s_last k.k2
+    end;
+    xor_into k.s_x k.s_last;
+    Aes.encrypt_block k.aes k.s_x ~pos:0 k.s_x ~dst_pos:0;
+    Bytes.to_string k.s_x
+end

@@ -3,7 +3,9 @@
     ("AES-CBC-OMAC", producing a 128-bit code). *)
 
 type key
-(** A CMAC key: the expanded AES key plus the two derived subkeys. *)
+(** A CMAC key: the expanded AES key, the two derived subkeys, and reusable
+    scratch buffers for the MAC computations (derive a key once per kernel
+    and reuse it; [of_raw] is the only allocation point). *)
 
 val of_raw : string -> key
 (** [of_raw raw] derives a CMAC key from a 16-byte raw AES key.
@@ -22,3 +24,46 @@ val equal_tags : string -> string -> bool
 
 val tag_len : int
 (** Length of a tag in bytes (16). *)
+
+(** Incremental CMAC over the same key: absorb a message in arbitrary
+    pieces, snapshot the chaining state after a known prefix, and later
+    resume from that snapshot to authenticate [prefix ++ suffix] while
+    paying AES only for the suffix blocks. For every split of a message,
+    [init; update*; final] equals the one-shot {!mac} of the whole message
+    (the property the precompiled fast path of [Asc_core.Precomp] rests
+    on). A state always withholds its most recent <= 16 bytes from the CBC
+    chain, because the final block needs the RFC 4493 k1/k2 treatment —
+    so a {!saved} snapshot carries the chaining value plus that pending
+    tail, and resuming replays no message bytes. *)
+module Streaming : sig
+  type state
+
+  type saved
+  (** An immutable snapshot of a state: safe to store long-term (e.g. in a
+      per-site precompiled table) and to {!resume} from any number of
+      times. *)
+
+  val init : key -> state
+
+  val update : state -> bytes -> pos:int -> len:int -> unit
+  (** Absorb the slice [b.[pos .. pos+len-1]].
+      @raise Invalid_argument if the slice is out of bounds. *)
+
+  val update_string : state -> string -> unit
+
+  val final : state -> string
+  (** The 16-byte tag of everything absorbed so far. Non-destructive: the
+      state may keep absorbing afterwards, and finalizing twice yields the
+      same tag. *)
+
+  val save : state -> saved
+
+  val resume : key -> saved -> state
+  (** A fresh state positioned exactly where {!save} left off.
+      @raise Invalid_argument if the snapshot is structurally invalid
+      (wrong chaining-value length, pending tail longer than a block, or
+      an impossible total/tail combination). *)
+
+  val total : state -> int
+  (** Bytes absorbed so far. *)
+end

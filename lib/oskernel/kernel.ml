@@ -29,10 +29,12 @@ let compose_monitors name monitors =
       (fun p ~site ~sem ~result ->
         List.iter (fun m -> m.post_syscall p ~site ~sem ~result) monitors) }
 
-(* Process lifecycle notifications for caches keyed by pid: execve replaces
-   the image the cached facts were derived from, and teardown frees the pid
-   for reuse — either way, per-pid state must be dropped. *)
+(* Process lifecycle notifications for caches keyed by pid: spawn and
+   execve (re)establish which image a pid runs — per-pid tables are
+   (re)built there — and teardown frees the pid for reuse, so per-pid
+   state must be dropped. *)
 type lifecycle =
+  | Proc_spawn of { pid : int }
   | Proc_exec of { pid : int }
   | Proc_exit of { pid : int }
 
@@ -234,6 +236,7 @@ let spawn t ?(stdin = "") ?(libs = []) ~program img =
   Asc_obs.Trace.name_track t.spans ~track:pid program;
   let proc = Process.create ~pid ~program ~machine ~heap_start in
   proc.Process.stdin <- stdin;
+  lifecycle_event t (Proc_spawn { pid });
   proc
 
 let spawn_path t ?(stdin = "") path =

@@ -30,6 +30,11 @@ let context_switch = 2600
 let vcache_hit_base = 60
 let vcache_hit_per_block = 4
 
+let precomp_lookup_cost = 30
+let precomp_hit_per_block = 4
+
 let mac_cost len = mac_setup + (aes_block * ((len + 16) / 16))
 let copy_cost len = len * per_byte_copy / per_byte_copy_denom
 let vcache_hit_cost len = vcache_hit_base + (vcache_hit_per_block * ((len + 16) / 16))
+let precomp_hit_cost slen = precomp_lookup_cost + (precomp_hit_per_block * ((slen + 16) / 16))
+let mac_resume_cost slen = aes_block * ((slen + 16) / 16)

@@ -53,6 +53,19 @@ val vcache_hit_per_block : int
     the stored key bytes against the bytes the MAC covers, so a hit is
     never cheaper than reading its own key). *)
 
+val precomp_lookup_cost : int
+(** Fixed cost of probing the per-pid site-indexed precompiled-policy
+    table on a trap: direct site index plus the structural compare of the
+    static fields (number/descriptor/block) against the entry. Cheaper
+    than {!vcache_hit_base} because no key material is hashed — the site
+    id indexes the table directly. *)
+
+val precomp_hit_per_block : int
+(** Per-16-byte-block cost of confirming a precomp memo hit: the kernel
+    compares only the dynamic-suffix words it just read from registers /
+    guest memory against the entry's remembered values (the static prefix
+    was already pinned by the structural compare). *)
+
 val mac_cost : int -> int
 (** [mac_cost len] is the modeled cost of MACing [len] bytes:
     [mac_setup + aes_block * ceil((len+1)/16)] (+1 for padding block). *)
@@ -67,3 +80,19 @@ val vcache_hit_cost : int -> int
     below {!mac_cost} for every length (the base and per-block constants
     are both smaller), so skipping a MAC via the cache always saves
     cycles. *)
+
+val precomp_hit_cost : int -> int
+(** [precomp_hit_cost slen] is the modeled cost of a precompiled-site memo
+    hit whose dynamic suffix is [slen] bytes:
+    [precomp_lookup_cost + precomp_hit_per_block * ceil((slen+1)/16)].
+    Strictly below {!vcache_hit_cost} of the whole encoded call for every
+    layout: the suffix is one block shorter than the encoded string and
+    the lookup base is 30 below the vcache's hash-and-probe base — the
+    precomp-beats-vcache gate the table4 benchmark enforces. *)
+
+val mac_resume_cost : int -> int
+(** [mac_resume_cost slen] is the modeled cost of resuming a saved CMAC
+    chaining state over an [slen]-byte suffix:
+    [aes_block * ceil((slen+1)/16)] — the suffix blocks only; the prefix
+    block was paid once at compile time and {!mac_setup} is replaced by
+    {!precomp_lookup_cost} (charged separately by the checker). *)

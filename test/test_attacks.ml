@@ -56,19 +56,61 @@ let step_of what = function
   | Attacks.Blocked { Attacks.b_step = Some s; _ } -> s
   | o -> Alcotest.failf "%s: expected a structured block, got %a" what Attacks.pp_outcome o
 
+let attack_triple :
+    (string * (?use_vcache:bool -> ?use_precomp:bool -> protected:bool -> unit -> Attacks.outcome))
+    list =
+  [ ("shellcode", Attacks.shellcode);
+    ("mimicry", Attacks.mimicry);
+    ("non-control-data", Attacks.non_control_data) ]
+
 let test_vcache_deny_parity () =
   List.iter
     (fun ((name : string),
-          (attack : ?use_vcache:bool -> protected:bool -> unit -> Attacks.outcome)) ->
+          (attack :
+            ?use_vcache:bool -> ?use_precomp:bool -> protected:bool -> unit -> Attacks.outcome)) ->
       let off = step_of (name ^ " (cache off)") (attack ~use_vcache:false ~protected:true ()) in
       let on = step_of (name ^ " (cache on)") (attack ~use_vcache:true ~protected:true ()) in
       Alcotest.(check string)
         (name ^ ": same violation step with the vcache enabled")
         (Oskernel.Violation.step_name off)
         (Oskernel.Violation.step_name on))
-    [ ("shellcode", Attacks.shellcode);
-      ("mimicry", Attacks.mimicry);
-      ("non-control-data", Attacks.non_control_data) ]
+    attack_triple
+
+(* Same property for the precompiled-site table, armed on top of the vcache
+   (the deployment configuration): its fast path only proves calls whose
+   rebuilt MAC matches the supplied tag, so every attack must trip the
+   identical step with it on. *)
+let test_precomp_deny_parity () =
+  List.iter
+    (fun ((name : string),
+          (attack :
+            ?use_vcache:bool -> ?use_precomp:bool -> protected:bool -> unit -> Attacks.outcome)) ->
+      let off =
+        step_of (name ^ " (precomp off)")
+          (attack ~use_vcache:true ~use_precomp:false ~protected:true ())
+      in
+      let on =
+        step_of (name ^ " (precomp on)")
+          (attack ~use_vcache:true ~use_precomp:true ~protected:true ())
+      in
+      Alcotest.(check string)
+        (name ^ ": same violation step with the precomp table enabled")
+        (Oskernel.Violation.step_name off)
+        (Oskernel.Violation.step_name on))
+    attack_triple;
+  let off =
+    step_of "frankenstein cross (precomp off)"
+      (Attacks.frankenstein ~use_precomp:false ~cross:true ())
+  in
+  let on =
+    step_of "frankenstein cross (precomp on)"
+      (Attacks.frankenstein ~use_precomp:true ~cross:true ())
+  in
+  Alcotest.(check string) "frankenstein cross: same step with the precomp table enabled"
+    (Oskernel.Violation.step_name off)
+    (Oskernel.Violation.step_name on);
+  check_succeeded "frankenstein single-app chain (precomp on)"
+    (Attacks.frankenstein ~use_precomp:true ~cross:false ())
 
 let test_vcache_frankenstein_parity () =
   let off =
@@ -153,5 +195,7 @@ let () =
             test_vcache_deny_parity;
           Alcotest.test_case "vcache deny parity (frankenstein)" `Quick
             test_vcache_frankenstein_parity;
+          Alcotest.test_case "precomp deny parity (full suite)" `Quick
+            test_precomp_deny_parity;
           Alcotest.test_case "classification table" `Quick test_classification_table;
           Alcotest.test_case "forensic runs verify + classify" `Quick test_forensic_runs ] ) ]
