@@ -25,6 +25,29 @@ let baseline_dir : string option ref = ref None
 let tolerance = ref 10.0
 let failures = ref 0
 
+(* --history DIR: after writing each document, also append it (stamped
+   with the wall clock, the one intentionally non-deterministic field) to
+   DIR/<name>.jsonl — an append-only record of how the numbers moved
+   across runs, for `main.exe diff` and ad-hoc plotting. *)
+let history_dir : string option ref = ref None
+
+let append_history ~name json =
+  match !history_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    let path = Filename.concat dir (name ^ ".jsonl") in
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    let row =
+      Asc_obs.Json.Obj
+        [ ("ts", Asc_obs.Json.Int (int_of_float (Unix.time ())));
+          ("name", Asc_obs.Json.Str name);
+          ("doc", json) ]
+    in
+    output_string oc (Asc_obs.Json.to_string row);
+    output_char oc '\n';
+    close_out oc
+
 let check_baseline ~file json =
   match !baseline_dir with
   | None -> ()
@@ -67,4 +90,40 @@ let write ~name json =
   close_out oc;
   if !echo then print_endline s;
   Format.printf "  [wrote %s]@." file;
+  append_history ~name json;
   check_baseline ~file json
+
+(* `main.exe diff A B`: field-by-field comparison of two exported
+   benchmark documents under the same rules as the baseline gate — exact
+   schema, numeric leaves within --tolerance percent. Exit status 1 on any
+   mismatch, so it can gate in scripts. *)
+let diff_files ~tolerance a b =
+  let load path =
+    match
+      (try
+         let ic = open_in_bin path in
+         let s = really_input_string ic (in_channel_length ic) in
+         close_in ic;
+         Ok s
+       with Sys_error e -> Error e)
+    with
+    | Error e -> Error (path ^ ": " ^ e)
+    | Ok s ->
+      (match Asc_obs.Json.parse s with
+       | Ok j -> Ok j
+       | Error e -> Error (path ^ ": " ^ e))
+  in
+  match (load a, load b) with
+  | Error e, _ | _, Error e ->
+    Format.eprintf "diff: %s@." e;
+    1
+  | Ok base, Ok actual ->
+    (match Asc_obs.Baseline.compare ~tolerance ~baseline:base ~actual with
+     | Ok () ->
+       Format.printf "diff: %s and %s match within %g%%@." a b tolerance;
+       0
+     | Error problems ->
+       Format.printf "diff: %d mismatches between %s and %s (tolerance %g%%):@."
+         (List.length problems) a b tolerance;
+       List.iter (fun p -> Format.printf "  %s@." p) problems;
+       1)

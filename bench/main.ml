@@ -11,9 +11,10 @@
    replaces rdtsc); Bechamel measures the harness's real wall-clock cost. *)
 
 let usage =
-  "usage: main.exe [table1|table2|table3|table4|table5|table6|andrew|attacks|vcache|precomp|ablation|bechamel|all]* \
+  "usage: main.exe [table1|table2|table3|table4|table5|table6|andrew|attacks|vcache|precomp|telemetry|ablation|bechamel|all]* \
    [--scale N] [--iterations N] [--json] [--check-baselines DIR] [--tolerance PCT] \
-   [--no-vcache] [--vcache-size N] [--no-precomp]"
+   [--history DIR] [--no-vcache] [--vcache-size N] [--no-precomp]\n\
+   \       main.exe diff A.json B.json [--tolerance PCT]"
 
 let bechamel_run () =
   let open Bechamel in
@@ -62,8 +63,12 @@ let () =
   let scale = ref 1 in
   let iterations = ref 1 in
   let selected = ref [] in
+  let diff_job = ref None in
   let rec parse = function
     | [] -> ()
+    | "diff" :: a :: b :: rest ->
+      diff_job := Some (a, b);
+      parse rest
     | "--scale" :: v :: rest ->
       scale := int_of_string v;
       parse rest
@@ -78,6 +83,9 @@ let () =
       parse rest
     | "--tolerance" :: v :: rest ->
       Export.tolerance := float_of_string v;
+      parse rest
+    | "--history" :: dir :: rest ->
+      Export.history_dir := Some dir;
       parse rest
     | "--no-vcache" :: rest ->
       Export.use_vcache := false;
@@ -96,6 +104,9 @@ let () =
       parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (match !diff_job with
+   | Some (a, b) -> exit (Export.diff_files ~tolerance:!Export.tolerance a b)
+   | None -> ());
   let selected = if !selected = [] then [ "all" ] else List.rev !selected in
   let run name =
     match name with
@@ -109,6 +120,7 @@ let () =
     | "attacks" -> Tables.attacks ()
     | "vcache" -> Tables.vcache_parity ()
     | "precomp" -> Tables.precomp_parity ()
+    | "telemetry" -> Tables.telemetry_gate ()
     | "ablation" ->
       Microbench.ablation_control_flow ();
       Microbench.ablation_userspace ();
@@ -125,6 +137,7 @@ let () =
       Tables.attacks ();
       Tables.vcache_parity ();
       Tables.precomp_parity ();
+      Tables.telemetry_gate ();
       Microbench.ablation_control_flow ();
       Microbench.ablation_userspace ();
       Tables.ablation_patterns ()

@@ -4,8 +4,46 @@
 open Cmdliner
 open Oskernel
 
-let run input key_hex os enforce stdin_text normalize files libs audit_out no_vcache
-    vcache_size no_precomp =
+(* One machine-readable stats document for the whole run: machine cycles,
+   fast-path cache counters and the kernel telemetry plane's aggregate
+   (reason mix, per-syscall quantiles, per-site rollups). *)
+let stats_json kernel proc ~vcache ~precomp =
+  let module Json = Asc_obs.Json in
+  let tel = Kernel.telemetry kernel in
+  let cache_fields =
+    (match vcache with
+     | None -> []
+     | Some vc ->
+       [ ( "vcache",
+           Json.Obj
+             [ ("hits", Json.Int (Asc_core.Vcache.hits vc));
+               ("misses", Json.Int (Asc_core.Vcache.misses vc));
+               ("evictions", Json.Int (Asc_core.Vcache.evictions vc));
+               ("invalidations", Json.Int (Asc_core.Vcache.invalidations vc));
+               ("cycles_saved", Json.Int (Asc_core.Vcache.cycles_saved vc)) ] ) ])
+    @
+    (match precomp with
+     | None -> []
+     | Some pc ->
+       [ ( "precomp",
+           Json.Obj
+             [ ("hits", Json.Int (Asc_core.Precomp.hits pc));
+               ("resumes", Json.Int (Asc_core.Precomp.resumes pc));
+               ("fallbacks", Json.Int (Asc_core.Precomp.fallbacks pc));
+               ("compiles", Json.Int (Asc_core.Precomp.compiles pc));
+               ("invalidations", Json.Int (Asc_core.Precomp.invalidations pc));
+               ("cycles_saved", Json.Int (Asc_core.Precomp.cycles_saved pc)) ] ) ])
+  in
+  Json.Obj
+    ([ ("tool", Json.Str "asc-run");
+       ("cycles", Json.Int proc.Process.machine.Svm.Machine.cycles);
+       ("syscalls", Json.Int (Kernel.syscall_count kernel));
+       ("denied", Json.Int (Kernel.denied_count kernel)) ]
+     @ cache_fields
+     @ [ ("telemetry", Asc_obs.Telemetry.stats_to_json tel (Asc_obs.Telemetry.aggregate tel)) ])
+
+let run input key_hex os enforce stdin_text normalize files libs audit_out stats_out
+    verbose_stats no_vcache vcache_size no_precomp =
   let ( let* ) = Result.bind in
   let result =
     let* personality = Common.personality_of_string os in
@@ -90,20 +128,29 @@ let run input key_hex os enforce stdin_text normalize files libs audit_out no_vc
     let err = Kernel.stderr_of proc in
     if err <> "" then Format.eprintf "%s" err;
     Format.eprintf "[%d cycles]@." proc.Process.machine.Svm.Machine.cycles;
-    (match vcache with
-     | Some vc ->
-       Format.eprintf "[vcache: %d hits, %d misses, %d evictions, %d invalidations, %d cycles saved]@."
-         (Asc_core.Vcache.hits vc) (Asc_core.Vcache.misses vc) (Asc_core.Vcache.evictions vc)
-         (Asc_core.Vcache.invalidations vc) (Asc_core.Vcache.cycles_saved vc)
-     | None -> ());
-    (match precomp with
-     | Some pc ->
-       Format.eprintf
-         "[precomp: %d hits, %d resumes, %d fallbacks, %d compiles, %d invalidations, %d \
-          cycles saved]@."
-         (Asc_core.Precomp.hits pc) (Asc_core.Precomp.resumes pc)
-         (Asc_core.Precomp.fallbacks pc) (Asc_core.Precomp.compiles pc)
-         (Asc_core.Precomp.invalidations pc) (Asc_core.Precomp.cycles_saved pc)
+    if verbose_stats then begin
+      (match vcache with
+       | Some vc ->
+         Format.eprintf
+           "[vcache: %d hits, %d misses, %d evictions, %d invalidations, %d cycles saved]@."
+           (Asc_core.Vcache.hits vc) (Asc_core.Vcache.misses vc)
+           (Asc_core.Vcache.evictions vc) (Asc_core.Vcache.invalidations vc)
+           (Asc_core.Vcache.cycles_saved vc)
+       | None -> ());
+      (match precomp with
+       | Some pc ->
+         Format.eprintf
+           "[precomp: %d hits, %d resumes, %d fallbacks, %d compiles, %d invalidations, %d \
+            cycles saved]@."
+           (Asc_core.Precomp.hits pc) (Asc_core.Precomp.resumes pc)
+           (Asc_core.Precomp.fallbacks pc) (Asc_core.Precomp.compiles pc)
+           (Asc_core.Precomp.invalidations pc) (Asc_core.Precomp.cycles_saved pc)
+       | None -> ())
+    end;
+    (match stats_out with
+     | Some path ->
+       Common.write_file path
+         (Asc_obs.Json.to_string (stats_json kernel proc ~vcache ~precomp) ^ "\n")
      | None -> ());
     (match (authlog, audit_out) with
      | Some log, Some path ->
@@ -186,6 +233,17 @@ let audit_out_arg =
          ~doc:"Export the run's audit log as a tamper-evident JSONL chain (keyed with \
                $(b,--key)); inspect it with asc-audit.")
 
+let stats_out_arg =
+  Arg.(value & opt (some string) None & info [ "stats-out" ] ~docv:"FILE"
+         ~doc:"Write a machine-readable JSON stats document after the run: machine \
+               cycles, vcache/precomp counters and the kernel telemetry aggregate \
+               (reason mix, per-syscall latency quantiles, per-site rollups).")
+
+let verbose_stats_arg =
+  Arg.(value & flag & info [ "verbose-stats" ]
+         ~doc:"Also print the human-readable vcache/precomp summary lines on stderr \
+               (prefer $(b,--stats-out) for tooling).")
+
 let no_vcache_arg =
   Arg.(value & flag & info [ "no-vcache" ]
          ~doc:"Disable the checker's verified-MAC cache (every call recomputes its CMACs). \
@@ -208,7 +266,7 @@ let cmd =
     (Cmd.info "asc-run" ~doc)
     Term.(
       const run $ input_arg $ key_arg $ os_arg $ enforce_arg $ stdin_arg $ normalize_arg
-      $ file_arg $ lib_arg $ audit_out_arg $ no_vcache_arg $ vcache_size_arg
-      $ no_precomp_arg)
+      $ file_arg $ lib_arg $ audit_out_arg $ stats_out_arg $ verbose_stats_arg
+      $ no_vcache_arg $ vcache_size_arg $ no_precomp_arg)
 
 let () = exit (Cmd.eval' cmd)

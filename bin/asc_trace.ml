@@ -11,18 +11,49 @@ let sem_name t =
   | Some s -> Syscall.name s
   | None -> Printf.sprintf "syscall#%d" t.Kernel.t_number
 
-let print_summary trace =
+(* Per-syscall counts plus dispatch-cycle quantiles. Durations come from
+   the kernel's span collector (cycle-stamped, so deterministic); the
+   quantiles use the same log-linear estimator as the telemetry plane, so
+   each estimate is within its containing bucket's width of exact. *)
+let print_summary kernel trace =
   let counts = Hashtbl.create 16 in
   List.iter
     (fun t ->
       let name = sem_name t in
       Hashtbl.replace counts name (1 + try Hashtbl.find counts name with Not_found -> 0))
     trace;
-  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [] in
+  let buckets = Asc_obs.Metrics.log_linear_buckets ~lo:10 ~hi:1_000_000 in
+  let reg = Asc_obs.Metrics.create () in
+  let hists = Hashtbl.create 16 in
   List.iter
-    (fun (name, n) -> Format.printf "%6d  %s@." n name)
+    (fun (ev : Asc_obs.Trace.event) ->
+      let h =
+        match Hashtbl.find_opt hists ev.Asc_obs.Trace.ev_name with
+        | Some h -> h
+        | None ->
+          let h = Asc_obs.Metrics.histogram ~buckets reg ev.Asc_obs.Trace.ev_name in
+          Hashtbl.add hists ev.Asc_obs.Trace.ev_name h;
+          h
+      in
+      Asc_obs.Metrics.observe h ev.Asc_obs.Trace.ev_dur)
+    (Asc_obs.Trace.events (Kernel.spans kernel));
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts [] in
+  Format.printf "%6s %8s %8s %8s %8s  %s@." "calls" "mean" "p50" "p95" "p99" "syscall";
+  List.iter
+    (fun (name, n) ->
+      match Hashtbl.find_opt hists name with
+      | Some h ->
+        let snap = Asc_obs.Metrics.histogram_value h in
+        let q p = Asc_obs.Metrics.quantile snap p in
+        let mean =
+          if snap.Asc_obs.Metrics.h_count = 0 then 0
+          else snap.Asc_obs.Metrics.h_sum / snap.Asc_obs.Metrics.h_count
+        in
+        Format.printf "%6d %8d %8d %8d %8d  %s@." n mean (q 0.50) (q 0.95) (q 0.99) name
+      | None -> Format.printf "%6d %8s %8s %8s %8s  %s@." n "-" "-" "-" "-" name)
     (List.sort (fun (_, a) (_, b) -> compare b a) rows);
-  Format.printf "%6d  total@." (List.length trace)
+  Format.printf "%6d  total (cycles per dispatched call, quantiles estimated)@."
+    (List.length trace)
 
 let print_log trace =
   List.iter
@@ -76,7 +107,7 @@ let run input os stdin_text summary format =
     let stop = Kernel.run kernel proc ~max_cycles:2_000_000_000 in
     let trace = Kernel.trace kernel in
     (match format with
-     | "summary" -> print_summary trace
+     | "summary" -> print_summary kernel trace
      | "json" -> print_json kernel trace
      | "chrome" -> print_endline (Asc_obs.Trace.chrome_string (Kernel.spans kernel))
      | "audit" ->

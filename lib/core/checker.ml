@@ -175,29 +175,6 @@ let parse_ext contents =
   in
   go 0 []
 
-(* Precompiled-site fast path (step 1 only): when the per-pid table proves
-   the call MAC — by memo equality or by resuming the saved chaining state
-   over the dynamic suffix — charge the precomp cost into the same
-   call-MAC counter and skip both the encoded-string serialization and the
-   vcache probe. Miss/Fallback charge nothing here; the slow path below is
-   byte-identical to the precomp-off checker. *)
-let precomp_fast precomp m steps ~pid ~call ~supplied =
-  match precomp with
-  | None -> false
-  | Some pc ->
-    (match Precomp.check pc ~pid ~call ~supplied with
-     | Precomp.Hit { suffix_len; encoded_len } ->
-       let cost = Cost_model.precomp_hit_cost suffix_len in
-       charge m steps Call_mac cost;
-       Precomp.note_saved pc (Cost_model.mac_cost encoded_len - cost);
-       true
-     | Precomp.Resumed { suffix_len; encoded_len } ->
-       let cost = Cost_model.precomp_lookup_cost + Cost_model.mac_resume_cost suffix_len in
-       charge m steps Call_mac cost;
-       Precomp.note_saved pc (Cost_model.mac_cost encoded_len - cost);
-       true
-     | Precomp.Miss | Precomp.Fallback -> false)
-
 let precomp_compile precomp ~pid ~call ~encoded ~mac =
   match precomp with
   | None -> ()
@@ -239,7 +216,12 @@ let pre ~kernel ~key ~normalize_paths ~vcache ~precomp ~steps (p : Process.t) ~s
       e_control = control }
   in
   let supplied = read_mac m mac_ptr in
-  if not (precomp_fast precomp m steps ~pid:p.pid ~call ~supplied) then begin
+  (* Step 1 resolution, reported as the call's telemetry reason code. The
+     slow path (vcache probe, then full CMAC) is byte-identical to the
+     pre-fast-path checker; [fb] remembers why an armed precomp table
+     declined, so "the slow path verified it after a fallback" and "no
+     precomp was armed at all" stay distinguishable in the ledger. *)
+  let slow_path ~fb =
     let encoded = Encoded.encode call in
     (* sound to cache: [encoded] is the call MAC's exact input — trap number,
        site, descriptor, block id, constant args, string/ext/control
@@ -247,7 +229,10 @@ let pre ~kernel ~key ~normalize_paths ~vcache ~precomp ~steps (p : Process.t) ~s
     let call_key = Vcache.Call { pid = p.pid; site; encoded } in
     if cache_hit vcache call_key ~mac:supplied then begin
       charge_hit m steps Call_mac vcache ~len:(String.length encoded);
-      precomp_compile precomp ~pid:p.pid ~call ~encoded ~mac:supplied
+      precomp_compile precomp ~pid:p.pid ~call ~encoded ~mac:supplied;
+      match fb with
+      | Some f -> Asc_obs.Telemetry.Precomp_fallback f
+      | None -> Asc_obs.Telemetry.Vcache_hit
     end
     else begin
       charge m steps Call_mac (Cost_model.mac_cost (String.length encoded));
@@ -255,9 +240,39 @@ let pre ~kernel ~key ~normalize_paths ~vcache ~precomp ~steps (p : Process.t) ~s
       if not (Cmac.equal_tags call_mac supplied) then
         deny_mac Violation.Call_mac ~expected:call_mac ~got:supplied "call MAC mismatch";
       cache_remember vcache call_key ~mac:supplied;
-      precomp_compile precomp ~pid:p.pid ~call ~encoded ~mac:supplied
+      precomp_compile precomp ~pid:p.pid ~call ~encoded ~mac:supplied;
+      match fb with
+      | Some f -> Asc_obs.Telemetry.Precomp_fallback f
+      | None -> Asc_obs.Telemetry.Slow_path
     end
-  end;
+  in
+  let reason =
+    match precomp with
+    | None -> slow_path ~fb:None
+    | Some pc ->
+      (* Precompiled-site fast path (step 1 only): when the per-pid table
+         proves the call MAC — by memo equality or by resuming the saved
+         chaining state over the dynamic suffix — charge the precomp cost
+         into the same call-MAC counter and skip both the encoded-string
+         serialization and the vcache probe. Miss/Fallback charge nothing
+         here; the slow path above decides. *)
+      (match Precomp.check pc ~pid:p.pid ~call ~supplied with
+       | Precomp.Hit { suffix_len; encoded_len } ->
+         let cost = Cost_model.precomp_hit_cost suffix_len in
+         charge m steps Call_mac cost;
+         Precomp.note_saved pc (Cost_model.mac_cost encoded_len - cost);
+         Asc_obs.Telemetry.Precomp_hit
+       | Precomp.Resumed { suffix_len; encoded_len } ->
+         let cost = Cost_model.precomp_lookup_cost + Cost_model.mac_resume_cost suffix_len in
+         charge m steps Call_mac cost;
+         Precomp.note_saved pc (Cost_model.mac_cost encoded_len - cost);
+         Asc_obs.Telemetry.Precomp_resumed
+       | Precomp.Miss -> slow_path ~fb:(Some Asc_obs.Telemetry.F_no_entry)
+       | Precomp.Fallback Precomp.Statics_mismatch ->
+         slow_path ~fb:(Some Asc_obs.Telemetry.F_statics)
+       | Precomp.Fallback Precomp.Tag_mismatch ->
+         slow_path ~fb:(Some Asc_obs.Telemetry.F_tag))
+  in
   (* --- step 2: verify authenticated string contents --- *)
   let verified_strings =
     List.map
@@ -345,7 +360,8 @@ let pre ~kernel ~key ~normalize_paths ~vcache ~precomp ~steps (p : Process.t) ~s
             | Ok _ | Error _ -> ()
           end)
         verified_strings
-  end
+  end;
+  reason
 
 let monitor ~kernel ~key ?(normalize_paths = false) ?vcache ?precomp () =
   let steps = steps_of kernel.Kernel.obs in
@@ -366,14 +382,43 @@ let monitor ~kernel ~key ?(normalize_paths = false) ?vcache ?precomp () =
        | Kernel.Proc_spawn { pid } | Kernel.Proc_exec { pid } -> Precomp.prepare_pid pc pid
        | Kernel.Proc_exit { pid } -> Precomp.invalidate_pid pc pid)
    | None -> ());
+  let telemetry = Kernel.telemetry kernel in
   { Kernel.monitor_name = "asc-checker";
     pre_syscall =
       (fun p ~site ~number ->
+        let m = p.Process.machine in
+        let shard = Asc_obs.Telemetry.shard telemetry ~pid:p.Process.pid in
+        let total0 = Asc_obs.Metrics.counter_value steps.st_total in
+        (* Exactly one reason code per monitored call — the exhaustiveness
+           invariant the telemetry tests pin. The recording cost is charged
+           to the machine (the kernel spends those cycles) but deliberately
+           NOT to the checker.cycles.* step counters: the Table 4
+           decomposition stays verification-only, and the plane's
+           self-overhead meter is gauged against it. *)
+        let finish reason =
+          let cycles = Asc_obs.Metrics.counter_value steps.st_total - total0 in
+          m.Machine.cycles <- m.Machine.cycles + Cost_model.telemetry_record_cost;
+          (match m.Machine.profile with
+           | Some prof ->
+             Asc_obs.Profile.charge_label prof "<kernel:telemetry>"
+               Cost_model.telemetry_record_cost
+           | None -> ());
+          Asc_obs.Telemetry.note_self telemetry shard Cost_model.telemetry_record_cost;
+          let sem =
+            match Personality.sem_of kernel.Kernel.pers number with
+            | Some s -> Syscall.name s
+            | None -> Printf.sprintf "syscall#%d" number
+          in
+          Asc_obs.Telemetry.record telemetry shard ~site ~sem ~reason ~cycles
+            ~now:m.Machine.cycles
+        in
         match pre ~kernel ~key ~normalize_paths ~vcache ~precomp ~steps p ~site ~number with
-        | () ->
+        | reason ->
+          finish reason;
           Asc_obs.Metrics.inc steps.st_checked;
           Kernel.Allow
         | exception Deny f ->
+          finish (Asc_obs.Telemetry.Deny (Violation.step_name f.f_step));
           Kernel.Deny_violation
             { Violation.v_step = f.f_step;
               v_site = site;

@@ -24,7 +24,18 @@
     [checker.cycles.string_mac], [checker.cycles.control_flow] and
     [checker.cycles.ext] — alongside [checker.cycles.total] and
     [checker.calls_verified], so the per-step breakdown always sums to the
-    modeled total (the Table 4 decomposition). *)
+    modeled total (the Table 4 decomposition).
+
+    Every monitored call additionally records exactly one
+    {!Asc_obs.Telemetry.reason} code — how its call MAC was resolved
+    (precomp hit/resume, precomp fallback by cause, vcache hit, slow
+    path) or which step denied it — into the kernel's telemetry plane
+    ({!Oskernel.Kernel.telemetry}), together with the call's verification
+    cycles (the [checker.cycles.total] delta). The recording itself
+    charges [Svm.Cost_model.telemetry_record_cost] to the machine,
+    credited to the plane's self-overhead meter but {e not} to the
+    checker's step counters, so the Table 4 decomposition stays
+    verification-only. *)
 
 val monitor :
   kernel:Oskernel.Kernel.t ->

@@ -49,11 +49,15 @@ type t = {
   g_saved : Asc_obs.Metrics.gauge;
 }
 
+type fallback_cause =
+  | Statics_mismatch
+  | Tag_mismatch
+
 type verdict =
   | Miss
   | Hit of { suffix_len : int; encoded_len : int }
   | Resumed of { suffix_len : int; encoded_len : int }
-  | Fallback
+  | Fallback of fallback_cause
 
 let create ?(max_sites = 4096) ~key ~registry () =
   if max_sites < 1 then invalid_arg "Precomp.create: max_sites must be >= 1";
@@ -198,7 +202,7 @@ let check t ~pid ~(call : Encoded.t) ~supplied =
     if not (statics_match e call) then begin
       t.fallbacks <- t.fallbacks + 1;
       Asc_obs.Metrics.inc t.ctr_fallbacks;
-      Fallback
+      Fallback Statics_mismatch
     end
     else begin
       match
@@ -223,10 +227,16 @@ let check t ~pid ~(call : Encoded.t) ~supplied =
         t.resumes <- t.resumes + 1;
         Asc_obs.Metrics.inc t.ctr_resumes;
         Resumed { suffix_len; encoded_len = e.pe_len }
-      | `Mismatch | exception Not_found ->
+      | `Mismatch ->
         t.fallbacks <- t.fallbacks + 1;
         Asc_obs.Metrics.inc t.ctr_fallbacks;
-        Fallback
+        Fallback Tag_mismatch
+      | exception Not_found ->
+        (* malformed argument list during field compare/patch — a shape
+           problem, not a tag problem *)
+        t.fallbacks <- t.fallbacks + 1;
+        Asc_obs.Metrics.inc t.ctr_fallbacks;
+        Fallback Statics_mismatch
     end
 
 let compile t ~pid ~(call : Encoded.t) ~encoded ~mac =

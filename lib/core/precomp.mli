@@ -47,6 +47,15 @@ val create :
     [key] must be the checker's verification key — the saved chaining
     states are key-specific. *)
 
+(** Why a compiled entry declined to decide — surfaced so the telemetry
+    plane can distinguish "the site's structure changed" from "the tag
+    didn't verify" in its fallback rollups. *)
+type fallback_cause =
+  | Statics_mismatch  (** number/site/descriptor/block differ from the
+                          compiled statics (also covers a malformed
+                          argument list during field comparison) *)
+  | Tag_mismatch      (** the resumed MAC did not match the supplied tag *)
+
 (** What {!check} proved, and what the checker should charge:
     [Hit]/[Resumed] mean the call MAC is verified (charge
     [Svm.Cost_model.precomp_hit_cost suffix_len], respectively
@@ -56,7 +65,8 @@ type verdict =
   | Miss       (** no compiled entry for (pid, site) *)
   | Hit of { suffix_len : int; encoded_len : int }
   | Resumed of { suffix_len : int; encoded_len : int }
-  | Fallback   (** structural or tag mismatch — slow path decides *)
+  | Fallback of fallback_cause
+      (** structural or tag mismatch — slow path decides *)
 
 val check : t -> pid:int -> call:Encoded.t -> supplied:string -> verdict
 

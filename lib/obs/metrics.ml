@@ -25,6 +25,31 @@ let default = create ()
 
 let default_buckets = [ 100; 300; 1_000; 3_000; 10_000; 30_000; 100_000; 300_000; 1_000_000 ]
 
+(* Log-linear bounds (HDR-histogram style): within each decade [d, 10d)
+   the bounds are the multiples of d, so the bucket containing a value v
+   is never wider than the decade-leading digit allows — the width of the
+   bucket (k*d, (k+1)*d] is d <= v, which is what makes the quantile
+   estimator's error provably at most one bucket width. *)
+let log_linear_buckets ~lo ~hi =
+  if lo < 1 then invalid_arg "Metrics.log_linear_buckets: lo must be >= 1";
+  if hi <= lo then invalid_arg "Metrics.log_linear_buckets: hi must exceed lo";
+  (* first decade at or below lo *)
+  let d = ref 1 in
+  while !d * 10 <= lo do
+    d := !d * 10
+  done;
+  let acc = ref [] in
+  let continue = ref true in
+  while !continue do
+    for k = 1 to 9 do
+      let b = k * !d in
+      if b >= lo && b < hi && (match !acc with x :: _ -> b > x | [] -> true) then
+        acc := b :: !acc
+    done;
+    if !d > hi / 10 then continue := false else d := !d * 10
+  done;
+  List.rev (hi :: !acc)
+
 let register registry name help make same =
   match Hashtbl.find_opt registry.tbl name with
   | Some { r_instrument; _ } ->
@@ -95,6 +120,35 @@ let histogram_value h =
     h_overflow = h.counts.(Array.length h.bounds);
     h_count = h.h_count;
     h_sum = h.h_sum }
+
+(* Estimate the q-quantile from bucket counts: find the bucket holding the
+   ceil(q*count)-th smallest observation and interpolate linearly inside
+   it. The true observation lies in the same (lower, upper] interval as
+   the estimate, so the absolute error is bounded by that bucket's width —
+   with log-linear bounds, a bounded *relative* error. Observations above
+   the last bound cannot be located; the last bound is returned (a
+   documented underestimate). *)
+let quantile snap q =
+  if not (q >= 0.0 && q <= 1.0) then invalid_arg "Metrics.quantile: q outside [0,1]";
+  if snap.h_count = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (q *. float_of_int snap.h_count)) in
+      if r < 1 then 1 else if r > snap.h_count then snap.h_count else r
+    in
+    let rec walk lower cum = function
+      | [] ->
+        (* rank falls in the overflow bucket: clamp to the last bound *)
+        lower
+      | (upper, c) :: rest ->
+        if c > 0 && cum + c >= rank then begin
+          let pos = float_of_int (rank - cum) /. float_of_int c in
+          lower + int_of_float (ceil (pos *. float_of_int (upper - lower)))
+        end
+        else walk upper (cum + c) rest
+    in
+    walk 0 0 snap.h_buckets
+  end
 
 let value registry name =
   match Hashtbl.find_opt registry.tbl name with

@@ -32,6 +32,14 @@ val histogram : ?help:string -> ?buckets:int list -> registry -> string -> histo
     overflow bucket catches the rest. The default buckets suit modeled
     cycle counts (100 .. 1_000_000, roughly logarithmic). *)
 
+val log_linear_buckets : lo:int -> hi:int -> int list
+(** HDR-style log-linear bucket bounds: within each decade [d, 10d) the
+    bounds are the multiples of d, clipped to [lo, hi] and terminated by
+    [hi] itself. The containing bucket of any value v <= hi is at most one
+    leading-digit step wide, which bounds {!quantile}'s error by that
+    bucket's width — i.e. a bounded relative error for values >= lo.
+    @raise Invalid_argument when [lo < 1] or [hi <= lo]. *)
+
 (** {1 Hot-path updates} *)
 
 val inc : counter -> unit
@@ -52,6 +60,15 @@ type histogram_snapshot = {
 }
 
 val histogram_value : histogram -> histogram_snapshot
+
+val quantile : histogram_snapshot -> float -> int
+(** [quantile snap q] estimates the q-quantile (q in [0,1]) of the
+    observations by locating the bucket of the ceil(q*count)-th smallest
+    one and interpolating linearly within it. The estimate and the true
+    observation share a bucket, so the absolute error is at most that
+    bucket's width; observations beyond the last bound clamp to it. 0 when
+    the histogram is empty.
+    @raise Invalid_argument when q is outside [0,1]. *)
 
 val value : registry -> string -> int option
 (** Counter or gauge value by name; [None] if absent or a histogram. *)

@@ -118,6 +118,7 @@ type t = {
   vfs : Vfs.t;
   pers : Personality.t;
   obs : Asc_obs.Metrics.registry;
+  telemetry : Asc_obs.Telemetry.t;
   spans : Asc_obs.Trace.t;
   trace : trace_entry Asc_obs.Ring.t;
   audit : audit_entry Asc_obs.Ring.t;
@@ -145,6 +146,9 @@ let create ?(personality = Personality.linux) ?obs ?(trace_capacity = 65536)
   { vfs;
     pers = personality;
     obs;
+    (* always-on: the fleet telemetry plane shares the kernel's lifetime
+       so per-pid shards track process lifecycle exactly *)
+    telemetry = Asc_obs.Telemetry.create ();
     spans;
     trace = Asc_obs.Ring.create ~capacity:trace_capacity;
     audit = Asc_obs.Ring.create ~capacity:audit_capacity;
@@ -168,6 +172,7 @@ let create ?(personality = Personality.linux) ?obs ?(trace_capacity = 65536)
     sem_counters = Hashtbl.create 32 }
 
 let metrics t = t.obs
+let telemetry t = t.telemetry
 let spans t = t.spans
 
 let sem_counter t sem =
@@ -233,6 +238,9 @@ let spawn t ?(stdin = "") ?(libs = []) ~program img =
   let heap_start = (top + Svm.Asm.page_size - 1) / Svm.Asm.page_size * Svm.Asm.page_size in
   let pid = t.next_pid in
   t.next_pid <- pid + 1;
+  (* the pid's telemetry shard exists from the first instruction on, so
+     monitored calls never race shard creation on the trap path *)
+  ignore (Asc_obs.Telemetry.shard t.telemetry ~pid);
   Asc_obs.Trace.name_track t.spans ~track:pid program;
   let proc = Process.create ~pid ~program ~machine ~heap_start in
   proc.Process.stdin <- stdin;
@@ -805,7 +813,10 @@ let run t (p : Process.t) ~max_cycles =
   (* terminal stops tear the process down; a cycle-limit stop may resume *)
   (match stop with
    | Machine.Halted _ | Machine.Killed _ | Machine.Faulted _ ->
-     lifecycle_event t (Proc_exit { pid = p.pid })
+     lifecycle_event t (Proc_exit { pid = p.pid });
+     (* fold the pid's live shard into the retired aggregate: counts stay
+        visible in fleet aggregation, and a reused pid starts clean *)
+     Asc_obs.Telemetry.retire_pid t.telemetry ~pid:p.pid
    | Machine.Cycle_limit -> ());
   stop
 

@@ -96,6 +96,11 @@ type t = {
   vfs : Vfs.t;
   pers : Personality.t;
   obs : Asc_obs.Metrics.registry;       (** per-kernel metrics; see {!metrics} *)
+  telemetry : Asc_obs.Telemetry.t;
+  (** always-on fleet telemetry plane: per-pid shards are created by
+      {!spawn} and retired (folded into the plane's aggregate) when {!run}
+      ends in a terminal stop. The checker records one decision reason per
+      monitored call here; see {!telemetry}. *)
   spans : Asc_obs.Trace.t;              (** per-syscall spans (cycle timestamps) *)
   trace : trace_entry Asc_obs.Ring.t;   (** bounded; see {!trace} *)
   audit : audit_entry Asc_obs.Ring.t;   (** bounded; see {!audit_log} *)
@@ -131,6 +136,11 @@ val create :
     eviction via {!syscall_count} / [Asc_obs.Ring.pushed]. *)
 
 val metrics : t -> Asc_obs.Metrics.registry
+
+val telemetry : t -> Asc_obs.Telemetry.t
+(** The kernel's fleet telemetry plane (always on; empty unless a monitor
+    records into it). *)
+
 val spans : t -> Asc_obs.Trace.t
 
 val syscall_count : t -> int

@@ -33,6 +33,8 @@ let vcache_hit_per_block = 4
 let precomp_lookup_cost = 30
 let precomp_hit_per_block = 4
 
+let telemetry_record_cost = 10
+
 let mac_cost len = mac_setup + (aes_block * ((len + 16) / 16))
 let copy_cost len = len * per_byte_copy / per_byte_copy_denom
 let vcache_hit_cost len = vcache_hit_base + (vcache_hit_per_block * ((len + 16) / 16))

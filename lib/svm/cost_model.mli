@@ -66,6 +66,14 @@ val precomp_hit_per_block : int
     guest memory against the entry's remembered values (the static prefix
     was already pinned by the structural compare). *)
 
+val telemetry_record_cost : int
+(** Per-monitored-call cost of the telemetry plane's shard update (reason
+    bump, histogram observe, ledger ring push — all O(1), no hashing of
+    call bytes). Charged by the checker on every recorded call and
+    credited to the plane's self-overhead meter, which the
+    [BENCH_telemetry] gate bounds below 1% of total verification
+    cycles. *)
+
 val mac_cost : int -> int
 (** [mac_cost len] is the modeled cost of MACing [len] bytes:
     [mac_setup + aes_block * ceil((len+1)/16)] (+1 for padding block). *)

@@ -473,6 +473,70 @@ let test_authlog_reorder () =
   in
   check_tampered "reordered records" (String.concat "\n" swapped ^ "\n")
 
+(* --- quantile estimation --- *)
+
+let test_log_linear_buckets () =
+  let b = Metrics.log_linear_buckets ~lo:100 ~hi:1_000_000 in
+  (* strictly increasing, starts at lo, terminated by hi *)
+  Alcotest.(check int) "first" 100 (List.hd b);
+  Alcotest.(check int) "last" 1_000_000 (List.nth b (List.length b - 1));
+  ignore
+    (List.fold_left
+       (fun prev x ->
+         Alcotest.(check bool) "strictly increasing" true (x > prev);
+         x)
+       0 b);
+  (* within a decade the bounds are the multiples of the decade, so the
+     containing bucket of any v is at most one leading-digit step wide *)
+  Alcotest.(check bool) "300 is a bound" true (List.mem 300 b);
+  Alcotest.(check bool) "30_000 is a bound" true (List.mem 30_000 b);
+  Alcotest.check_raises "lo < 1 rejected"
+    (Invalid_argument "Metrics.log_linear_buckets: lo must be >= 1") (fun () ->
+      ignore (Metrics.log_linear_buckets ~lo:0 ~hi:10))
+
+(* The documented accuracy contract: the estimate and the true quantile
+   share a bucket, so |estimate - exact| <= that bucket's width. Checked
+   against the exact (sorted-order) quantile on random samples. *)
+let qcheck_quantile_error_bound =
+  QCheck.Test.make ~name:"quantile estimate within containing bucket width" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 200) (int_range 1 900_000))
+              (int_range 0 100))
+    (fun (sample, qpct) ->
+      QCheck.assume (sample <> []);
+      let q = float_of_int qpct /. 100.0 in
+      let buckets = Metrics.log_linear_buckets ~lo:100 ~hi:1_000_000 in
+      let r = Metrics.create () in
+      let h = Metrics.histogram ~buckets r "q" in
+      List.iter (Metrics.observe h) sample;
+      let snap = Metrics.histogram_value h in
+      let est = Metrics.quantile snap q in
+      (* exact q-quantile: the ceil(q*n)-th smallest observation *)
+      let sorted = List.sort compare sample in
+      let n = List.length sorted in
+      let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+      let exact = List.nth sorted (rank - 1) in
+      (* width of the bucket containing the exact observation *)
+      let rec width lo = function
+        | [] -> max_int (* overflow bucket: estimate clamps to last bound *)
+        | b :: rest -> if exact <= b then b - lo else width b rest
+      in
+      let w = width 0 buckets in
+      if w = max_int then est = 1_000_000
+      else abs (est - exact) <= w)
+
+let test_quantile_exact_cases () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~buckets:[ 10; 20; 30 ] r "q" in
+  Alcotest.(check int) "empty histogram" 0 (Metrics.quantile (Metrics.histogram_value h) 0.5);
+  List.iter (Metrics.observe h) [ 5; 15; 25 ];
+  let snap = Metrics.histogram_value h in
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Metrics.quantile: q outside [0,1]") (fun () ->
+      ignore (Metrics.quantile snap 1.5));
+  (* p100 of a sample whose max is 25 lands in the (20,30] bucket *)
+  let p100 = Metrics.quantile snap 1.0 in
+  Alcotest.(check bool) "p100 in max's bucket" true (p100 > 20 && p100 <= 30)
+
 let () =
   Alcotest.run "asc_obs"
     [ ( "metrics",
@@ -482,6 +546,10 @@ let () =
           Alcotest.test_case "reset keeps handles" `Quick test_reset;
           Alcotest.test_case "to_json round-trips" `Quick test_metrics_json;
           QCheck_alcotest.to_alcotest qcheck_histogram_conservation ] );
+      ( "quantiles",
+        [ Alcotest.test_case "log-linear bucket layout" `Quick test_log_linear_buckets;
+          Alcotest.test_case "edge cases" `Quick test_quantile_exact_cases;
+          QCheck_alcotest.to_alcotest qcheck_quantile_error_bound ] );
       ("ring", [ Alcotest.test_case "bounded fifo" `Quick test_ring ]);
       ( "trace",
         [ Alcotest.test_case "span clock arithmetic" `Quick test_span_clock;

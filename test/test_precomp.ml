@@ -62,7 +62,8 @@ let verdict =
         Format.fprintf ppf "Hit(%d/%d)" suffix_len encoded_len
       | Precomp.Resumed { suffix_len; encoded_len } ->
         Format.fprintf ppf "Resumed(%d/%d)" suffix_len encoded_len
-      | Precomp.Fallback -> Format.fprintf ppf "Fallback")
+      | Precomp.Fallback Precomp.Statics_mismatch -> Format.fprintf ppf "Fallback(statics)"
+      | Precomp.Fallback Precomp.Tag_mismatch -> Format.fprintf ppf "Fallback(tag)")
     ( = )
 
 let test_compile_and_hit () =
@@ -78,14 +79,14 @@ let test_compile_and_hit () =
     (Precomp.check t ~pid:1 ~call ~supplied:(mac_of call));
   Alcotest.(check int) "hit counted" 1 (Precomp.hits t);
   (* a forged tag on otherwise-identical bytes must not be proved *)
-  Alcotest.check verdict "forged tag falls back" Precomp.Fallback
+  Alcotest.check verdict "forged tag falls back" (Precomp.Fallback Precomp.Tag_mismatch)
     (Precomp.check t ~pid:1 ~call ~supplied:(String.make 16 'f'))
 
 let test_statics_mismatch_falls_back () =
   let t = create () in
   let call = mk () in
   compile_call t ~pid:1 call;
-  Alcotest.check verdict "different block id" Precomp.Fallback
+  Alcotest.check verdict "different block id" (Precomp.Fallback Precomp.Statics_mismatch)
     (Precomp.check t ~pid:1 ~call:(mk ~block:8 ()) ~supplied:(mac_of (mk ~block:8 ())));
   Alcotest.check verdict "different site misses" Precomp.Miss
     (Precomp.check t ~pid:1 ~call:(mk ~site:0x44 ()) ~supplied:(mac_of (mk ~site:0x44 ())));
@@ -105,7 +106,8 @@ let test_resume_moves_memo () =
     (Precomp.Hit { suffix_len = len - Encoded.static_prefix_len; encoded_len = len })
     (Precomp.check t ~pid:1 ~call:call' ~supplied:(mac_of call'));
   (* a resume against a wrong tag proves nothing and remembers nothing *)
-  Alcotest.check verdict "wrong tag on a changed call falls back" Precomp.Fallback
+  Alcotest.check verdict "wrong tag on a changed call falls back"
+    (Precomp.Fallback Precomp.Tag_mismatch)
     (Precomp.check t ~pid:1 ~call:(mk ~cval:44 ()) ~supplied:(mac_of call'));
   Alcotest.check verdict "failed resume did not move the memo"
     (Precomp.Hit { suffix_len = len - Encoded.static_prefix_len; encoded_len = len })
