@@ -23,6 +23,12 @@ let use_precomp = ref true
    numeric leaves may drift within --tolerance percent. *)
 let baseline_dir : string option ref = ref None
 let tolerance = ref 10.0
+
+(* --tolerance-abs W: global absolute floor in addition to the percentage
+   gate — a numeric leaf also passes when |actual - baseline| <= W. Keeps
+   near-zero fields (e.g. per-step alloc words that should stay ~0) from
+   failing on noise that is huge in percent but tiny in absolute terms. *)
+let tolerance_abs = ref 0.0
 let failures = ref 0
 
 (* --history DIR: after writing each document, also append it (stamped
@@ -70,7 +76,10 @@ let check_baseline ~file json =
           incr failures;
           Format.printf "  [BASELINE FAIL %s: snapshot unreadable: %s]@." file e
         | Ok base ->
-          (match Asc_obs.Baseline.compare ~tolerance:!tolerance ~baseline:base ~actual:json with
+          (match
+             Asc_obs.Baseline.compare ~tolerance:!tolerance ~tolerance_abs:!tolerance_abs
+               ~baseline:base ~actual:json ()
+           with
            | Ok () -> Format.printf "  [baseline ok: %s within %g%%]@." file !tolerance
            | Error problems ->
              incr failures;
@@ -97,7 +106,7 @@ let write ~name json =
    benchmark documents under the same rules as the baseline gate — exact
    schema, numeric leaves within --tolerance percent. Exit status 1 on any
    mismatch, so it can gate in scripts. *)
-let diff_files ~tolerance a b =
+let diff_files ~tolerance ~tolerance_abs a b =
   let load path =
     match
       (try
@@ -118,7 +127,7 @@ let diff_files ~tolerance a b =
     Format.eprintf "diff: %s@." e;
     1
   | Ok base, Ok actual ->
-    (match Asc_obs.Baseline.compare ~tolerance ~baseline:base ~actual with
+    (match Asc_obs.Baseline.compare ~tolerance ~tolerance_abs ~baseline:base ~actual () with
      | Ok () ->
        Format.printf "diff: %s and %s match within %g%%@." a b tolerance;
        0

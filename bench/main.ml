@@ -13,8 +13,8 @@
 let usage =
   "usage: main.exe [table1|table2|table3|table4|table5|table6|andrew|attacks|vcache|precomp|telemetry|ablation|bechamel|all]* \
    [--scale N] [--iterations N] [--json] [--check-baselines DIR] [--tolerance PCT] \
-   [--history DIR] [--no-vcache] [--vcache-size N] [--no-precomp]\n\
-   \       main.exe diff A.json B.json [--tolerance PCT]"
+   [--tolerance-abs W] [--history DIR] [--no-vcache] [--vcache-size N] [--no-precomp]\n\
+   \       main.exe diff A.json B.json [--tolerance PCT] [--tolerance-abs W]"
 
 let bechamel_run () =
   let open Bechamel in
@@ -84,6 +84,9 @@ let () =
     | "--tolerance" :: v :: rest ->
       Export.tolerance := float_of_string v;
       parse rest
+    | "--tolerance-abs" :: v :: rest ->
+      Export.tolerance_abs := float_of_string v;
+      parse rest
     | "--history" :: dir :: rest ->
       Export.history_dir := Some dir;
       parse rest
@@ -105,7 +108,9 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   (match !diff_job with
-   | Some (a, b) -> exit (Export.diff_files ~tolerance:!Export.tolerance a b)
+   | Some (a, b) ->
+     exit
+       (Export.diff_files ~tolerance:!Export.tolerance ~tolerance_abs:!Export.tolerance_abs a b)
    | None -> ());
   let selected = if !selected = [] then [ "all" ] else List.rev !selected in
   let run name =

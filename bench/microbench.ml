@@ -158,11 +158,20 @@ let trial_average f =
   let kept = List.filteri (fun i _ -> i > 0 && i < 11) sorted in
   List.fold_left ( + ) 0 kept / List.length kept
 
+let empty_case = { c_name = "empty"; c_body = ""; c_stdin = ""; c_setup = ignore }
+
 let empty_loop_cost =
+  lazy (trial_average (fun () -> measure_once ~authenticated:false ~control_flow:true empty_case) / iterations)
+
+(* The alloc analogue of [empty_loop_cost]: minor words per iteration the
+   bench harness itself allocates (interpreter loop, run bookkeeping) on an
+   empty unauthenticated loop. Subtracted from every row's gauge so
+   [alloc_minor_words_per_call] measures the trap path, not the loop. *)
+let alloc_harness_words =
   lazy
-    (trial_average (fun () -> measure_once ~authenticated:false ~control_flow:true
-                                { c_name = "empty"; c_body = ""; c_stdin = ""; c_setup = ignore })
-     / iterations)
+    (trial_average (fun () ->
+         let _, _, alloc = measure_run ~authenticated:false ~control_flow:true empty_case in
+         alloc))
 
 let per_call ?(control_flow = true) ?use_vcache ?use_precomp ~authenticated case =
   let total =
@@ -247,9 +256,38 @@ let table4 () =
         in
         (* the allocation gauge is read at this configuration's fastest
            settings — the deployment the row is reporting on *)
-        let _, _, alloc =
+        let _, akernel, alloc_raw =
           measure_run ~authenticated:true ~use_vcache:vc ~use_precomp:pre
             ~control_flow:true case
+        in
+        let alloc = alloc_raw - Lazy.force alloc_harness_words in
+        let araw name =
+          Option.value ~default:0 (Asc_obs.Metrics.value (Kernel.metrics akernel) name)
+        in
+        (* the checker's alloc attribution invariant, exact on raw counters *)
+        if
+          araw "checker.alloc.call_mac" + araw "checker.alloc.string_mac"
+          + araw "checker.alloc.control_flow" + araw "checker.alloc.ext"
+          <> araw "checker.alloc.total"
+        then failwith (case.c_name ^ ": alloc steps do not sum to checker.alloc.total");
+        let aper name = araw name / iterations in
+        let a_call_mac = aper "checker.alloc.call_mac" in
+        let a_string_mac = aper "checker.alloc.string_mac" in
+        let a_control_flow = aper "checker.alloc.control_flow" in
+        let a_ext = aper "checker.alloc.ext" in
+        let a_telemetry = aper "checker.alloc.telemetry" in
+        let known = a_call_mac + a_string_mac + a_control_flow + a_ext + a_telemetry in
+        (* [other] closes the decomposition by construction: dispatch,
+           interpreter and unattributed checker words. It must not be
+           negative — that would mean the harness baseline over-subtracts
+           or a step counter double-counts. *)
+        if known > alloc then
+          failwith
+            (Printf.sprintf "%s: attributed alloc (%d words) exceeds per-call gauge (%d)"
+               case.c_name known alloc);
+        let a_other = alloc - known in
+        let alloc_decomp =
+          (a_call_mac, a_string_mac, a_control_flow, a_ext, a_telemetry, a_other)
         in
         (match (cache, precomp) with
          | Some (auth_vc, _, hits, misses), Some (auth_pre, _, _) ->
@@ -262,11 +300,12 @@ let table4 () =
              overhead auth_vc
              (100. *. float_of_int hits /. float_of_int (hits + misses))
          | None, _ -> Format.printf "%-16s %10d %14d %9.1f%%@." case.c_name orig auth overhead);
-        (case, orig, auth, overhead, v, cache, precomp, alloc))
+        (case, orig, auth, overhead, v, cache, precomp, alloc, alloc_decomp))
       cases
   in
   Format.printf "%-16s %10d@." "rdtsc cost" Svm.Cost_model.rdcyc_cost;
   Format.printf "%-16s %10d@." "loop cost" (Lazy.force empty_loop_cost);
+  Format.printf "%-16s %10d words/iter@." "alloc harness" (Lazy.force alloc_harness_words);
   let open Asc_obs.Json in
   let verification_json v =
     Obj
@@ -288,17 +327,30 @@ let table4 () =
          ("precomp", Bool pre);
          ("rdtsc_cost", Int Svm.Cost_model.rdcyc_cost);
          ("loop_cost", Int (Lazy.force empty_loop_cost));
+         ("alloc_harness_words", Int (Lazy.force alloc_harness_words));
          ( "rows",
            List
              (List.map
-                (fun (case, orig, auth, overhead, v, cache, precomp, alloc) ->
+                (fun (case, orig, auth, overhead, v, cache, precomp, alloc,
+                      (a_call_mac, a_string_mac, a_control_flow, a_ext, a_telemetry, a_other)) ->
                   Obj
                     ([ ("name", Str case.c_name);
                        ("original", Int orig);
                        ("authenticated", Int auth);
                        ("overhead_pct", Float overhead);
                        ("verification", verification_json v);
-                       ("alloc_minor_words_per_call", Int alloc) ]
+                       ("alloc_minor_words_per_call", Int alloc);
+                       (* per-step minor words; fields sum exactly to
+                          alloc_minor_words_per_call ([other] is the
+                          remainder, gated non-negative above) *)
+                       ( "alloc",
+                         Obj
+                           [ ("call_mac", Int a_call_mac);
+                             ("string_mac", Int a_string_mac);
+                             ("control_flow", Int a_control_flow);
+                             ("ext", Int a_ext);
+                             ("telemetry", Int a_telemetry);
+                             ("other", Int a_other) ] ) ]
                      @ (match cache with
                         | None -> []
                         | Some (auth_vc, v_vc, hits, misses) ->

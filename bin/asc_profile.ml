@@ -62,31 +62,41 @@ let is_site_frame name =
     String.length name >= i + 6 && String.sub name i 6 = "@site_"
   | None -> false
 
+(* With --alloc the tables are keyed by sampled minor words instead of
+   cycles: same frames, same shape, second resource. *)
+let self_of ~alloc (r : Profile.row) = if alloc then r.r_alloc else r.r_self
+let total_of ~alloc (r : Profile.row) = if alloc then r.r_total_alloc else r.r_total
+
 (* Per-call-site heat: a site frame's children are the checker's
    <kernel:step> frames, so subtree-minus-self is verification cost and
    self is trap + dispatch + syscall work. *)
-let site_rows rows =
+let site_rows ~alloc rows =
   List.filter (fun (r : Profile.row) -> is_site_frame r.r_name) rows
-  |> List.map (fun (r : Profile.row) -> (r, r.r_total - r.r_self))
+  |> List.map (fun (r : Profile.row) -> (r, total_of ~alloc r - self_of ~alloc r))
   |> List.sort (fun (a, va) (b, vb) ->
          match compare vb va with
-         | 0 -> compare b.Profile.r_total a.Profile.r_total
+         | 0 -> compare (total_of ~alloc b) (total_of ~alloc a)
          | c -> c)
 
-let render_top buf n rows =
-  Printf.bprintf buf "%-44s %8s %12s %12s\n" "frame" "calls" "self" "total";
+let render_top ~alloc buf n rows =
+  let unit = if alloc then "words" else "cycles" in
+  Printf.bprintf buf "%-44s %8s %12s %12s\n" "frame" "calls" ("self " ^ unit)
+    ("total " ^ unit);
   List.iteri
     (fun i (r : Profile.row) ->
       if i < n then
-        Printf.bprintf buf "%-44s %8d %12d %12d\n" r.r_name r.r_calls r.r_self r.r_total)
+        Printf.bprintf buf "%-44s %8d %12d %12d\n" r.r_name r.r_calls (self_of ~alloc r)
+          (total_of ~alloc r))
     rows
 
-let render_sites buf rows =
-  Printf.bprintf buf "%-44s %8s %12s %12s %12s\n" "site" "calls" "verify" "kernel" "total";
+let render_sites ~alloc buf rows =
+  let unit = if alloc then " (words)" else "" in
+  Printf.bprintf buf "%-44s %8s %12s %12s %12s\n" ("site" ^ unit) "calls" "verify" "kernel"
+    "total";
   List.iter
     (fun ((r : Profile.row), verify) ->
-      Printf.bprintf buf "%-44s %8d %12d %12d %12d\n" r.r_name r.r_calls verify r.r_self
-        r.r_total)
+      Printf.bprintf buf "%-44s %8d %12d %12d %12d\n" r.r_name r.r_calls verify
+        (self_of ~alloc r) (total_of ~alloc r))
     rows
 
 let stop_json = function
@@ -97,7 +107,7 @@ let stop_json = function
     Json.Obj [ ("kind", Json.Str "faulted"); ("pc", Json.Int pc) ]
   | Svm.Machine.Cycle_limit -> Json.Obj [ ("kind", Json.Str "cycle_limit") ]
 
-let run input key_hex os no_enforce stdin_text folded top_n sites json output =
+let run input key_hex os no_enforce stdin_text folded top_n sites alloc json output =
   let ( let* ) = Result.bind in
   let result =
     let* personality = Common.personality_of_string os in
@@ -126,8 +136,15 @@ let run input key_hex os no_enforce stdin_text folded top_n sites json output =
       with Invalid_argument e -> Error e
     in
     let prof = Profile.create () in
-    proc.Process.machine.Svm.Machine.profile <- Some prof;
+    (* with --alloc, arm minor-words sampling, then read the machine-scope
+       base mark immediately after: [track_alloc] and [minor_words] both
+       allocate nothing, so the profiler's mark and [alloc0] coincide *)
+    Svm.Machine.attach_profile ~alloc proc.Process.machine prof;
+    let alloc0 = Profile.minor_words () in
     let stop = Kernel.run kernel proc ~max_cycles:2_000_000_000 in
+    (* flush pending words onto the final stack, then close the scope *)
+    Profile.sample_alloc prof;
+    let alloc1 = Profile.minor_words () in
     let m = proc.Process.machine in
     let symbolize = build_symbolizer run_img in
     (* --- self checks --- *)
@@ -163,14 +180,47 @@ let run input key_hex os no_enforce stdin_text folded top_n sites json output =
       then Ok ()
       else Error "enforced run produced no <kernel:call_mac> frames"
     in
+    (* --alloc conservation self-check: every charged word landed on
+       exactly one frame, and the charges telescope to the machine-scope
+       Gc.minor_words delta between arming and the final flush *)
+    let* () =
+      if not alloc then Ok ()
+      else begin
+        let charged = Profile.total_alloc_words prof in
+        let machine_delta = alloc1 - alloc0 in
+        if charged <> machine_delta then
+          Error
+            (Printf.sprintf
+               "profiler charged %d minor words but the machine scope allocated %d" charged
+               machine_delta)
+        else
+          let astacks = Profile.folded_alloc ~symbolize prof in
+          let asum = List.fold_left (fun acc (_, w) -> acc + w) 0 astacks in
+          if asum <> charged then
+            Error (Printf.sprintf "alloc folded stacks sum to %d, expected %d" asum charged)
+          else Ok ()
+      end
+    in
     let rows = Profile.top ~symbolize prof in
+    let rows =
+      if alloc then
+        List.sort
+          (fun (a : Profile.row) (b : Profile.row) ->
+            match compare b.r_alloc a.r_alloc with
+            | 0 -> compare a.r_name b.r_name
+            | c -> c)
+          rows
+      else rows
+    in
     let buf = Buffer.create 4096 in
     let default = not (folded || top_n > 0 || sites || json) in
-    if folded then Buffer.add_string buf folded_text;
-    if top_n > 0 || default then render_top buf (if top_n > 0 then top_n else 20) rows;
+    if folded then
+      Buffer.add_string buf
+        (if alloc then Profile.folded_alloc_string ~symbolize prof else folded_text);
+    if top_n > 0 || default then render_top ~alloc buf (if top_n > 0 then top_n else 20) rows;
     if sites || default then begin
       if default then Buffer.add_char buf '\n';
-      render_sites buf (site_rows rows)
+      render_sites ~alloc buf (site_rows ~alloc rows)
     end;
     if json then begin
       let site_list =
@@ -181,8 +231,11 @@ let run input key_hex os no_enforce stdin_text folded top_n sites json output =
                 ("calls", Json.Int r.r_calls);
                 ("verify_cycles", Json.Int verify);
                 ("kernel_cycles", Json.Int r.r_self);
-                ("total_cycles", Json.Int r.r_total) ])
-          (site_rows rows)
+                ("total_cycles", Json.Int r.r_total);
+                ("verify_words", Json.Int (r.r_total_alloc - r.r_alloc));
+                ("kernel_words", Json.Int r.r_alloc);
+                ("total_words", Json.Int r.r_total_alloc) ])
+          (site_rows ~alloc:false rows)
       in
       Json.to_buffer buf
         (Json.Obj
@@ -198,9 +251,15 @@ let run input key_hex os no_enforce stdin_text folded top_n sites json output =
     (match output with
      | Some path -> Common.write_file path (Buffer.contents buf)
      | None -> print_string (Buffer.contents buf));
-    Format.eprintf "[%d cycles, %d instructions, %d syscalls]@." m.Svm.Machine.cycles
-      m.Svm.Machine.instrs
-      (Kernel.syscall_count kernel);
+    if alloc then
+      Format.eprintf "[%d cycles, %d instructions, %d syscalls, %d minor words]@."
+        m.Svm.Machine.cycles m.Svm.Machine.instrs
+        (Kernel.syscall_count kernel)
+        (Profile.total_alloc_words prof)
+    else
+      Format.eprintf "[%d cycles, %d instructions, %d syscalls]@." m.Svm.Machine.cycles
+        m.Svm.Machine.instrs
+        (Kernel.syscall_count kernel);
     (match stop with
      | Svm.Machine.Halted code -> Format.eprintf "[exit %d]@." code
      | Svm.Machine.Killed reason -> Format.eprintf "[killed: %s]@." reason
@@ -247,6 +306,13 @@ let sites_arg =
   Arg.(value & flag & info [ "sites" ]
          ~doc:"Emit per-call-site syscall heat, ranked by verification cycles.")
 
+let alloc_arg =
+  Arg.(value & flag & info [ "alloc" ]
+         ~doc:"Profile host minor-heap allocation alongside cycles: arm the \
+               profiler's Gc.minor_words sampling, key --folded/--top/--sites \
+               by words, and self-check that the charged words equal the \
+               machine-scope minor-words delta (conservation).")
+
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit the whole profile as JSON.")
 
@@ -260,6 +326,6 @@ let cmd =
     (Cmd.info "asc-profile" ~doc)
     Term.(
       const run $ input_arg $ key_arg $ os_arg $ no_enforce_arg $ stdin_arg $ folded_arg
-      $ top_arg $ sites_arg $ json_arg $ output_arg)
+      $ top_arg $ sites_arg $ alloc_arg $ json_arg $ output_arg)
 
 let () = exit (Cmd.eval' cmd)

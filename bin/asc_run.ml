@@ -5,10 +5,24 @@ open Cmdliner
 open Oskernel
 
 (* One machine-readable stats document for the whole run: machine cycles,
-   fast-path cache counters and the kernel telemetry plane's aggregate
-   (reason mix, per-syscall quantiles, per-site rollups). *)
-let stats_json kernel proc ~vcache ~precomp =
+   fast-path cache counters, the host GC's work during the run (deltas of
+   Gc.quick_stat around Kernel.run) and the kernel telemetry plane's
+   aggregate (reason mix, per-syscall quantiles, per-site rollups). *)
+let stats_json kernel proc ~vcache ~precomp ~gc0 ~gc1 ~minor0 ~minor1 =
   let module Json = Asc_obs.Json in
+  let gc_fields =
+    let dw f = Json.Int (int_of_float (f gc1 -. f gc0)) in
+    (* minor_words comes from the precise allocation counter, not the
+       quick_stat field — the latter is only folded forward at minor
+       collections, so a short run would read 0 *)
+    [ ( "gc",
+        Json.Obj
+          [ ("minor_words", Json.Int (minor1 - minor0));
+            ("major_words", dw (fun (s : Gc.stat) -> s.Gc.major_words));
+            ("promoted_words", dw (fun (s : Gc.stat) -> s.Gc.promoted_words));
+            ( "minor_collections",
+              Json.Int (gc1.Gc.minor_collections - gc0.Gc.minor_collections) ) ] ) ]
+  in
   let tel = Kernel.telemetry kernel in
   let cache_fields =
     (match vcache with
@@ -39,7 +53,7 @@ let stats_json kernel proc ~vcache ~precomp =
        ("cycles", Json.Int proc.Process.machine.Svm.Machine.cycles);
        ("syscalls", Json.Int (Kernel.syscall_count kernel));
        ("denied", Json.Int (Kernel.denied_count kernel)) ]
-     @ cache_fields
+     @ cache_fields @ gc_fields
      @ [ ("telemetry", Asc_obs.Telemetry.stats_to_json tel (Asc_obs.Telemetry.aggregate tel)) ])
 
 let run input key_hex os enforce stdin_text normalize files libs audit_out stats_out
@@ -123,7 +137,11 @@ let run input key_hex os enforce stdin_text normalize files libs audit_out stats
              ~program:(Filename.basename input) img)
       with Invalid_argument e -> Error e
     in
+    let gc0 = Gc.quick_stat () in
+    let minor0 = Asc_obs.Profile.minor_words () in
     let stop = Kernel.run kernel proc ~max_cycles:2_000_000_000 in
+    let minor1 = Asc_obs.Profile.minor_words () in
+    let gc1 = Gc.quick_stat () in
     print_string (Kernel.stdout_of proc);
     let err = Kernel.stderr_of proc in
     if err <> "" then Format.eprintf "%s" err;
@@ -150,7 +168,9 @@ let run input key_hex os enforce stdin_text normalize files libs audit_out stats
     (match stats_out with
      | Some path ->
        Common.write_file path
-         (Asc_obs.Json.to_string (stats_json kernel proc ~vcache ~precomp) ^ "\n")
+         (Asc_obs.Json.to_string
+            (stats_json kernel proc ~vcache ~precomp ~gc0 ~gc1 ~minor0 ~minor1)
+          ^ "\n")
      | None -> ());
     (match (authlog, audit_out) with
      | Some log, Some path ->
@@ -236,7 +256,8 @@ let audit_out_arg =
 let stats_out_arg =
   Arg.(value & opt (some string) None & info [ "stats-out" ] ~docv:"FILE"
          ~doc:"Write a machine-readable JSON stats document after the run: machine \
-               cycles, vcache/precomp counters and the kernel telemetry aggregate \
+               cycles, vcache/precomp counters, host GC deltas (minor/major/promoted \
+               words, minor collections) and the kernel telemetry aggregate \
                (reason mix, per-syscall latency quantiles, per-site rollups).")
 
 let verbose_stats_arg =

@@ -23,6 +23,7 @@ type pid_row = {
   pr_workload : string;
   pr_calls : int;
   pr_cycles : int;       (* verification cycles recorded for this pid *)
+  pr_alloc : int;        (* checker minor words recorded for this pid *)
   pr_reasons : int array;
   pr_stop : string;
 }
@@ -87,6 +88,7 @@ let run_fleet ~personality ~key ~procs ~scale ~interval ~no_vcache ~no_precomp n
           pr_workload = w.Workloads.Registry.name;
           pr_calls = after.Telemetry.t_calls - before.Telemetry.t_calls;
           pr_cycles = after.Telemetry.t_cycles - before.Telemetry.t_cycles;
+          pr_alloc = after.Telemetry.t_alloc_words - before.Telemetry.t_alloc_words;
           pr_reasons =
             Array.mapi (fun k v -> v - before.Telemetry.t_reasons.(k)) after.Telemetry.t_reasons;
           pr_stop = stop_name stop })
@@ -133,6 +135,7 @@ let fleet_json ~procs ~scale ~names ~interval tel rows machine_cycles minor_word
                    ("workload", Json.Str r.pr_workload);
                    ("calls", Json.Int r.pr_calls);
                    ("verification_cycles", Json.Int r.pr_cycles);
+                   ("alloc_words", Json.Int r.pr_alloc);
                    ("denies", Json.Int r.pr_reasons.(deny_idx));
                    ("stop", Json.Str r.pr_stop) ])
              rows) );
@@ -160,6 +163,8 @@ let self_check doc =
     let* () = need "fleet.calls" (Json.member "calls" fleet) in
     let* () = need "fleet.reasons" (Json.member "reasons" fleet) in
     let* () = need "fleet.per_syscall" (Json.member "per_syscall" fleet) in
+    let* () = need "fleet.alloc_words" (Json.member "alloc_words" fleet) in
+    let* () = need "fleet.alloc" (Json.member "alloc" fleet) in
     let reasons = Option.get (Json.member "reasons" fleet) in
     let* () =
       Array.fold_left
@@ -191,6 +196,14 @@ let print_human ~procs ~scale ~names ~interval tel rows machine_cycles minor_wor
     (pct agg.Telemetry.t_self_cycles agg.Telemetry.t_cycles);
   Format.printf "  minor words/call       %12.1f@."
     (if calls = 0 then 0.0 else float_of_int minor_words /. float_of_int calls);
+  Format.printf "  checker words          %12d@." agg.Telemetry.t_alloc_words;
+  if agg.Telemetry.t_alloc.Telemetry.q_count > 0 then begin
+    let snap = Telemetry.alloc_hist_snapshot tel agg.Telemetry.t_alloc in
+    let q p = Asc_obs.Metrics.quantile snap p in
+    Format.printf "  checker words/call     %12d  p50 %d  p95 %d  p99 %d@."
+      (agg.Telemetry.t_alloc.Telemetry.q_sum / agg.Telemetry.t_alloc.Telemetry.q_count)
+      (q 0.50) (q 0.95) (q 0.99)
+  end;
   Format.printf "  deny rate              %11.2f%%@."
     (pct agg.Telemetry.t_reasons.(deny_idx) calls);
   Format.printf "@.  reason mix:@.";
@@ -229,12 +242,12 @@ let print_human ~procs ~scale ~names ~interval tel rows machine_cycles minor_wor
       (List.sort (fun (_, _, a) (_, _, b) -> compare b a) falling)
   end;
   Format.printf "@.  per-pid:@.";
-  Format.printf "    %-5s %-10s %10s %14s %8s  %s@." "pid" "workload" "calls" "verif-cycles"
-    "denies" "stop";
+  Format.printf "    %-5s %-10s %10s %14s %10s %8s  %s@." "pid" "workload" "calls"
+    "verif-cycles" "words" "denies" "stop";
   List.iter
     (fun r ->
-      Format.printf "    %-5d %-10s %10d %14d %8d  %s@." r.pr_pid r.pr_workload r.pr_calls
-        r.pr_cycles r.pr_reasons.(deny_idx) r.pr_stop)
+      Format.printf "    %-5d %-10s %10d %14d %10d %8d  %s@." r.pr_pid r.pr_workload
+        r.pr_calls r.pr_cycles r.pr_alloc r.pr_reasons.(deny_idx) r.pr_stop)
     rows;
   let snaps = Telemetry.snapshots tel in
   if snaps <> [] then

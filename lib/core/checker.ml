@@ -45,6 +45,19 @@ type steps = {
   st_ext : Asc_obs.Metrics.counter;           (* §5 value sets and patterns *)
   st_total : Asc_obs.Metrics.counter;
   st_checked : Asc_obs.Metrics.counter;       (* calls that passed every step *)
+  (* Host minor-words attribution — the memory analogue of the cycle
+     decomposition. Each step's work runs inside a [step_region] that
+     measures the [Gc.minor_words] delta across it, so every measured word
+     is credited to exactly one step and the four verification steps sum
+     to [sa_total]. The telemetry plane's own recording allocation is kept
+     in its own counter, outside the step sum, mirroring [st_total]'s
+     verification-only semantics. *)
+  sa_call_mac : Asc_obs.Metrics.counter;
+  sa_string_mac : Asc_obs.Metrics.counter;
+  sa_control_flow : Asc_obs.Metrics.counter;
+  sa_ext : Asc_obs.Metrics.counter;
+  sa_telemetry : Asc_obs.Metrics.counter;
+  sa_total : Asc_obs.Metrics.counter;
 }
 
 let steps_of registry =
@@ -53,7 +66,13 @@ let steps_of registry =
     st_control_flow = Asc_obs.Metrics.counter registry "checker.cycles.control_flow";
     st_ext = Asc_obs.Metrics.counter registry "checker.cycles.ext";
     st_total = Asc_obs.Metrics.counter registry "checker.cycles.total";
-    st_checked = Asc_obs.Metrics.counter registry "checker.calls_verified" }
+    st_checked = Asc_obs.Metrics.counter registry "checker.calls_verified";
+    sa_call_mac = Asc_obs.Metrics.counter registry "checker.alloc.call_mac";
+    sa_string_mac = Asc_obs.Metrics.counter registry "checker.alloc.string_mac";
+    sa_control_flow = Asc_obs.Metrics.counter registry "checker.alloc.control_flow";
+    sa_ext = Asc_obs.Metrics.counter registry "checker.alloc.ext";
+    sa_telemetry = Asc_obs.Metrics.counter registry "checker.alloc.telemetry";
+    sa_total = Asc_obs.Metrics.counter registry "checker.alloc.total" }
 
 (* The verification step being charged; doubles as the metrics-counter
    selector and (when a profiler is attached) the synthetic frame name. *)
@@ -69,21 +88,59 @@ let step_counter steps = function
   | Control_flow -> steps.st_control_flow
   | Ext -> steps.st_ext
 
-let step_label = function
-  | Call_mac -> "call_mac"
-  | String_mac -> "string_mac"
-  | Control_flow -> "control_flow"
-  | Ext -> "ext"
+let step_alloc_counter steps = function
+  | Call_mac -> steps.sa_call_mac
+  | String_mac -> steps.sa_string_mac
+  | Control_flow -> steps.sa_control_flow
+  | Ext -> steps.sa_ext
+
+(* pre-built frames: constant constructors of string literals, so entering
+   a region allocates nothing before the region's minor-words mark *)
+let step_frame = function
+  | Call_mac -> Asc_obs.Profile.Label "<kernel:call_mac>"
+  | String_mac -> Asc_obs.Profile.Label "<kernel:string_mac>"
+  | Control_flow -> Asc_obs.Profile.Label "<kernel:control_flow>"
+  | Ext -> Asc_obs.Profile.Label "<kernel:ext>"
 
 let charge (m : Machine.t) steps step n =
   m.cycles <- m.cycles + n;
   Asc_obs.Metrics.add (step_counter steps step) n;
   Asc_obs.Metrics.add steps.st_total n;
-  (* verification cycles show up in flamegraphs as <kernel:step> children
-     of the syscall-site frame *)
+  (* every charge happens inside the matching [step_region], whose
+     <kernel:step> frame is on top of the shadow stack — so verification
+     cycles show up in flamegraphs as children of the syscall-site frame *)
   match m.profile with
-  | Some p -> Asc_obs.Profile.charge_label p ("<kernel:" ^ step_label step ^ ">") n
+  | Some p -> Asc_obs.Profile.charge p n
   | None -> ()
+
+(* [step_region m steps step f] brackets one step's work: it pushes the
+   step's <kernel:step> profile frame (an allocation sampling point, so
+   pending words stay with the site frame) and marks the host minor-words
+   counter; on exit — normal or [Deny] — the delta is credited to the
+   step's alloc counter and the frame is popped, keeping the shadow stack
+   balanced for the deny-time forensic snapshot. *)
+let step_region (m : Machine.t) steps step f =
+  (match m.Machine.profile with
+   | Some p -> Asc_obs.Profile.enter p (step_frame step)
+   | None -> ());
+  let a0 = Asc_obs.Profile.minor_words () in
+  let finish () =
+    let d = Asc_obs.Profile.minor_words () - a0 in
+    if d > 0 then begin
+      Asc_obs.Metrics.add (step_alloc_counter steps step) d;
+      Asc_obs.Metrics.add steps.sa_total d
+    end;
+    match m.Machine.profile with
+    | Some p -> Asc_obs.Profile.leave p
+    | None -> ()
+  in
+  match f () with
+  | v ->
+    finish ();
+    v
+  | exception e ->
+    finish ();
+    raise e
 
 (* charging-step → violation-step: the charge attribution is 4-way (the
    Table 4 decomposition) while violations name the finer-grained cause *)
@@ -182,161 +239,177 @@ let precomp_compile precomp ~pid ~call ~encoded ~mac =
 
 let pre ~kernel ~key ~normalize_paths ~vcache ~precomp ~steps (p : Process.t) ~site ~number =
   let m = p.machine in
-  charge m steps Call_mac Cost_model.check_fixed;
   let r i = m.regs.(i) in
-  let descriptor = r 7 in
-  if not (Descriptor.is_authenticated descriptor) then
-    deny Violation.Unauthenticated "unauthenticated system call";
-  let block = r 8 in
-  let pred_ptr = r 9 and lb_ptr = r 10 and mac_ptr = r 11 and ext_ptr = r 14 in
-  (* --- step 1: rebuild the encoded call and check the call MAC --- *)
-  let const_args = List.map (fun i -> (i, r (i + 1))) (Descriptor.const_args descriptor) in
-  let string_args =
-    List.map
-      (fun i -> (i, read_as_header m ~ptr:(r (i + 1)) (Printf.sprintf "argument %d" i)))
-      (Descriptor.string_args descriptor)
-  in
-  let ext =
-    if Descriptor.has_ext descriptor then Some (read_as_header m ~ptr:ext_ptr "extension block")
-    else None
-  in
-  let control =
-    if Descriptor.has_control_flow descriptor then
-      Some (read_as_header m ~ptr:pred_ptr "predecessor set", lb_ptr)
-    else None
-  in
-  let call =
-    { Encoded.e_number = number;
-      e_site = site;
-      e_descriptor = descriptor;
-      e_block = block;
-      e_const_args = const_args;
-      e_string_args = string_args;
-      e_ext = ext;
-      e_control = control }
-  in
-  let supplied = read_mac m mac_ptr in
-  (* Step 1 resolution, reported as the call's telemetry reason code. The
-     slow path (vcache probe, then full CMAC) is byte-identical to the
-     pre-fast-path checker; [fb] remembers why an armed precomp table
-     declined, so "the slow path verified it after a fallback" and "no
-     precomp was armed at all" stay distinguishable in the ledger. *)
-  let slow_path ~fb =
-    let encoded = Encoded.encode call in
-    (* sound to cache: [encoded] is the call MAC's exact input — trap number,
-       site, descriptor, block id, constant args, string/ext/control
-       references with their tags — so any tampered covered byte misses *)
-    let call_key = Vcache.Call { pid = p.pid; site; encoded } in
-    if cache_hit vcache call_key ~mac:supplied then begin
-      charge_hit m steps Call_mac vcache ~len:(String.length encoded);
-      precomp_compile precomp ~pid:p.pid ~call ~encoded ~mac:supplied;
-      match fb with
-      | Some f -> Asc_obs.Telemetry.Precomp_fallback f
-      | None -> Asc_obs.Telemetry.Vcache_hit
-    end
-    else begin
-      charge m steps Call_mac (Cost_model.mac_cost (String.length encoded));
-      let call_mac = Cmac.mac key encoded in
-      if not (Cmac.equal_tags call_mac supplied) then
-        deny_mac Violation.Call_mac ~expected:call_mac ~got:supplied "call MAC mismatch";
-      cache_remember vcache call_key ~mac:supplied;
-      precomp_compile precomp ~pid:p.pid ~call ~encoded ~mac:supplied;
-      match fb with
-      | Some f -> Asc_obs.Telemetry.Precomp_fallback f
-      | None -> Asc_obs.Telemetry.Slow_path
-    end
-  in
-  let reason =
-    match precomp with
-    | None -> slow_path ~fb:None
-    | Some pc ->
-      (* Precompiled-site fast path (step 1 only): when the per-pid table
-         proves the call MAC — by memo equality or by resuming the saved
-         chaining state over the dynamic suffix — charge the precomp cost
-         into the same call-MAC counter and skip both the encoded-string
-         serialization and the vcache probe. Miss/Fallback charge nothing
-         here; the slow path above decides. *)
-      (match Precomp.check pc ~pid:p.pid ~call ~supplied with
-       | Precomp.Hit { suffix_len; encoded_len } ->
-         let cost = Cost_model.precomp_hit_cost suffix_len in
-         charge m steps Call_mac cost;
-         Precomp.note_saved pc (Cost_model.mac_cost encoded_len - cost);
-         Asc_obs.Telemetry.Precomp_hit
-       | Precomp.Resumed { suffix_len; encoded_len } ->
-         let cost = Cost_model.precomp_lookup_cost + Cost_model.mac_resume_cost suffix_len in
-         charge m steps Call_mac cost;
-         Precomp.note_saved pc (Cost_model.mac_cost encoded_len - cost);
-         Asc_obs.Telemetry.Precomp_resumed
-       | Precomp.Miss -> slow_path ~fb:(Some Asc_obs.Telemetry.F_no_entry)
-       | Precomp.Fallback Precomp.Statics_mismatch ->
-         slow_path ~fb:(Some Asc_obs.Telemetry.F_statics)
-       | Precomp.Fallback Precomp.Tag_mismatch ->
-         slow_path ~fb:(Some Asc_obs.Telemetry.F_tag))
+  (* --- step 1 (one alloc region): rebuild the encoded call and check the
+     call MAC. The region returns the rebuilt references the later steps
+     need, so their allocation is attributed here, where it happens. --- *)
+  let reason, block, string_args, ext, control =
+    step_region m steps Call_mac (fun () ->
+      charge m steps Call_mac Cost_model.check_fixed;
+      let descriptor = r 7 in
+      if not (Descriptor.is_authenticated descriptor) then
+        deny Violation.Unauthenticated "unauthenticated system call";
+      let block = r 8 in
+      let pred_ptr = r 9 and lb_ptr = r 10 and mac_ptr = r 11 and ext_ptr = r 14 in
+      let const_args = List.map (fun i -> (i, r (i + 1))) (Descriptor.const_args descriptor) in
+      let string_args =
+        List.map
+          (fun i -> (i, read_as_header m ~ptr:(r (i + 1)) (Printf.sprintf "argument %d" i)))
+          (Descriptor.string_args descriptor)
+      in
+      let ext =
+        if Descriptor.has_ext descriptor then Some (read_as_header m ~ptr:ext_ptr "extension block")
+        else None
+      in
+      let control =
+        if Descriptor.has_control_flow descriptor then
+          Some (read_as_header m ~ptr:pred_ptr "predecessor set", lb_ptr)
+        else None
+      in
+      let call =
+        { Encoded.e_number = number;
+          e_site = site;
+          e_descriptor = descriptor;
+          e_block = block;
+          e_const_args = const_args;
+          e_string_args = string_args;
+          e_ext = ext;
+          e_control = control }
+      in
+      let supplied = read_mac m mac_ptr in
+      (* Step 1 resolution, reported as the call's telemetry reason code. The
+         slow path (vcache probe, then full CMAC) is byte-identical to the
+         pre-fast-path checker; [fb] remembers why an armed precomp table
+         declined, so "the slow path verified it after a fallback" and "no
+         precomp was armed at all" stay distinguishable in the ledger. *)
+      let slow_path ~fb =
+        let encoded = Encoded.encode call in
+        (* sound to cache: [encoded] is the call MAC's exact input — trap number,
+           site, descriptor, block id, constant args, string/ext/control
+           references with their tags — so any tampered covered byte misses *)
+        let call_key = Vcache.Call { pid = p.pid; site; encoded } in
+        if cache_hit vcache call_key ~mac:supplied then begin
+          charge_hit m steps Call_mac vcache ~len:(String.length encoded);
+          precomp_compile precomp ~pid:p.pid ~call ~encoded ~mac:supplied;
+          match fb with
+          | Some f -> Asc_obs.Telemetry.Precomp_fallback f
+          | None -> Asc_obs.Telemetry.Vcache_hit
+        end
+        else begin
+          charge m steps Call_mac (Cost_model.mac_cost (String.length encoded));
+          let call_mac = Cmac.mac key encoded in
+          if not (Cmac.equal_tags call_mac supplied) then
+            deny_mac Violation.Call_mac ~expected:call_mac ~got:supplied "call MAC mismatch";
+          cache_remember vcache call_key ~mac:supplied;
+          precomp_compile precomp ~pid:p.pid ~call ~encoded ~mac:supplied;
+          match fb with
+          | Some f -> Asc_obs.Telemetry.Precomp_fallback f
+          | None -> Asc_obs.Telemetry.Slow_path
+        end
+      in
+      let reason =
+        match precomp with
+        | None -> slow_path ~fb:None
+        | Some pc ->
+          (* Precompiled-site fast path (step 1 only): when the per-pid table
+             proves the call MAC — by memo equality or by resuming the saved
+             chaining state over the dynamic suffix — charge the precomp cost
+             into the same call-MAC counter and skip both the encoded-string
+             serialization and the vcache probe. Miss/Fallback charge nothing
+             here; the slow path above decides. *)
+          (match Precomp.check pc ~pid:p.pid ~call ~supplied with
+           | Precomp.Hit { suffix_len; encoded_len } ->
+             let cost = Cost_model.precomp_hit_cost suffix_len in
+             charge m steps Call_mac cost;
+             Precomp.note_saved pc (Cost_model.mac_cost encoded_len - cost);
+             Asc_obs.Telemetry.Precomp_hit
+           | Precomp.Resumed { suffix_len; encoded_len } ->
+             let cost = Cost_model.precomp_lookup_cost + Cost_model.mac_resume_cost suffix_len in
+             charge m steps Call_mac cost;
+             Precomp.note_saved pc (Cost_model.mac_cost encoded_len - cost);
+             Asc_obs.Telemetry.Precomp_resumed
+           | Precomp.Miss -> slow_path ~fb:(Some Asc_obs.Telemetry.F_no_entry)
+           | Precomp.Fallback Precomp.Statics_mismatch ->
+             slow_path ~fb:(Some Asc_obs.Telemetry.F_statics)
+           | Precomp.Fallback Precomp.Tag_mismatch ->
+             slow_path ~fb:(Some Asc_obs.Telemetry.F_tag))
+      in
+      (reason, block, string_args, ext, control))
   in
   (* --- step 2: verify authenticated string contents --- *)
   let verified_strings =
-    List.map
-      (fun (i, ar) ->
-        (i, verify_as m steps String_mac ~vcache ~pid:p.pid key ar (Printf.sprintf "argument %d" i)))
-      string_args
+    match string_args with
+    | [] -> []
+    | args ->
+      step_region m steps String_mac (fun () ->
+        List.map
+          (fun (i, ar) ->
+            (i, verify_as m steps String_mac ~vcache ~pid:p.pid key ar (Printf.sprintf "argument %d" i)))
+          args)
   in
   let ext_contents =
-    Option.map (fun ar -> verify_as m steps Ext ~vcache ~pid:p.pid key ar "extension block") ext
+    match ext with
+    | None -> None
+    | Some ar ->
+      step_region m steps Ext (fun () ->
+        Some (verify_as m steps Ext ~vcache ~pid:p.pid key ar "extension block"))
   in
   (* --- step 3: control-flow policy --- *)
   (match control with
    | None -> ()
    | Some (pred_ref, lbp) ->
-     (* the predecessor set is content-stable (cacheable like any
-        authenticated string); the lbMAC below is nonce-fresh by design —
-        the kernel-held counter changes every call — and is never cached *)
-     let pred_contents = verify_as m steps Control_flow ~vcache ~pid:p.pid key pred_ref "predecessor set" in
-     let last_block =
-       match Machine.read_word m lbp with
-       | Some v -> v
-       | None -> deny Violation.Control_flow "policy state unreadable"
-     in
-     let lb_mac =
-       match Machine.read_mem m ~addr:(lbp + 8) ~len:16 with
-       | Some s -> s
-       | None -> deny Violation.Control_flow "policy state MAC unreadable"
-     in
-     charge m steps Control_flow (Cost_model.mac_cost 16);
-     let expect = Cmac.mac key (Encoded.state_bytes ~counter:p.counter ~last_block) in
-     if not (Cmac.equal_tags expect lb_mac) then
-       deny_mac Violation.Control_flow ~expected:expect ~got:lb_mac "policy state corrupted";
-     if not (Encoded.predset_mem pred_contents last_block) then
-       deny Violation.Control_flow
-         "control-flow violation: block %d may not follow block %d" block last_block;
-     (* update: counter++ in kernel space, lastBlock/lbMAC in the application *)
-     p.counter <- p.counter + 1;
-     charge m steps Control_flow (Cost_model.mac_cost 16);
-     let new_mac = Cmac.mac key (Encoded.state_bytes ~counter:p.counter ~last_block:block) in
-     if not (Machine.write_word m lbp block && Machine.write_mem m ~addr:(lbp + 8) new_mac) then
-       deny Violation.Control_flow "policy state unwritable");
+     step_region m steps Control_flow (fun () ->
+       (* the predecessor set is content-stable (cacheable like any
+          authenticated string); the lbMAC below is nonce-fresh by design —
+          the kernel-held counter changes every call — and is never cached *)
+       let pred_contents = verify_as m steps Control_flow ~vcache ~pid:p.pid key pred_ref "predecessor set" in
+       let last_block =
+         match Machine.read_word m lbp with
+         | Some v -> v
+         | None -> deny Violation.Control_flow "policy state unreadable"
+       in
+       let lb_mac =
+         match Machine.read_mem m ~addr:(lbp + 8) ~len:16 with
+         | Some s -> s
+         | None -> deny Violation.Control_flow "policy state MAC unreadable"
+       in
+       charge m steps Control_flow (Cost_model.mac_cost 16);
+       let expect = Cmac.mac key (Encoded.state_bytes ~counter:p.counter ~last_block) in
+       if not (Cmac.equal_tags expect lb_mac) then
+         deny_mac Violation.Control_flow ~expected:expect ~got:lb_mac "policy state corrupted";
+       if not (Encoded.predset_mem pred_contents last_block) then
+         deny Violation.Control_flow
+           "control-flow violation: block %d may not follow block %d" block last_block;
+       (* update: counter++ in kernel space, lastBlock/lbMAC in the application *)
+       p.counter <- p.counter + 1;
+       charge m steps Control_flow (Cost_model.mac_cost 16);
+       let new_mac = Cmac.mac key (Encoded.state_bytes ~counter:p.counter ~last_block:block) in
+       if not (Machine.write_word m lbp block && Machine.write_mem m ~addr:(lbp + 8) new_mac) then
+         deny Violation.Control_flow "policy state unwritable"));
   (* --- §5 extensions: allowed-value sets and argument patterns --- *)
   (match ext_contents with
    | None -> ()
    | Some contents ->
-     List.iter
-       (fun (argi, e) ->
-         match e with
-         | `Set vs ->
-           if not (List.mem (r (argi + 1)) vs) then
-             deny Violation.Ext "argument %d value %d not in allowed set" argi (r (argi + 1))
-         | `Pattern pat ->
-           (match Machine.read_cstring m ~addr:(r (argi + 1)) ~max:4096 with
-            | None ->
-              deny Violation.Pattern "argument %d: unreadable string for pattern check" argi
-            | Some s ->
-              (match Patterns.compile pat with
-               | Error e -> deny Violation.Pattern "argument %d: bad pattern (%s)" argi e
-               | Ok cp ->
-                 charge m steps Ext (Patterns.match_cost cp s);
-                 if not (Patterns.matches cp s) then
-                   deny Violation.Pattern
-                     "argument %d: %S does not match pattern %S" argi s pat)))
-       (parse_ext contents));
+     step_region m steps Ext (fun () ->
+       List.iter
+         (fun (argi, e) ->
+           match e with
+           | `Set vs ->
+             if not (List.mem (r (argi + 1)) vs) then
+               deny Violation.Ext "argument %d value %d not in allowed set" argi (r (argi + 1))
+           | `Pattern pat ->
+             (match Machine.read_cstring m ~addr:(r (argi + 1)) ~max:4096 with
+              | None ->
+                deny Violation.Pattern "argument %d: unreadable string for pattern check" argi
+              | Some s ->
+                (match Patterns.compile pat with
+                 | Error e -> deny Violation.Pattern "argument %d: bad pattern (%s)" argi e
+                 | Ok cp ->
+                   charge m steps Ext (Patterns.match_cost cp s);
+                   if not (Patterns.matches cp s) then
+                     deny Violation.Pattern
+                       "argument %d: %S does not match pattern %S" argi s pat)))
+         (parse_ext contents)));
   (* --- §5.4: in-kernel file name normalization --- *)
   if normalize_paths then begin
     match Personality.sem_of kernel.Kernel.pers number with
@@ -389,19 +462,27 @@ let monitor ~kernel ~key ?(normalize_paths = false) ?vcache ?precomp () =
         let m = p.Process.machine in
         let shard = Asc_obs.Telemetry.shard telemetry ~pid:p.Process.pid in
         let total0 = Asc_obs.Metrics.counter_value steps.st_total in
+        let alloc0 = Asc_obs.Profile.minor_words () in
         (* Exactly one reason code per monitored call — the exhaustiveness
            invariant the telemetry tests pin. The recording cost is charged
            to the machine (the kernel spends those cycles) but deliberately
            NOT to the checker.cycles.* step counters: the Table 4
            decomposition stays verification-only, and the plane's
-           self-overhead meter is gauged against it. *)
+           self-overhead meter is gauged against it. The same split holds
+           for memory: [alloc] below is the words the verification itself
+           allocated, while the plane's own recording allocation is
+           measured separately into checker.alloc.telemetry. *)
+        let telemetry_frame = Asc_obs.Profile.Label "<kernel:telemetry>" in
         let finish reason =
           let cycles = Asc_obs.Metrics.counter_value steps.st_total - total0 in
+          let alloc = Asc_obs.Profile.minor_words () - alloc0 in
           m.Machine.cycles <- m.Machine.cycles + Cost_model.telemetry_record_cost;
           (match m.Machine.profile with
-           | Some prof ->
-             Asc_obs.Profile.charge_label prof "<kernel:telemetry>"
-               Cost_model.telemetry_record_cost
+           | Some prof -> Asc_obs.Profile.enter prof telemetry_frame
+           | None -> ());
+          let ta0 = Asc_obs.Profile.minor_words () in
+          (match m.Machine.profile with
+           | Some prof -> Asc_obs.Profile.charge prof Cost_model.telemetry_record_cost
            | None -> ());
           Asc_obs.Telemetry.note_self telemetry shard Cost_model.telemetry_record_cost;
           let sem =
@@ -409,8 +490,13 @@ let monitor ~kernel ~key ?(normalize_paths = false) ?vcache ?precomp () =
             | Some s -> Syscall.name s
             | None -> Printf.sprintf "syscall#%d" number
           in
-          Asc_obs.Telemetry.record telemetry shard ~site ~sem ~reason ~cycles
-            ~now:m.Machine.cycles
+          Asc_obs.Telemetry.record telemetry shard ~site ~sem ~reason ~cycles ~alloc
+            ~now:m.Machine.cycles;
+          let td = Asc_obs.Profile.minor_words () - ta0 in
+          if td > 0 then Asc_obs.Metrics.add steps.sa_telemetry td;
+          match m.Machine.profile with
+          | Some prof -> Asc_obs.Profile.leave prof
+          | None -> ()
         in
         match pre ~kernel ~key ~normalize_paths ~vcache ~precomp ~steps p ~site ~number with
         | reason ->

@@ -11,11 +11,29 @@
     run instead of silently rewriting history. *)
 
 val compare :
-  tolerance:float -> baseline:Json.t -> actual:Json.t -> (unit, string list) result
-(** [compare ~tolerance ~baseline ~actual] is [Ok ()] when [actual]
+  tolerance:float ->
+  ?tolerance_abs:float ->
+  baseline:Json.t ->
+  actual:Json.t ->
+  unit ->
+  (unit, string list) result
+(** [compare ~tolerance ~baseline ~actual ()] is [Ok ()] when [actual]
     matches [baseline] as described above. [tolerance] is a percentage:
     a numeric leaf passes when
     [|actual - baseline| <= tolerance/100 * max(|baseline|, |actual|, 1)]
     (the [1] floor keeps near-zero values from demanding exact equality).
-    [Int] and [Float] are numerically interchangeable. On mismatch,
-    returns every offending leaf as a ["$.path: reason"] message. *)
+    [tolerance_abs] (default 0) is a global absolute floor: a numeric
+    leaf also passes when [|actual - baseline| <= tolerance_abs] — the
+    sane gate for fields whose expected value is at or near zero, where
+    any drift is an enormous percentage. A leaf passes on {e either}
+    criterion.
+
+    A baseline leaf may also be a per-field tolerance spec instead of a
+    bare number:
+    {[ {"value": 42, "tolerance": {"kind": "abs", "max": 8}} ]}
+    with [kind] one of ["abs"] (absolute units) or ["pct"] (percentage,
+    same formula as [tolerance]). The spec overrides both global
+    tolerances for that leaf; the actual document still carries a plain
+    number there. [Int] and [Float] are numerically interchangeable. On
+    mismatch, returns every offending leaf as a ["$.path: reason"]
+    message. *)

@@ -8,26 +8,58 @@ type node = {
   n_children : (frame, node) Hashtbl.t;
   mutable n_self : int;
   mutable n_calls : int;
+  mutable n_alloc : int;             (* minor words sampled onto this frame *)
 }
 
 type t = {
   root : node;
   mutable current : node;
   mutable total : int;
+  (* allocation sampling: [alloc_mark] is the host's cumulative
+     [Gc.minor_words] reading (as an int) at the last sample point, or -1
+     while tracking is off. Every word allocated between two sample points
+     is charged to the node that was current across that span, so the
+     charges telescope to exactly the machine-scope minor-words delta. *)
+  mutable alloc_mark : int;
+  mutable total_alloc : int;
 }
+
+(* [Gc.minor_words] is an unboxed [@@noalloc] external in native code, and
+   the immediate [int_of_float] keeps the result unboxed — so taking a
+   sample allocates nothing and cannot perturb what it measures. *)
+let minor_words_now () = int_of_float (Gc.minor_words ())
+let minor_words = minor_words_now
 
 let make_node ?parent frame =
   { n_frame = frame;
     n_parent = parent;
     n_children = Hashtbl.create 4;
     n_self = 0;
-    n_calls = 0 }
+    n_calls = 0;
+    n_alloc = 0 }
 
 let create () =
   let root = make_node (Label "(root)") in
-  { root; current = root; total = 0 }
+  { root; current = root; total = 0; alloc_mark = -1; total_alloc = 0 }
+
+let track_alloc t = if t.alloc_mark < 0 then t.alloc_mark <- minor_words_now ()
+let alloc_tracked t = t.alloc_mark >= 0
+
+let sample_alloc t =
+  if t.alloc_mark >= 0 then begin
+    let now = minor_words_now () in
+    let d = now - t.alloc_mark in
+    if d > 0 then begin
+      t.current.n_alloc <- t.current.n_alloc + d;
+      t.total_alloc <- t.total_alloc + d
+    end;
+    t.alloc_mark <- now
+  end
 
 let enter t frame =
+  (* words allocated since the last sample belong to the caller, not the
+     frame being entered *)
+  sample_alloc t;
   let child =
     match Hashtbl.find_opt t.current.n_children frame with
     | Some c -> c
@@ -40,6 +72,8 @@ let enter t frame =
   t.current <- child
 
 let leave t =
+  (* the span since the last sample ran inside the leaving frame *)
+  sample_alloc t;
   match t.current.n_parent with
   | Some p -> t.current <- p
   | None -> ()
@@ -53,13 +87,17 @@ let charge_label t name n =
   charge t n;
   leave t
 
-let reset_stack t = t.current <- t.root
+let reset_stack t =
+  (* flush pending words onto the stack being abandoned (execve) *)
+  sample_alloc t;
+  t.current <- t.root
 
 let depth t =
   let rec go n acc = match n.n_parent with None -> acc | Some p -> go p (acc + 1) in
   go t.current 0
 
 let total_cycles t = t.total
+let total_alloc_words t = t.total_alloc
 
 let current_stack ~symbolize t =
   let rec go n acc =
@@ -74,7 +112,7 @@ let children_sorted ~symbolize node =
   |> List.map (fun c -> (symbolize c.n_frame, c))
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let folded ~symbolize t =
+let folded_by ~symbolize ~weight t =
   let out = ref [] in
   let rec go path node =
     (* the root is not a real frame: its own charges (cycles retired before
@@ -82,25 +120,32 @@ let folded ~symbolize t =
     let path =
       match node.n_parent with None -> path | Some _ -> symbolize node.n_frame :: path
     in
-    if node.n_self > 0 then begin
+    let w = weight node in
+    if w > 0 then begin
       let stack = match path with [] -> [ "(root)" ] | p -> List.rev p in
-      out := (stack, node.n_self) :: !out
+      out := (stack, w) :: !out
     end;
     List.iter (fun (_, c) -> go path c) (children_sorted ~symbolize node)
   in
   go [] t.root;
   List.sort compare (List.rev !out)
 
-let folded_string ~symbolize t =
+let folded ~symbolize t = folded_by ~symbolize ~weight:(fun n -> n.n_self) t
+let folded_alloc ~symbolize t = folded_by ~symbolize ~weight:(fun n -> n.n_alloc) t
+
+let folded_string_of entries =
   let buf = Buffer.create 4096 in
   List.iter
-    (fun (stack, cycles) ->
+    (fun (stack, w) ->
       Buffer.add_string buf (String.concat ";" stack);
       Buffer.add_char buf ' ';
-      Buffer.add_string buf (string_of_int cycles);
+      Buffer.add_string buf (string_of_int w);
       Buffer.add_char buf '\n')
-    (folded ~symbolize t);
+    entries;
   Buffer.contents buf
+
+let folded_string ~symbolize t = folded_string_of (folded ~symbolize t)
+let folded_alloc_string ~symbolize t = folded_string_of (folded_alloc ~symbolize t)
 
 let parse_folded s =
   let parse_line lineno line =
@@ -134,6 +179,8 @@ type row = {
   r_calls : int;
   r_self : int;
   r_total : int;
+  r_alloc : int;
+  r_total_alloc : int;
 }
 
 let top ~symbolize t =
@@ -142,7 +189,10 @@ let top ~symbolize t =
     match Hashtbl.find_opt tbl name with
     | Some r -> r
     | None ->
-      let r = ref { r_name = name; r_calls = 0; r_self = 0; r_total = 0 } in
+      let r =
+        ref { r_name = name; r_calls = 0; r_self = 0; r_total = 0; r_alloc = 0;
+              r_total_alloc = 0 }
+      in
       Hashtbl.replace tbl name r;
       r
   in
@@ -153,40 +203,55 @@ let top ~symbolize t =
     (match name with
      | Some nm ->
        let r = cell nm in
-       r := { !r with r_calls = !r.r_calls + node.n_calls; r_self = !r.r_self + node.n_self }
+       r :=
+         { !r with
+           r_calls = !r.r_calls + node.n_calls;
+           r_self = !r.r_self + node.n_self;
+           r_alloc = !r.r_alloc + node.n_alloc }
      | None -> ());
     let active' = match name with Some nm -> nm :: active | None -> active in
-    let subtree =
-      Hashtbl.fold (fun _ c acc -> acc + go active' c) node.n_children node.n_self
+    let subtree, subtree_alloc =
+      Hashtbl.fold
+        (fun _ c (acc, acca) ->
+          let s, sa = go active' c in
+          (acc + s, acca + sa))
+        node.n_children
+        (node.n_self, node.n_alloc)
     in
     (match name with
      | Some nm when not (List.mem nm active) ->
        let r = cell nm in
-       r := { !r with r_total = !r.r_total + subtree }
+       r := { !r with r_total = !r.r_total + subtree;
+                      r_total_alloc = !r.r_total_alloc + subtree_alloc }
      | _ -> ());
-    subtree
+    (subtree, subtree_alloc)
   in
   ignore (go [] t.root);
   (* root self-cycles (work outside any call) appear as their own row *)
-  if t.root.n_self > 0 then begin
+  if t.root.n_self > 0 || t.root.n_alloc > 0 then begin
     let r = cell "(root)" in
     r :=
       { !r with
         r_self = !r.r_self + t.root.n_self;
-        r_total = !r.r_total + t.root.n_self }
+        r_total = !r.r_total + t.root.n_self;
+        r_alloc = !r.r_alloc + t.root.n_alloc;
+        r_total_alloc = !r.r_total_alloc + t.root.n_alloc }
   end;
   Hashtbl.fold (fun _ r acc -> !r :: acc) tbl []
   |> List.sort (fun a b ->
          match compare b.r_self a.r_self with 0 -> compare a.r_name b.r_name | c -> c)
 
 let to_json ~symbolize t =
+  let stacks_json entries key =
+    Json.List
+      (List.map
+         (fun (stack, w) ->
+           Json.Obj
+             [ ("stack", Json.List (List.map (fun f -> Json.Str f) stack)); (key, Json.Int w) ])
+         entries)
+  in
   Json.Obj
     [ ("total_cycles", Json.Int t.total);
-      ( "stacks",
-        Json.List
-          (List.map
-             (fun (stack, cycles) ->
-               Json.Obj
-                 [ ("stack", Json.List (List.map (fun f -> Json.Str f) stack));
-                   ("cycles", Json.Int cycles) ])
-             (folded ~symbolize t)) ) ]
+      ("total_alloc_words", Json.Int t.total_alloc);
+      ("stacks", stacks_json (folded ~symbolize t) "cycles");
+      ("alloc_stacks", stacks_json (folded_alloc ~symbolize t) "words") ]

@@ -31,6 +31,7 @@ type ledger_entry = {
   le_sem : string;
   le_reason : reason;
   le_cycles : int;
+  le_alloc : int;
   le_ts : int;
 }
 
@@ -55,6 +56,8 @@ type shard = {
   sh_deny : (string, int) Hashtbl.t;
   sh_per_sem : (string, mhist) Hashtbl.t;
   sh_sites : (int, int array) Hashtbl.t;
+  sh_site_alloc : (int, int) Hashtbl.t;   (* site -> minor words rollup *)
+  sh_alloc : mhist;                       (* per-call minor words, alloc bounds *)
   sh_ledger : ledger_entry Ring.t;
   mutable sh_calls : int;
   mutable sh_cycles : int;
@@ -66,20 +69,26 @@ type stats = {
   t_calls : int;
   t_cycles : int;
   t_self_cycles : int;
+  t_alloc_words : int;
   t_reasons : int array;
   t_deny_steps : (string * int) list;
   t_per_sem : (string * hist) list;
   t_sites : (int * int array) list;
+  t_site_alloc : (int * int) list;
+  t_alloc : hist;                         (* per-call minor words, alloc bounds *)
 }
 
 type t = {
-  bounds : int array;          (* shared histogram bucket bounds *)
+  bounds : int array;          (* shared cycle-histogram bucket bounds *)
   nslots : int;                (* Array.length bounds + 1 (overflow) *)
+  a_bounds : int array;        (* alloc-histogram bucket bounds (words) *)
+  a_nslots : int;
   ring_capacity : int;
   shards : (int, shard) Hashtbl.t;
   mutable retired : stats;
   (* plane-global cumulative mirrors, feeding the snapshot emitter *)
   g_hist : mhist;
+  g_alloc : mhist;
   g_reasons : int array;
   mutable g_records : int;
   mutable g_denies : int;
@@ -92,36 +101,61 @@ type t = {
   mutable em_last_calls : int;
   mutable em_last_denies : int;
   mutable em_last_cycles : int;
+  mutable em_last_alloc : int;
 }
 
 let default_buckets = lazy (Metrics.log_linear_buckets ~lo:100 ~hi:1_000_000)
+
+(* per-call minor words run two orders of magnitude below per-call cycles
+   (~10^2..10^3 words vs ~10^3..10^6 cycles), so the alloc histograms get
+   their own log-linear ladder starting at 10 words *)
+let default_alloc_buckets = lazy (Metrics.log_linear_buckets ~lo:10 ~hi:1_000_000)
+
+let empty_hist = { q_counts = [||]; q_sum = 0; q_count = 0 }
 
 let empty_stats = {
   t_shards = 0;
   t_calls = 0;
   t_cycles = 0;
   t_self_cycles = 0;
+  t_alloc_words = 0;
   t_reasons = Array.make num_reasons 0;
   t_deny_steps = [];
   t_per_sem = [];
   t_sites = [];
+  t_site_alloc = [];
+  t_alloc = empty_hist;
 }
 
-let create ?(ring_capacity = 256) ?buckets () =
-  let buckets = match buckets with Some b -> b | None -> Lazy.force default_buckets in
-  let bounds = Array.of_list buckets in
-  if Array.length bounds = 0 then invalid_arg "Telemetry.create: empty buckets";
+let check_bounds what bounds =
+  if Array.length bounds = 0 then invalid_arg ("Telemetry.create: empty " ^ what);
   Array.iteri
     (fun i b -> if i > 0 && b <= bounds.(i - 1) then
-        invalid_arg "Telemetry.create: buckets must be strictly increasing")
-    bounds;
+        invalid_arg ("Telemetry.create: " ^ what ^ " must be strictly increasing"))
+    bounds
+
+let create ?(ring_capacity = 256) ?buckets ?alloc_buckets () =
+  let buckets = match buckets with Some b -> b | None -> Lazy.force default_buckets in
+  let alloc_buckets =
+    match alloc_buckets with Some b -> b | None -> Lazy.force default_alloc_buckets
+  in
+  let bounds = Array.of_list buckets in
+  let a_bounds = Array.of_list alloc_buckets in
+  check_bounds "buckets" bounds;
+  check_bounds "alloc buckets" a_bounds;
   let nslots = Array.length bounds + 1 in
+  let a_nslots = Array.length a_bounds + 1 in
   { bounds;
     nslots;
+    a_bounds;
+    a_nslots;
     ring_capacity;
     shards = Hashtbl.create 16;
-    retired = empty_stats;
+    (* the retired aggregate's alloc hist must be shaped like the live
+       shards' so [merge]'s element-wise bucket addition lines up *)
+    retired = { empty_stats with t_alloc = { empty_hist with q_counts = Array.make a_nslots 0 } };
     g_hist = { m_counts = Array.make nslots 0; m_sum = 0; m_count = 0 };
+    g_alloc = { m_counts = Array.make a_nslots 0; m_sum = 0; m_count = 0 };
     g_reasons = Array.make num_reasons 0;
     g_records = 0;
     g_denies = 0;
@@ -132,7 +166,8 @@ let create ?(ring_capacity = 256) ?buckets () =
     em_last_counts = Array.make nslots 0;
     em_last_calls = 0;
     em_last_denies = 0;
-    em_last_cycles = 0 }
+    em_last_cycles = 0;
+    em_last_alloc = 0 }
 
 let shard t ~pid =
   match Hashtbl.find_opt t.shards pid with
@@ -144,6 +179,8 @@ let shard t ~pid =
       sh_deny = Hashtbl.create 4;
       sh_per_sem = Hashtbl.create 16;
       sh_sites = Hashtbl.create 32;
+      sh_site_alloc = Hashtbl.create 32;
+      sh_alloc = { m_counts = Array.make t.a_nslots 0; m_sum = 0; m_count = 0 };
       sh_ledger = Ring.create ~capacity:t.ring_capacity;
       sh_calls = 0;
       sh_cycles = 0;
@@ -152,21 +189,23 @@ let shard t ~pid =
     Hashtbl.replace t.shards pid sh;
     sh
 
-let mhist_observe t h v =
-  let n = Array.length t.bounds in
-  let rec slot i = if i >= n || v <= t.bounds.(i) then i else slot (i + 1) in
+let mhist_observe bounds h v =
+  let n = Array.length bounds in
+  let rec slot i = if i >= n || v <= bounds.(i) then i else slot (i + 1) in
   h.m_counts.(slot 0) <- h.m_counts.(slot 0) + 1;
   h.m_sum <- h.m_sum + v;
   h.m_count <- h.m_count + 1
 
-let snapshot_of_counts t counts sum count =
+let snapshot_of_counts bounds counts sum count =
   { Metrics.h_buckets =
-      Array.to_list (Array.mapi (fun i b -> (b, counts.(i))) t.bounds);
-    h_overflow = counts.(Array.length t.bounds);
+      Array.to_list (Array.mapi (fun i b -> (b, counts.(i))) bounds);
+    h_overflow = counts.(Array.length bounds);
     h_count = count;
     h_sum = sum }
 
-let hist_snapshot t h = snapshot_of_counts t h.q_counts h.q_sum h.q_count
+let hist_snapshot_of bounds h = snapshot_of_counts bounds h.q_counts h.q_sum h.q_count
+let hist_snapshot t h = hist_snapshot_of t.bounds h
+let alloc_hist_snapshot t h = hist_snapshot_of t.a_bounds h
 
 (* Cut one time-series row: cumulative counters, the interval's deltas,
    and p50/p95/p99 over the interval's verification-cycle observations
@@ -176,7 +215,8 @@ let cut_row t ~now =
   let d_calls = t.g_hist.m_count - t.em_last_calls in
   let d_cycles = t.g_hist.m_sum - t.em_last_cycles in
   let d_denies = t.g_denies - t.em_last_denies in
-  let snap = snapshot_of_counts t d_counts d_cycles d_calls in
+  let d_alloc = t.g_alloc.m_sum - t.em_last_alloc in
+  let snap = snapshot_of_counts t.bounds d_counts d_cycles d_calls in
   let q p = Metrics.quantile snap p in
   let row =
     Json.Obj [
@@ -185,9 +225,11 @@ let cut_row t ~now =
       ("denies", Json.Int t.g_denies);
       ("cycles", Json.Int t.g_hist.m_sum);
       ("self_cycles", Json.Int t.g_self);
+      ("alloc_words", Json.Int t.g_alloc.m_sum);
       ("interval_calls", Json.Int d_calls);
       ("interval_denies", Json.Int d_denies);
       ("interval_cycles", Json.Int d_cycles);
+      ("interval_alloc_words", Json.Int d_alloc);
       ("reasons",
        Json.Obj
          (Array.to_list
@@ -201,9 +243,10 @@ let cut_row t ~now =
   t.em_last_counts <- Array.copy t.g_hist.m_counts;
   t.em_last_calls <- t.g_hist.m_count;
   t.em_last_denies <- t.g_denies;
-  t.em_last_cycles <- t.g_hist.m_sum
+  t.em_last_cycles <- t.g_hist.m_sum;
+  t.em_last_alloc <- t.g_alloc.m_sum
 
-let record t sh ~site ~sem ~reason ~cycles ~now =
+let record t sh ~site ~sem ~reason ~cycles ~alloc ~now =
   let idx = reason_index reason in
   sh.sh_reasons.(idx) <- sh.sh_reasons.(idx) + 1;
   sh.sh_calls <- sh.sh_calls + 1;
@@ -221,7 +264,8 @@ let record t sh ~site ~sem ~reason ~cycles ~now =
       Hashtbl.replace sh.sh_per_sem sem h;
       h
   in
-  mhist_observe t sem_hist cycles;
+  mhist_observe t.bounds sem_hist cycles;
+  mhist_observe t.a_bounds sh.sh_alloc alloc;
   let site_counts =
     match Hashtbl.find_opt sh.sh_sites site with
     | Some a -> a
@@ -231,12 +275,16 @@ let record t sh ~site ~sem ~reason ~cycles ~now =
       a
   in
   site_counts.(idx) <- site_counts.(idx) + 1;
+  Hashtbl.replace sh.sh_site_alloc site
+    (alloc + (match Hashtbl.find_opt sh.sh_site_alloc site with Some w -> w | None -> 0));
   Ring.push sh.sh_ledger
-    { le_site = site; le_sem = sem; le_reason = reason; le_cycles = cycles; le_ts = now };
+    { le_site = site; le_sem = sem; le_reason = reason; le_cycles = cycles;
+      le_alloc = alloc; le_ts = now };
   t.g_records <- t.g_records + 1;
   t.g_reasons.(idx) <- t.g_reasons.(idx) + 1;
   if idx = reason_index (Deny "") then t.g_denies <- t.g_denies + 1;
-  mhist_observe t t.g_hist cycles;
+  mhist_observe t.bounds t.g_hist cycles;
+  mhist_observe t.a_bounds t.g_alloc alloc;
   if t.em_interval > 0 && now >= t.em_next then begin
     cut_row t ~now;
     t.em_next <- now + t.em_interval
@@ -255,6 +303,7 @@ let stats_of_shard _t sh =
     t_calls = sh.sh_calls;
     t_cycles = sh.sh_cycles;
     t_self_cycles = sh.sh_self;
+    t_alloc_words = sh.sh_alloc.m_sum;
     t_reasons = Array.copy sh.sh_reasons;
     t_deny_steps = sorted_assoc sh.sh_deny;
     t_per_sem =
@@ -262,7 +311,12 @@ let stats_of_shard _t sh =
         (fun (k, h) ->
           (k, { q_counts = Array.copy h.m_counts; q_sum = h.m_sum; q_count = h.m_count }))
         (sorted_assoc sh.sh_per_sem);
-    t_sites = List.map (fun (k, a) -> (k, Array.copy a)) (sorted_assoc sh.sh_sites) }
+    t_sites = List.map (fun (k, a) -> (k, Array.copy a)) (sorted_assoc sh.sh_sites);
+    t_site_alloc = sorted_assoc sh.sh_site_alloc;
+    t_alloc =
+      { q_counts = Array.copy sh.sh_alloc.m_counts;
+        q_sum = sh.sh_alloc.m_sum;
+        q_count = sh.sh_alloc.m_count } }
 
 let add_arrays a b =
   if Array.length a <> Array.length b then
@@ -270,9 +324,14 @@ let add_arrays a b =
   Array.mapi (fun i x -> x + b.(i)) a
 
 let merge_hist a b =
-  { q_counts = add_arrays a.q_counts b.q_counts;
-    q_sum = a.q_sum + b.q_sum;
-    q_count = a.q_count + b.q_count }
+  (* a zero-length histogram is the merge identity (e.g. [empty_stats]
+     before any plane sized its bucket array) *)
+  if Array.length a.q_counts = 0 then b
+  else if Array.length b.q_counts = 0 then a
+  else
+    { q_counts = add_arrays a.q_counts b.q_counts;
+      q_sum = a.q_sum + b.q_sum;
+      q_count = a.q_count + b.q_count }
 
 (* Union of two sorted assoc lists, combining values on key collision.
    Output stays sorted, so the merge result is independent of operand
@@ -290,10 +349,13 @@ let merge a b =
     t_calls = a.t_calls + b.t_calls;
     t_cycles = a.t_cycles + b.t_cycles;
     t_self_cycles = a.t_self_cycles + b.t_self_cycles;
+    t_alloc_words = a.t_alloc_words + b.t_alloc_words;
     t_reasons = add_arrays a.t_reasons b.t_reasons;
     t_deny_steps = assoc_union ( + ) a.t_deny_steps b.t_deny_steps;
     t_per_sem = assoc_union merge_hist a.t_per_sem b.t_per_sem;
-    t_sites = assoc_union add_arrays a.t_sites b.t_sites }
+    t_sites = assoc_union add_arrays a.t_sites b.t_sites;
+    t_site_alloc = assoc_union ( + ) a.t_site_alloc b.t_site_alloc;
+    t_alloc = merge_hist a.t_alloc b.t_alloc }
 
 let aggregate t =
   Hashtbl.fold (fun _ sh acc -> merge acc (stats_of_shard t sh)) t.shards t.retired
@@ -329,12 +391,12 @@ let self_cycles t = t.g_self
 let records t = t.g_records
 
 let stats_to_json t s =
-  let quantiles h =
-    let snap = hist_snapshot t h in
+  let quantiles bounds unit h =
+    let snap = hist_snapshot_of bounds h in
     Json.Obj [
       ("count", Json.Int h.q_count);
-      ("sum_cycles", Json.Int h.q_sum);
-      ("mean_cycles", Json.Int (if h.q_count = 0 then 0 else h.q_sum / h.q_count));
+      ("sum_" ^ unit, Json.Int h.q_sum);
+      ("mean_" ^ unit, Json.Int (if h.q_count = 0 then 0 else h.q_sum / h.q_count));
       ("p50", Json.Int (Metrics.quantile snap 0.50));
       ("p95", Json.Int (Metrics.quantile snap 0.95));
       ("p99", Json.Int (Metrics.quantile snap 0.99));
@@ -345,6 +407,7 @@ let stats_to_json t s =
     ("calls", Json.Int s.t_calls);
     ("cycles", Json.Int s.t_cycles);
     ("self_cycles", Json.Int s.t_self_cycles);
+    ("alloc_words", Json.Int s.t_alloc_words);
     ("reasons_total", Json.Int (reasons_total s));
     ("reasons",
      Json.Obj
@@ -352,13 +415,20 @@ let stats_to_json t s =
     ("deny_steps",
      Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) s.t_deny_steps));
     ("per_syscall",
-     Json.Obj (List.map (fun (k, h) -> (k, quantiles h)) s.t_per_sem));
+     Json.Obj (List.map (fun (k, h) -> (k, quantiles t.bounds "cycles" h)) s.t_per_sem));
+    ("alloc",
+     if Array.length s.t_alloc.q_counts = 0 then
+       quantiles [||] "words" { s.t_alloc with q_counts = [| 0 |] }
+     else quantiles t.a_bounds "words" s.t_alloc);
     ("sites",
      Json.List
        (List.map
           (fun (site, counts) ->
             Json.Obj
               (("site", Json.Int site)
+               :: ("alloc_words",
+                   Json.Int
+                     (match List.assoc_opt site s.t_site_alloc with Some w -> w | None -> 0))
                :: Array.to_list
                     (Array.mapi (fun i l -> (l, Json.Int counts.(i))) reason_labels)))
           s.t_sites));

@@ -73,25 +73,32 @@ type ledger_entry = {
   le_sem : string;            (** resolved syscall name, or [syscall#N] *)
   le_reason : reason;
   le_cycles : int;            (** modeled verification cycles of the call *)
+  le_alloc : int;             (** host minor words the verification allocated *)
   le_ts : int;                (** machine cycle timestamp *)
 }
 
-val create : ?ring_capacity:int -> ?buckets:int list -> unit -> t
+val create : ?ring_capacity:int -> ?buckets:int list -> ?alloc_buckets:int list -> unit -> t
 (** [ring_capacity] (default 256) bounds each pid's decision ledger;
     [buckets] (default [Metrics.log_linear_buckets ~lo:100 ~hi:1_000_000])
     are the shared bounds of every per-syscall verification-cycles
-    histogram — shared so shard merge is element-wise. *)
+    histogram — shared so shard merge is element-wise. [alloc_buckets]
+    (default [log_linear_buckets ~lo:10 ~hi:1_000_000]) are the separate
+    bounds of the per-call minor-words histograms, scaled down because a
+    verified call allocates orders of magnitude fewer words than it
+    spends cycles. *)
 
 val shard : t -> pid:int -> shard
 (** The pid's live shard, created on first use (the kernel calls this
     from [spawn]). *)
 
 val record :
-  t -> shard -> site:int -> sem:string -> reason:reason -> cycles:int -> now:int -> unit
-(** The hot-path write: bump the shard's reason/site/syscall statistics,
-    append to its ledger ring, and (when an emitter is armed) cut a
-    snapshot if [now] crossed the emission interval. Touches only the
-    one shard plus plane-global counters. *)
+  t -> shard -> site:int -> sem:string -> reason:reason -> cycles:int -> alloc:int ->
+  now:int -> unit
+(** The hot-path write: bump the shard's reason/site/syscall statistics
+    and alloc rollups ([alloc] = host minor words the call's verification
+    allocated), append to its ledger ring, and (when an emitter is armed)
+    cut a snapshot if [now] crossed the emission interval. Touches only
+    the one shard plus plane-global counters. *)
 
 val note_self : t -> shard -> int -> unit
 (** Account [n] modeled cycles of telemetry self-overhead (the
@@ -112,16 +119,13 @@ val live_pids : t -> int list
 
 (** {1 Aggregation} *)
 
-(** Mergeable histogram: counts over the plane's shared bucket bounds
-    (last slot = overflow), plus exact sum/count. *)
+(** Mergeable histogram: counts over shared bucket bounds (last slot =
+    overflow), plus exact sum/count. *)
 type hist = {
   q_counts : int array;
   q_sum : int;
   q_count : int;
 }
-
-val hist_snapshot : t -> hist -> Metrics.histogram_snapshot
-(** View over the plane's bounds, for {!Metrics.quantile}. *)
 
 (** An immutable aggregate of one or more shards. All maps are sorted
     assoc lists so equal aggregates compare structurally equal. *)
@@ -130,11 +134,20 @@ type stats = {
   t_calls : int;                       (** monitored calls recorded *)
   t_cycles : int;                      (** verification cycles recorded *)
   t_self_cycles : int;                 (** telemetry's own charged cycles *)
+  t_alloc_words : int;                 (** minor words recorded ([t_alloc] sum) *)
   t_reasons : int array;               (** indexed by {!reason_index} *)
   t_deny_steps : (string * int) list;  (** violation step name -> denies *)
   t_per_sem : (string * hist) list;    (** syscall name -> cycle histogram *)
   t_sites : (int * int array) list;    (** site -> per-reason counts *)
+  t_site_alloc : (int * int) list;     (** site -> minor words rollup *)
+  t_alloc : hist;                      (** per-call minor words (alloc bounds) *)
 }
+
+val hist_snapshot : t -> hist -> Metrics.histogram_snapshot
+(** View over the plane's cycle bounds, for {!Metrics.quantile}. *)
+
+val alloc_hist_snapshot : t -> hist -> Metrics.histogram_snapshot
+(** View over the plane's alloc (minor-words) bounds. *)
 
 val empty_stats : stats
 val stats_of_shard : t -> shard -> stats
@@ -158,9 +171,10 @@ val set_emitter : t -> interval:int -> unit
 (** Arm the periodic snapshot emitter: whenever a recorded call's [now]
     timestamp crosses a multiple of [interval] virtual cycles, one
     time-series row is cut. Each row carries the virtual timestamp,
-    cumulative and per-interval call/deny/cycle counters, per-reason
-    cumulative counts and p50/p95/p99 of the interval's verification
-    cycles (quantiles over the bucket deltas since the previous row).
+    cumulative and per-interval call/deny/cycle/minor-word counters,
+    per-reason cumulative counts and p50/p95/p99 of the interval's
+    verification cycles (quantiles over the bucket deltas since the
+    previous row).
     @raise Invalid_argument when [interval < 1]. *)
 
 val snapshots : t -> Json.t list
@@ -175,6 +189,8 @@ val records : t -> int
 (** {1 Export} *)
 
 val stats_to_json : t -> stats -> Json.t
-(** Full aggregate: totals, reason buckets (all {!reason_labels}, zeros
-    included, plus a [reasons_total] the consumers can check against
-    [calls]), deny steps, per-syscall quantiles, per-site rollups. *)
+(** Full aggregate: totals (cycles and minor words), reason buckets (all
+    {!reason_labels}, zeros included, plus a [reasons_total] the consumers
+    can check against [calls]), deny steps, per-syscall cycle quantiles,
+    fleet-wide per-call alloc quantiles, per-site rollups (reason counts
+    plus [alloc_words]). *)

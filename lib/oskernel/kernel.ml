@@ -132,6 +132,7 @@ type t = {
   ctr_denied : Asc_obs.Metrics.counter;
   ctr_vm_instrs : Asc_obs.Metrics.counter;
   ctr_vm_cycles : Asc_obs.Metrics.counter;
+  ctr_host_minor_words : Asc_obs.Metrics.counter;
   hist_syscall_cycles : Asc_obs.Metrics.histogram;
   sem_counters : (Syscall.sem, Asc_obs.Metrics.counter) Hashtbl.t;
 }
@@ -166,6 +167,9 @@ let create ?(personality = Personality.linux) ?obs ?(trace_capacity = 65536)
         ~help:"instructions retired by this kernel's processes";
     ctr_vm_cycles =
       Asc_obs.Metrics.counter obs "svm.cycles" ~help:"modeled cycles (app + kernel charges)";
+    ctr_host_minor_words =
+      Asc_obs.Metrics.counter obs "kernel.host_minor_words"
+        ~help:"host minor words allocated inside Machine.run (interpreter + checker)";
     hist_syscall_cycles =
       Asc_obs.Metrics.histogram obs "kernel.syscall_cycles"
         ~help:"modeled cycles per dispatched syscall (trap + check + work)";
@@ -805,11 +809,13 @@ let run t (p : Process.t) ~max_cycles =
   in
   let m = p.machine in
   let start_instrs = m.instrs and start_cycles = m.cycles in
+  let start_minor = Asc_obs.Profile.minor_words () in
   let stop = Machine.run m ~on_sys ~max_cycles in
   (* per-kernel mirrors of the machine totals: registries created per
      kernel (the default) never see another run's instructions *)
   Asc_obs.Metrics.add t.ctr_vm_instrs (m.instrs - start_instrs);
   Asc_obs.Metrics.add t.ctr_vm_cycles (m.cycles - start_cycles);
+  Asc_obs.Metrics.add t.ctr_host_minor_words (Asc_obs.Profile.minor_words () - start_minor);
   (* terminal stops tear the process down; a cycle-limit stop may resume *)
   (match stop with
    | Machine.Halted _ | Machine.Killed _ | Machine.Faulted _ ->

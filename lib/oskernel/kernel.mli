@@ -120,6 +120,10 @@ type t = {
       kernel, mirrored from machine deltas by {!run} so kernels with
       separate registries never bleed into each other. *)
   ctr_vm_cycles : Asc_obs.Metrics.counter;   (** likewise [svm.cycles] *)
+  ctr_host_minor_words : Asc_obs.Metrics.counter;
+  (** [kernel.host_minor_words]: host minor-heap words allocated while
+      this kernel's processes ran (interpreter + checker + telemetry),
+      measured as [Gc.minor_words] deltas around {!run}. *)
   hist_syscall_cycles : Asc_obs.Metrics.histogram;
   sem_counters : (Syscall.sem, Asc_obs.Metrics.counter) Hashtbl.t;
 }

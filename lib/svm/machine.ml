@@ -34,6 +34,10 @@ let create ~mem_size =
     stopped = None;
     profile = None }
 
+let attach_profile ?(alloc = false) t p =
+  t.profile <- Some p;
+  if alloc then Asc_obs.Profile.track_alloc p
+
 let stack_top t = Bytes.length t.mem - 16
 
 let in_range t addr len = addr >= 0 && len >= 0 && addr + len <= Bytes.length t.mem

@@ -45,6 +45,11 @@ val default_mem_size : int
 
 val stack_top : t -> int
 
+val attach_profile : ?alloc:bool -> t -> Asc_obs.Profile.t -> unit
+(** [attach_profile t p] sets [t.profile]. With [~alloc:true] it also arms
+    the profiler's minor-words sampling ([Profile.track_alloc]) so every
+    shadow-stack transition attributes host allocation alongside cycles. *)
+
 val run : t -> on_sys:(t -> sys_action) -> max_cycles:int -> stop
 (** Execute until halt, fault, kill or cycle budget exhaustion. [on_sys] is
     invoked for every [Sys] with pc already advanced past the instruction,

@@ -248,13 +248,13 @@ let bench_doc rows =
 let test_baseline_within_tolerance () =
   let base = bench_doc [ ("getpid", 1000); ("read", 7000) ] in
   let actual = bench_doc [ ("getpid", 1040); ("read", 6800) ] in
-  (match Baseline.compare ~tolerance:5.0 ~baseline:base ~actual with
+  (match Baseline.compare ~tolerance:5.0 ~baseline:base ~actual () with
    | Ok () -> ()
    | Error ps -> Alcotest.failf "4%% drift rejected at 5%%: %s" (String.concat "; " ps));
   (* Int and Float are numerically interchangeable *)
   match
     Baseline.compare ~tolerance:1.0 ~baseline:(Json.Obj [ ("x", Json.Int 10) ])
-      ~actual:(Json.Obj [ ("x", Json.Float 10.0) ])
+      ~actual:(Json.Obj [ ("x", Json.Float 10.0) ]) ()
   with
   | Ok () -> ()
   | Error _ -> Alcotest.fail "10 vs 10.0 should compare equal"
@@ -262,7 +262,7 @@ let test_baseline_within_tolerance () =
 let test_baseline_regression_detected () =
   let base = bench_doc [ ("getpid", 1000); ("read", 7000) ] in
   let actual = bench_doc [ ("getpid", 1200); ("read", 7000) ] in
-  match Baseline.compare ~tolerance:10.0 ~baseline:base ~actual with
+  match Baseline.compare ~tolerance:10.0 ~baseline:base ~actual () with
   | Ok () -> Alcotest.fail "20% drift passed a 10% gate"
   | Error [ msg ] ->
     Alcotest.(check bool) "message names the path" true
@@ -273,14 +273,84 @@ let test_baseline_near_zero_floor () =
   (* the max(...,1) floor keeps near-zero leaves from demanding equality *)
   match
     Baseline.compare ~tolerance:10.0 ~baseline:(Json.Obj [ ("x", Json.Int 0) ])
-      ~actual:(Json.Obj [ ("x", Json.Float 0.05) ])
+      ~actual:(Json.Obj [ ("x", Json.Float 0.05) ]) ()
   with
   | Ok () -> ()
   | Error ps -> Alcotest.failf "tiny absolute drift rejected: %s" (String.concat "; " ps)
 
+let test_baseline_abs_tolerance () =
+  (* global absolute floor: a zero-expected leaf drifting by a few units
+     passes with --tolerance-abs even though the drift is infinite in
+     percent terms... *)
+  (match
+     Baseline.compare ~tolerance:1.0 ~tolerance_abs:8.0
+       ~baseline:(Json.Obj [ ("words", Json.Int 0) ])
+       ~actual:(Json.Obj [ ("words", Json.Int 6) ]) ()
+   with
+   | Ok () -> ()
+   | Error ps -> Alcotest.failf "abs floor did not rescue 0->6: %s" (String.concat "; " ps));
+  (* ...but drift beyond the floor still fails *)
+  (match
+     Baseline.compare ~tolerance:1.0 ~tolerance_abs:8.0
+       ~baseline:(Json.Obj [ ("words", Json.Int 0) ])
+       ~actual:(Json.Obj [ ("words", Json.Int 9) ]) ()
+   with
+   | Ok () -> Alcotest.fail "0->9 passed an abs floor of 8"
+   | Error _ -> ());
+  (* the floor is a disjunct: a large leaf still passes on percentage *)
+  match
+    Baseline.compare ~tolerance:10.0 ~tolerance_abs:8.0
+      ~baseline:(Json.Obj [ ("cycles", Json.Int 10_000) ])
+      ~actual:(Json.Obj [ ("cycles", Json.Int 10_500) ]) ()
+  with
+  | Ok () -> ()
+  | Error ps -> Alcotest.failf "5%% drift rejected at 10%%: %s" (String.concat "; " ps)
+
+let test_baseline_per_field_spec () =
+  let spec value kind max =
+    Json.Obj
+      [ ("value", value);
+        ("tolerance", Json.Obj [ ("kind", Json.Str kind); ("max", Json.Int max) ]) ]
+  in
+  (* per-field abs spec admits small drift on a zero-expected leaf even
+     with no global tolerances at all *)
+  (match
+     Baseline.compare ~tolerance:0.0
+       ~baseline:(Json.Obj [ ("words", spec (Json.Int 0) "abs" 8) ])
+       ~actual:(Json.Obj [ ("words", Json.Int 5) ]) ()
+   with
+   | Ok () -> ()
+   | Error ps -> Alcotest.failf "abs spec did not admit 0->5: %s" (String.concat "; " ps));
+  (* and rejects drift beyond its own max, even when the global gates are
+     wide open — the spec overrides them *)
+  (match
+     Baseline.compare ~tolerance:100.0 ~tolerance_abs:1000.0
+       ~baseline:(Json.Obj [ ("words", spec (Json.Int 0) "abs" 8) ])
+       ~actual:(Json.Obj [ ("words", Json.Int 20) ]) ()
+   with
+   | Ok () -> Alcotest.fail "abs spec max=8 admitted a drift of 20"
+   | Error _ -> ());
+  (* pct specs use the same formula as the global percentage gate *)
+  (match
+     Baseline.compare ~tolerance:0.0
+       ~baseline:(Json.Obj [ ("cycles", spec (Json.Int 1000) "pct" 10) ])
+       ~actual:(Json.Obj [ ("cycles", Json.Int 1050) ]) ()
+   with
+   | Ok () -> ()
+   | Error ps -> Alcotest.failf "pct spec rejected 5%% drift: %s" (String.concat "; " ps));
+  (* an object that merely resembles a spec (wrong keys) is still compared
+     structurally, so typos fail loudly instead of passing silently *)
+  match
+    Baseline.compare ~tolerance:100.0
+      ~baseline:(Json.Obj [ ("x", Json.Obj [ ("value", Json.Int 1) ]) ])
+      ~actual:(Json.Obj [ ("x", Json.Int 1) ]) ()
+  with
+  | Ok () -> Alcotest.fail "non-spec object compared as a spec"
+  | Error _ -> ()
+
 let test_baseline_schema_strict () =
   let check_fails name base actual =
-    match Baseline.compare ~tolerance:100.0 ~baseline:base ~actual with
+    match Baseline.compare ~tolerance:100.0 ~baseline:base ~actual () with
     | Ok () -> Alcotest.failf "%s should fail regardless of tolerance" name
     | Error _ -> ()
   in
@@ -300,7 +370,7 @@ let test_baseline_schema_strict () =
   match
     Baseline.compare ~tolerance:1.0
       ~baseline:(bench_doc [ ("a", 100); ("b", 100) ])
-      ~actual:(bench_doc [ ("a", 200); ("b", 300) ])
+      ~actual:(bench_doc [ ("a", 200); ("b", 300) ]) ()
   with
   | Error [ _; _ ] -> ()
   | Error ps -> Alcotest.failf "expected 2 problems, got %d" (List.length ps)
@@ -562,6 +632,8 @@ let () =
         [ Alcotest.test_case "within tolerance" `Quick test_baseline_within_tolerance;
           Alcotest.test_case "regression detected" `Quick test_baseline_regression_detected;
           Alcotest.test_case "near-zero floor" `Quick test_baseline_near_zero_floor;
+          Alcotest.test_case "global absolute floor" `Quick test_baseline_abs_tolerance;
+          Alcotest.test_case "per-field tolerance spec" `Quick test_baseline_per_field_spec;
           Alcotest.test_case "schema must match exactly" `Quick test_baseline_schema_strict ] );
       ( "json",
         [ Alcotest.test_case "round-trip" `Quick test_json_roundtrip;

@@ -99,6 +99,39 @@ let test_reset_stack () =
     [ ([ "(root)" ], 4) ]
     (Profile.folded ~symbolize:sym p)
 
+(* --- the alloc plane of the tree --- *)
+
+let test_alloc_tracking () =
+  let p = Profile.create () in
+  Alcotest.(check bool) "alloc sampling off by default" false (Profile.alloc_tracked p);
+  Alcotest.(check int) "no words charged while off" 0 (Profile.total_alloc_words p);
+  Profile.track_alloc p;
+  (* read the reference point immediately: track_alloc arms the mark and
+     minor_words does not allocate, so mark and a0 coincide — anything
+     allocated after this line (including the checks below) is charged *)
+  let a0 = Profile.minor_words () in
+  Alcotest.(check bool) "armed" true (Profile.alloc_tracked p);
+  Profile.enter p (Profile.Label "f");
+  let junk = Sys.opaque_identity (Array.make 100 0) in
+  ignore (Sys.opaque_identity junk.(0));
+  Profile.leave p;
+  Profile.sample_alloc p;
+  let a1 = Profile.minor_words () in
+  (* telescoping conservation: everything allocated between the first and
+     last sample is charged to exactly one frame *)
+  Alcotest.(check int) "charged words = machine-scope delta" (a1 - a0)
+    (Profile.total_alloc_words p);
+  let folded = Profile.folded_alloc ~symbolize:sym p in
+  let sum = List.fold_left (fun acc (_, w) -> acc + w) 0 folded in
+  Alcotest.(check int) "folded words sum to total" (Profile.total_alloc_words p) sum;
+  (* the 101-word array was allocated inside f's span, so f's frame owns it *)
+  let f_words =
+    List.fold_left
+      (fun acc (stack, w) -> if List.mem "f" stack then acc + w else acc)
+      0 folded
+  in
+  Alcotest.(check bool) "array charged to the live frame" true (f_words >= 101)
+
 (* --- folded text round-trip --- *)
 
 let test_folded_roundtrip () =
@@ -240,6 +273,87 @@ let test_unprofiled_run_identical () =
   Alcotest.(check int) "same instruction count"
     proc2.Process.machine.Svm.Machine.instrs proc1.Process.machine.Svm.Machine.instrs
 
+(* --- QCheck: alloc conservation over random programs ---
+
+   Over arbitrary terminating MiniC programs (biased toward syscalls so
+   the checker's step regions get traffic), the words the armed profiler
+   charges to its frames must equal the machine-scope Gc.minor_words
+   delta exactly — the property that makes alloc flamegraphs trustworthy:
+   nothing the host allocated during the run escapes attribution. *)
+
+let loop_counter = ref 0
+
+let fresh () =
+  incr loop_counter;
+  Printf.sprintf "q%d" !loop_counter
+
+let gen_program =
+  let open QCheck.Gen in
+  let var i = Printf.sprintf "v%d" (i mod 3) in
+  let gen_call =
+    let* c = int_bound 5 in
+    let u = fresh () in
+    return
+      (match c with
+       | 0 -> "getpid();"
+       | 1 -> "write(1, \"ab\", 2);"
+       | 2 ->
+         Printf.sprintf
+           "{ int f%s = open(\"/tmp/v\", 65, 420); if (f%s >= 0) { write(f%s, \"y\", 1); close(f%s); } }"
+           u u u u
+       | 3 -> "access(\"/etc/q\", 4);"
+       | 4 -> Printf.sprintf "{ char t%s[16]; gettimeofday(t%s, 0); }" u u
+       | _ -> "puts_str(\"t\\n\");")
+  in
+  let gen_stmt =
+    oneof
+      [ (let* i = int_bound 2 in
+         let* v = int_bound 999 in
+         return (Printf.sprintf "%s = %s + %d;" (var i) (var ((i + 1) mod 3)) v));
+        gen_call;
+        (let* body = gen_call in
+         let k = fresh () in
+         return
+           (Printf.sprintf "{ int %s; for (%s = 0; %s < 4; %s = %s + 1) { %s } }" k k k k k
+              body)) ]
+  in
+  let* stmts = list_size (int_range 1 10) gen_stmt in
+  return
+    (Printf.sprintf "int v0; int v1; int v2;\nint main() {\n  %s\n  return v0 %% 100;\n}"
+       (String.concat "\n  " stmts))
+
+let arbitrary_program = QCheck.make ~print:(fun s -> s) gen_program
+
+let qcheck_alloc_conservation =
+  QCheck.Test.make ~name:"charged minor words = machine-scope Gc delta" ~count:25
+    arbitrary_program (fun src ->
+      let personality = Personality.linux in
+      match Minic.Driver.compile ~personality src with
+      | Error e -> QCheck.Test.fail_reportf "generated program does not compile: %s" e
+      | Ok img ->
+        (match Asc_core.Installer.install ~key ~personality ~program:"qp" img with
+         | Error e -> QCheck.Test.fail_reportf "install failed: %s" e
+         | Ok inst ->
+           let kernel = Kernel.create ~personality () in
+           Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ()));
+           let proc =
+             Kernel.spawn kernel ~program:"qp" inst.Asc_core.Installer.image
+           in
+           let prof = Profile.create () in
+           (* arm first, then mark: attach_profile itself allocates, the
+              reads below do not *)
+           Svm.Machine.attach_profile ~alloc:true proc.Process.machine prof;
+           let a0 = Profile.minor_words () in
+           let _stop = Kernel.run kernel proc ~max_cycles:200_000_000 in
+           Profile.sample_alloc prof;
+           let a1 = Profile.minor_words () in
+           let charged = Profile.total_alloc_words prof in
+           if charged <> a1 - a0 then
+             QCheck.Test.fail_reportf "profiler charged %d words but the machine allocated %d"
+               charged (a1 - a0);
+           let folded = Profile.folded_alloc ~symbolize:sym prof in
+           List.fold_left (fun acc (_, w) -> acc + w) 0 folded = charged))
+
 (* --- satellite: per-kernel svm counters do not bleed --- *)
 
 let test_vm_counters_isolated () =
@@ -266,7 +380,8 @@ let () =
           Alcotest.test_case "charge_label" `Quick test_charge_label;
           Alcotest.test_case "recursion counted once in totals" `Quick
             test_recursion_total_counted_once;
-          Alcotest.test_case "reset_stack" `Quick test_reset_stack ] );
+          Alcotest.test_case "reset_stack" `Quick test_reset_stack;
+          Alcotest.test_case "alloc sampling and conservation" `Quick test_alloc_tracking ] );
       ( "folded",
         [ Alcotest.test_case "round-trip" `Quick test_folded_roundtrip;
           Alcotest.test_case "malformed inputs rejected" `Quick test_parse_folded_errors ] );
@@ -278,4 +393,5 @@ let () =
           Alcotest.test_case "profiler does not perturb cycles" `Quick
             test_unprofiled_run_identical;
           Alcotest.test_case "per-kernel vm counters isolated" `Quick
-            test_vm_counters_isolated ] ) ]
+            test_vm_counters_isolated;
+          QCheck_alcotest.to_alcotest qcheck_alloc_conservation ] ) ]

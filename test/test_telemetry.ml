@@ -89,7 +89,7 @@ let test_ledger_entries () =
   let sh = T.shard t ~pid:9 in
   for i = 1 to 6 do
     T.record t sh ~site:(0x40 + i) ~sem:"read" ~reason:T.Slow_path ~cycles:(100 * i)
-      ~now:(1000 * i)
+      ~alloc:(10 * i) ~now:(1000 * i)
   done;
   let entries = T.ledger t ~pid:9 in
   Alcotest.(check int) "ring bounded" 4 (List.length entries);
@@ -101,7 +101,9 @@ let test_ledger_entries () =
     (fun e ->
       Alcotest.(check string) "sem kept" "read" e.T.le_sem;
       Alcotest.(check bool) "stamp kept" true (e.T.le_ts > 0))
-    entries
+    entries;
+  Alcotest.(check (list int)) "alloc stamps kept" [ 30; 40; 50; 60 ]
+    (List.map (fun e -> e.T.le_alloc) entries)
 
 (* ---- the merge algebra ---- *)
 
@@ -120,17 +122,33 @@ let ops_arb =
          (int_range 0 (Array.length reasons_pool - 1))
          (int_range 1 500_000)))
 
+(* each synthetic record's minor-words charge is derived deterministically
+   from its cycles so the alloc plane gets the same variety as the cycle
+   plane without widening the generator tuple *)
+let alloc_of_cycles cycles = (cycles mod 977) + 1
+
 let stats_of_ops t ~pid ops =
   let sh = T.shard t ~pid in
   List.iteri
     (fun i (site, sem, reason, cycles) ->
       T.record t sh ~site:(0x100 + site) ~sem:sems_pool.(sem)
-        ~reason:reasons_pool.(reason) ~cycles ~now:(i + 1))
+        ~reason:reasons_pool.(reason) ~cycles ~alloc:(alloc_of_cycles cycles) ~now:(i + 1))
     ops;
   T.stats_of_shard t sh
 
 let hist_count (_, h) = h.T.q_count
 let hist_sum (_, h) = h.T.q_sum
+
+let site_alloc_total s = List.fold_left (fun acc (_, w) -> acc + w) 0 s.T.t_site_alloc
+
+(* the alloc plane must conserve under merge exactly like the call counts:
+   total words, the histogram's count/sum, and the per-site word rollup *)
+let alloc_conserved a b m =
+  m.T.t_alloc_words = a.T.t_alloc_words + b.T.t_alloc_words
+  && m.T.t_alloc.T.q_count = a.T.t_alloc.T.q_count + b.T.t_alloc.T.q_count
+  && m.T.t_alloc.T.q_sum = a.T.t_alloc.T.q_sum + b.T.t_alloc.T.q_sum
+  && site_alloc_total m = site_alloc_total a + site_alloc_total b
+  && m.T.t_alloc.T.q_sum = m.T.t_alloc_words
 
 let conserved a b m =
   m.T.t_calls = a.T.t_calls + b.T.t_calls
@@ -145,6 +163,7 @@ let conserved a b m =
   && List.fold_left ( + ) 0 (List.map hist_sum m.T.t_per_sem)
      = List.fold_left ( + ) 0 (List.map hist_sum a.T.t_per_sem)
        + List.fold_left ( + ) 0 (List.map hist_sum b.T.t_per_sem)
+  && alloc_conserved a b m
 
 let qcheck_merge_commutes =
   QCheck.Test.make ~name:"merge is order-insensitive and count-conserving" ~count:100
@@ -207,7 +226,7 @@ let test_emitter_rows () =
   T.set_emitter t ~interval:1000;
   let sh = T.shard t ~pid:1 in
   let record ~now =
-    T.record t sh ~site:0x40 ~sem:"read" ~reason:T.Slow_path ~cycles:500 ~now
+    T.record t sh ~site:0x40 ~sem:"read" ~reason:T.Slow_path ~cycles:500 ~alloc:32 ~now
   in
   record ~now:400;   (* below the first boundary: no row *)
   record ~now:1200;  (* crosses 1000: row 1 *)
