@@ -37,22 +37,44 @@ let failures = ref 0
    across runs, for `main.exe diff` and ad-hoc plotting. *)
 let history_dir : string option ref = ref None
 
+(* --history-keep N: cap each history file at the newest N rows. The
+   appender is otherwise unbounded, which is fine for a workstation and
+   wrong for a fleet of CI runners. *)
+let history_keep : int option ref = ref None
+
 let append_history ~name json =
   match !history_dir with
   | None -> ()
   | Some dir ->
-    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
-    let path = Filename.concat dir (name ^ ".jsonl") in
-    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
     let row =
       Asc_obs.Json.Obj
         [ ("ts", Asc_obs.Json.Int (int_of_float (Unix.time ())));
           ("name", Asc_obs.Json.Str name);
           ("doc", json) ]
     in
-    output_string oc (Asc_obs.Json.to_string row);
-    output_char oc '\n';
-    close_out oc
+    Asc_obs.History.append ~dir ~name ?keep:!history_keep row
+
+(* Attribution hook: a gate failure calls this with both documents so the
+   table generator that owns the document can re-run the regressed case
+   under the profiler and name the checker step / call site that moved
+   (main.ml points it at Microbench.attribute_gate). *)
+let attribution_hook :
+    (file:string -> baseline:Asc_obs.Json.t -> actual:Asc_obs.Json.t -> unit) option ref =
+  ref None
+
+(* Every gate failure re-runs attribution automatically: rank the numeric
+   leaves that moved (not just the ones beyond tolerance — a regression
+   usually moves totals and steps together, and the steps explain the
+   totals), then let the owning generator name the site. *)
+let print_attribution ~file ~baseline ~actual =
+  let deltas = Asc_obs.Diffprof.diff_doc ~base:baseline ~actual in
+  if deltas <> [] then begin
+    Format.printf "  [attribution %s: numeric leaves ranked by |delta|]@." file;
+    print_string (Asc_obs.Diffprof.render_doc_blame deltas)
+  end;
+  match !attribution_hook with
+  | Some hook -> hook ~file ~baseline ~actual
+  | None -> ()
 
 let check_baseline ~file json =
   match !baseline_dir with
@@ -85,7 +107,8 @@ let check_baseline ~file json =
              incr failures;
              Format.printf "  [BASELINE FAIL %s: %d mismatches vs %s]@." file
                (List.length problems) path;
-             List.iter (fun p -> Format.printf "    %s@." p) problems)))
+             List.iter (fun p -> Format.printf "    %s@." p) problems;
+             print_attribution ~file ~baseline:base ~actual:json)))
 
 let write ~name json =
   let s = Asc_obs.Json.to_string json in
@@ -104,8 +127,9 @@ let write ~name json =
 
 (* `main.exe diff A B`: field-by-field comparison of two exported
    benchmark documents under the same rules as the baseline gate — exact
-   schema, numeric leaves within --tolerance percent. Exit status 1 on any
-   mismatch, so it can gate in scripts. *)
+   schema, numeric leaves within --tolerance percent. Exit status 1 on a
+   mismatch (so it can gate in scripts) and 2 when an input is missing or
+   unparseable, so callers can tell "regressed" from "broken". *)
 let diff_files ~tolerance ~tolerance_abs a b =
   let load path =
     match
@@ -125,7 +149,7 @@ let diff_files ~tolerance ~tolerance_abs a b =
   match (load a, load b) with
   | Error e, _ | _, Error e ->
     Format.eprintf "diff: %s@." e;
-    1
+    2
   | Ok base, Ok actual ->
     (match Asc_obs.Baseline.compare ~tolerance ~tolerance_abs ~baseline:base ~actual () with
      | Ok () ->
@@ -135,4 +159,9 @@ let diff_files ~tolerance ~tolerance_abs a b =
        Format.printf "diff: %d mismatches between %s and %s (tolerance %g%%):@."
          (List.length problems) a b tolerance;
        List.iter (fun p -> Format.printf "  %s@." p) problems;
+       let deltas = Asc_obs.Diffprof.diff_doc ~base ~actual in
+       if deltas <> [] then begin
+         Format.printf "  [attribution: numeric leaves ranked by |delta|]@.";
+         print_string (Asc_obs.Diffprof.render_doc_blame deltas)
+       end;
        1)

@@ -13,8 +13,10 @@
 let usage =
   "usage: main.exe [table1|table2|table3|table4|table5|table6|andrew|attacks|vcache|precomp|telemetry|ablation|bechamel|all]* \
    [--scale N] [--iterations N] [--json] [--check-baselines DIR] [--tolerance PCT] \
-   [--tolerance-abs W] [--history DIR] [--no-vcache] [--vcache-size N] [--no-precomp]\n\
-   \       main.exe diff A.json B.json [--tolerance PCT] [--tolerance-abs W]"
+   [--tolerance-abs W] [--history DIR] [--history-keep N] [--no-vcache] [--vcache-size N] \
+   [--no-precomp] [--inject-step-cost STEP PCT]\n\
+   \       main.exe diff A.json B.json [--tolerance PCT] [--tolerance-abs W]\n\
+   \       (diff exits 0 on match, 1 on mismatch, 2 on unreadable input)"
 
 let bechamel_run () =
   let open Bechamel in
@@ -90,6 +92,15 @@ let () =
     | "--history" :: dir :: rest ->
       Export.history_dir := Some dir;
       parse rest
+    | "--history-keep" :: v :: rest ->
+      Export.history_keep := Some (int_of_string v);
+      parse rest
+    | "--inject-step-cost" :: step :: pct :: rest ->
+      (* deliberate regression: inflate one checker step's cycle charges;
+         exists so CI can prove the gate-failure attribution names the
+         step and site (see bench/dune's injection smoke) *)
+      Asc_core.Checker.set_cost_injection ~step ~pct:(int_of_string pct);
+      parse rest
     | "--no-vcache" :: rest ->
       Export.use_vcache := false;
       parse rest
@@ -106,6 +117,7 @@ let () =
       selected := name :: !selected;
       parse rest
   in
+  Export.attribution_hook := Some Microbench.attribute_gate;
   parse (List.tl (Array.to_list Sys.argv));
   (match !diff_job with
    | Some (a, b) ->

@@ -386,6 +386,126 @@ let table4 () =
                                ("compiles", Int st.p_compiles) ] ) ]))
                 rows) ) ])
 
+(* --- gate attribution -------------------------------------------------- *)
+
+(* Re-run one case under the shadow-stack profiler and locate the call
+   site whose subtree carries the named checker step — the "+412 cycles
+   in <kernel:control_flow> at getpid@site_0x18" half of a gate failure
+   message. Returns the heaviest (site frame, step cycles) pair. *)
+let profile_step_site ~use_vcache ~use_precomp ~step case =
+  let img = Svm.Asm.assemble_exn (loop_program ~body:case.c_body) in
+  let img =
+    match Asc_core.Installer.install ~key ~personality ~program:case.c_name img with
+    | Ok inst -> inst.Asc_core.Installer.image
+    | Error e -> failwith (case.c_name ^ ": " ^ e)
+  in
+  let kernel = Kernel.create ~personality () in
+  case.c_setup kernel;
+  let vcache =
+    if use_vcache then
+      Some
+        (Asc_core.Vcache.create ~capacity:!Export.vcache_capacity
+           ~registry:(Kernel.metrics kernel) ())
+    else None
+  in
+  let precomp =
+    if use_precomp then
+      Some (Asc_core.Precomp.create ~key ~registry:(Kernel.metrics kernel) ())
+    else None
+  in
+  Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ?vcache ?precomp ()));
+  let proc = Kernel.spawn kernel ~stdin:case.c_stdin ~program:case.c_name img in
+  let prof = Asc_obs.Profile.create () in
+  Svm.Machine.attach_profile proc.Process.machine prof;
+  (match Kernel.run kernel proc ~max_cycles:4_000_000_000 with
+   | Svm.Machine.Halted _ -> ()
+   | _ -> failwith (case.c_name ^ ": attribution run did not halt"));
+  let symbolize = function
+    | Asc_obs.Profile.Label s -> s
+    | Asc_obs.Profile.Pc a -> Printf.sprintf "0x%x" a
+  in
+  let frame = "<kernel:" ^ step ^ ">" in
+  let sites = Hashtbl.create 8 in
+  List.iter
+    (fun (stack, w) ->
+      if List.mem frame stack then
+        let site =
+          List.fold_left
+            (fun acc f -> if Asc_obs.Diffprof.is_site_frame f then Some f else acc)
+            None stack
+        in
+        match site with
+        | Some site ->
+          let c = match Hashtbl.find_opt sites site with Some c -> c | None -> 0 in
+          Hashtbl.replace sites site (c + w)
+        | None -> ())
+    (Asc_obs.Profile.folded ~symbolize prof);
+  Hashtbl.fold
+    (fun site w best ->
+      match best with Some (_, bw) when bw >= w -> best | _ -> Some (site, w))
+    sites None
+
+(* Export's attribution hook for the table4 family: find the per-call
+   verification step that moved the most between baseline and actual,
+   then re-run that row's case under the profiler to name the offending
+   site. Printed after the generic numeric-leaf blame table, as part of
+   the gate failure output. *)
+let attribute_gate ~file ~baseline ~actual =
+  let is_table4 = String.length file >= 12 && String.sub file 0 12 = "BENCH_table4" in
+  if is_table4 then begin
+    let open Asc_obs.Json in
+    let rows doc = match member "rows" doc with Some (List rs) -> rs | _ -> [] in
+    let arows = rows actual in
+    let verif_keys =
+      [ ("verification", (false, false));
+        ("verification_vcache", (true, false));
+        ("verification_precomp", (true, true)) ]
+    in
+    let step_names = [ "call_mac"; "string_mac"; "control_flow"; "ext" ] in
+    let best = ref None in
+    List.iteri
+      (fun i brow ->
+        match List.nth_opt arows i with
+        | None -> ()
+        | Some arow ->
+          let name =
+            match Option.bind (member "name" arow) to_str with
+            | Some n -> n
+            | None -> Printf.sprintf "row %d" i
+          in
+          List.iter
+            (fun (vkey, cfg) ->
+              match (member vkey brow, member vkey arow) with
+              | Some bv, Some av ->
+                List.iter
+                  (fun s ->
+                    match
+                      (Option.bind (member s bv) to_int, Option.bind (member s av) to_int)
+                    with
+                    | Some b, Some a when a <> b ->
+                      (match !best with
+                       | Some (bd, _, _, _, _, _, _) when bd >= abs (a - b) -> ()
+                       | _ -> best := Some (abs (a - b), a - b, name, s, cfg, b, a))
+                    | _ -> ())
+                  step_names
+              | _ -> ())
+            verif_keys)
+      (rows baseline);
+    match !best with
+    | None -> ()
+    | Some (_, d, name, step, (use_vcache, use_precomp), b, a) ->
+      let case = List.find_opt (fun c -> c.c_name = name) cases in
+      let site =
+        match case with
+        | Some case ->
+          (try profile_step_site ~use_vcache ~use_precomp ~step case with _ -> None)
+        | None -> None
+      in
+      let where = match site with Some (s, _) -> " at " ^ s | None -> "" in
+      Format.printf "  [attribution] %s: %+d cycles/call in <kernel:%s>%s (%d -> %d)@." name d
+        step where b a
+  end
+
 (* ablation: authenticated calls with and without control-flow policies *)
 let ablation_control_flow () =
   Format.printf "@.Ablation: control-flow (predecessor set) policy cost@.";

@@ -43,6 +43,12 @@ let violations_of_export contents =
       | _ -> None)
     (entries_of_export contents)
 
+let alerts_of_export contents =
+  List.filter_map
+    (fun (seq, entry) ->
+      match entry with Kernel.Alert _ -> Some (seq, entry) | _ -> None)
+    (entries_of_export contents)
+
 (* ----- verify ----- *)
 
 let verify log key_hex expect_head =
@@ -140,13 +146,25 @@ let report log program os =
         let* img, _ = Common.load_program ~personality p in
         Ok (Some img)
     in
-    match violations_of_export contents with
-    | [] ->
-      Format.printf "%s: no violation records@." log;
-      Ok 0
-    | vs ->
-      List.iter (fun v -> print_report ?img v) vs;
-      Ok 0
+    let vs = violations_of_export contents in
+    let alerts = alerts_of_export contents in
+    (match vs with
+     | [] -> Format.printf "%s: no violation records@." log
+     | vs -> List.iter (fun v -> print_report ?img v) vs);
+    (* fleet-health alerts travel the same chain as violations (asc-top
+       --rules --audit-out); report them side by side so an SLO incident
+       and the violations around it read as one timeline *)
+    (match alerts with
+     | [] -> ()
+     | alerts ->
+       Format.printf "=== health alerts (%d record%s) ===@." (List.length alerts)
+         (if List.length alerts = 1 then "" else "s");
+       List.iter
+         (fun (seq, entry) ->
+           Format.printf "record %d: %s@." seq (Kernel.audit_to_string entry))
+         alerts;
+       Format.printf "@.");
+    Ok 0
   in
   match result with
   | Ok code -> code

@@ -53,7 +53,22 @@ let print_summary kernel trace =
       | None -> Format.printf "%6d %8s %8s %8s %8s  %s@." n "-" "-" "-" "-" name)
     (List.sort (fun (_, a) (_, b) -> compare b a) rows);
   Format.printf "%6d  total (cycles per dispatched call, quantiles estimated)@."
-    (List.length trace)
+    (List.length trace);
+  (* denied calls never reach the trace ring (the monitor kills the process
+     before dispatch), so their counts come from the telemetry plane's
+     reason codes: one [Deny step] code per denied call, keyed by the
+     failing verification step *)
+  let agg = Asc_obs.Telemetry.aggregate (Kernel.telemetry kernel) in
+  let deny_idx = Asc_obs.Telemetry.reason_index (Asc_obs.Telemetry.Deny "") in
+  if agg.Asc_obs.Telemetry.t_reasons.(deny_idx) > 0 then begin
+    Format.printf "@.%6s  %s@." "denies" "reason (telemetry reason codes)";
+    List.iter
+      (fun (step, n) -> Format.printf "%6d  %s@." n step)
+      (List.sort
+         (fun (_, a) (_, b) -> compare b a)
+         agg.Asc_obs.Telemetry.t_deny_steps);
+    Format.printf "%6d  total denied@." agg.Asc_obs.Telemetry.t_reasons.(deny_idx)
+  end
 
 let print_log trace =
   List.iter
@@ -81,7 +96,7 @@ let print_json kernel trace =
             ("denied", Int (Kernel.denied_count kernel));
             ("audit", List (List.map Kernel.audit_to_json (Kernel.audit_log kernel))) ]))
 
-let run input os stdin_text summary format =
+let run input os stdin_text summary format enforce key_hex =
   let ( let* ) = Result.bind in
   let result =
     let* personality = Common.personality_of_string os in
@@ -96,6 +111,28 @@ let run input os stdin_text summary format =
     let* img, w = Common.load_program ~personality input in
     let kernel = Kernel.create ~personality () in
     (match w with Some w -> w.Workloads.Registry.setup kernel | None -> ());
+    (* --enforce: trace under the checker so the summary's deny-reason
+       counts (telemetry reason codes) are live. Inputs compiled here
+       (MiniC source, workload:NAME) are MAC-installed first so their
+       legitimate calls verify; a SEF binary is traced as supplied — if it
+       was never asc-installed, the denies themselves are the data. *)
+    let* img =
+      if not enforce then Ok img
+      else
+        let* key = Common.key_of_hex key_hex in
+        Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ()));
+        let compiled =
+          w <> None || Filename.check_suffix input ".mc" || Filename.check_suffix input ".c"
+        in
+        if not compiled then Ok img
+        else begin
+          match
+            Asc_core.Installer.install ~key ~personality ~program:(Filename.basename input) img
+          with
+          | Ok inst -> Ok inst.Asc_core.Installer.image
+          | Error e -> Error e
+        end
+    in
     kernel.Kernel.tracing <- true;
     let stdin =
       match (stdin_text, w) with
@@ -150,6 +187,16 @@ let stdin_arg =
 let summary_arg =
   Arg.(value & flag & info [ "c"; "summary" ] ~doc:"Print per-syscall counts instead of a log.")
 
+let enforce_arg =
+  Arg.(value & flag & info [ "e"; "enforce" ]
+         ~doc:"Trace under the authenticated-system-call checker (compiled inputs are \
+               MAC-installed first); $(b,--format summary) then reports deny counts by \
+               telemetry reason code.")
+
+let key_arg =
+  Arg.(value & opt string "000102030405060708090a0b0c0d0e0f"
+       & info [ "k"; "key" ] ~docv:"HEX" ~doc:"128-bit MAC key used with $(b,--enforce).")
+
 let format_arg =
   Arg.(value & opt string "log" & info [ "format" ] ~docv:"FORMAT"
          ~doc:"Output format: $(b,log) (one line per call), $(b,summary) (per-syscall counts), \
@@ -160,6 +207,8 @@ let format_arg =
 let cmd =
   let doc = "trace the system calls of a program on the simulated kernel" in
   Cmd.v (Cmd.info "asc-trace" ~doc)
-    Term.(const run $ input_arg $ os_arg $ stdin_arg $ summary_arg $ format_arg)
+    Term.(
+      const run $ input_arg $ os_arg $ stdin_arg $ summary_arg $ format_arg $ enforce_arg
+      $ key_arg)
 
 let () = exit (Cmd.eval' cmd)

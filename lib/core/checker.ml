@@ -94,6 +94,32 @@ let step_alloc_counter steps = function
   | Control_flow -> steps.sa_control_flow
   | Ext -> steps.sa_ext
 
+(* Fault injection for the attribution pipeline: inflate one step's cycle
+   charges by a percentage. The surcharge flows through [charge], so the
+   machine counter, the per-step metrics, the profiler and telemetry all
+   see the same inflated number — every "steps sum to total" invariant
+   keeps holding while the step visibly regresses. *)
+let cost_injection : (step * int) option ref = ref None
+
+let set_cost_injection ~step ~pct =
+  if pct < 0 then invalid_arg "Checker.set_cost_injection: pct must be >= 0";
+  let step =
+    match step with
+    | "call_mac" -> Call_mac
+    | "string_mac" -> String_mac
+    | "control_flow" -> Control_flow
+    | "ext" -> Ext
+    | other -> invalid_arg (Printf.sprintf "Checker.set_cost_injection: unknown step %S" other)
+  in
+  cost_injection := Some (step, pct)
+
+let clear_cost_injection () = cost_injection := None
+
+let injected step n =
+  match !cost_injection with
+  | Some (s, pct) when s = step -> n + n * pct / 100
+  | _ -> n
+
 (* pre-built frames: constant constructors of string literals, so entering
    a region allocates nothing before the region's minor-words mark *)
 let step_frame = function
@@ -103,6 +129,7 @@ let step_frame = function
   | Ext -> Asc_obs.Profile.Label "<kernel:ext>"
 
 let charge (m : Machine.t) steps step n =
+  let n = injected step n in
   m.cycles <- m.cycles + n;
   Asc_obs.Metrics.add (step_counter steps step) n;
   Asc_obs.Metrics.add steps.st_total n;

@@ -72,3 +72,17 @@ val monitor :
     charge nothing and run the unchanged slow path (composing with
     [vcache]), so denies are byte-identical with the table on or off.
     Must be created with the same [key]. Default: no table. *)
+
+(** {1 Fault injection} — regression-attribution test support. *)
+
+val set_cost_injection : step:string -> pct:int -> unit
+(** Inflate every cycle charge to the named checker step
+    ([call_mac], [string_mac], [control_flow] or [ext]) by [pct] percent
+    — through the machine's cycle counter, the per-step metrics and the
+    profiler alike, so the decomposition invariants keep holding while
+    the numbers move. This exists to prove the attribution pipeline:
+    bench's [--inject-step-cost] uses it to trip the table4 gate
+    deliberately and assert the failure names the step and site.
+    @raise Invalid_argument on an unknown step name or [pct < 0]. *)
+
+val clear_cost_injection : unit -> unit

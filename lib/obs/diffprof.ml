@@ -1,0 +1,270 @@
+type entry = string list * int
+
+type delta = {
+  d_key : string;
+  d_base : int;
+  d_actual : int;
+}
+
+let d_delta d = d.d_actual - d.d_base
+
+let d_rel d =
+  if d.d_base = 0 then 0.0
+  else 100.0 *. float_of_int (d_delta d) /. float_of_int (abs d.d_base)
+
+type report = {
+  rp_resource : string;
+  rp_noise : int;
+  rp_total_base : int;
+  rp_total_actual : int;
+  rp_stacks : delta list;
+  rp_frames : delta list;
+  rp_steps : delta list;
+  rp_sites : delta list;
+}
+
+let is_step_frame name =
+  String.length name > 9
+  && String.sub name 0 8 = "<kernel:"
+  && name.[String.length name - 1] = '>'
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let is_site_frame name = contains_sub name "@site_"
+
+(* Aggregate (base, actual) pairs under string keys, preserving exact
+   integer weights; the same accumulator serves stacks and every rollup. *)
+let acc_add tbl key base actual =
+  match Hashtbl.find_opt tbl key with
+  | Some (b, a) -> Hashtbl.replace tbl key (b + base, a + actual)
+  | None -> Hashtbl.add tbl key (base, actual)
+
+let ranked ~noise tbl =
+  Hashtbl.fold
+    (fun key (b, a) acc ->
+      if abs (a - b) > noise then { d_key = key; d_base = b; d_actual = a } :: acc
+      else acc)
+    tbl []
+  |> List.sort (fun x y ->
+         match compare (abs (d_delta y)) (abs (d_delta x)) with
+         | 0 -> (
+             match compare (abs_float (d_rel y)) (abs_float (d_rel x)) with
+             | 0 -> compare x.d_key y.d_key
+             | c -> c)
+         | c -> c)
+
+let deepest_site stack =
+  List.fold_left (fun acc f -> if is_site_frame f then Some f else acc) None stack
+
+let leaf stack = match List.rev stack with [] -> None | l :: _ -> Some l
+
+let diff ?(noise = 0) ~base ~actual ~resource () =
+  let stacks = Hashtbl.create 64 in
+  let add side entries =
+    List.iter
+      (fun (stack, w) ->
+        let key = String.concat ";" stack in
+        let b, a = match Hashtbl.find_opt stacks key with Some p -> p | None -> (0, 0) in
+        Hashtbl.replace stacks key (match side with `Base -> (b + w, a) | `Actual -> (b, a + w)))
+      entries
+  in
+  add `Base base;
+  add `Actual actual;
+  (* Rollups re-walk the original entries so frame classification sees the
+     real stack structure, not the joined key. *)
+  let frames = Hashtbl.create 64 in
+  let steps = Hashtbl.create 16 in
+  let sites = Hashtbl.create 16 in
+  let roll side entries =
+    List.iter
+      (fun (stack, w) ->
+        let b, a = match side with `Base -> (w, 0) | `Actual -> (0, w) in
+        (match leaf stack with
+        | Some l ->
+            acc_add frames l b a;
+            if is_step_frame l then acc_add steps l b a
+        | None -> ());
+        match deepest_site stack with
+        | Some s -> acc_add sites s b a
+        | None -> ())
+      entries
+  in
+  roll `Base base;
+  roll `Actual actual;
+  let total entries = List.fold_left (fun acc (_, w) -> acc + w) 0 entries in
+  {
+    rp_resource = resource;
+    rp_noise = noise;
+    rp_total_base = total base;
+    rp_total_actual = total actual;
+    rp_stacks = ranked ~noise stacks;
+    rp_frames = ranked ~noise frames;
+    rp_steps = ranked ~noise steps;
+    rp_sites = ranked ~noise sites;
+  }
+
+let is_empty rp =
+  rp.rp_stacks = [] && rp.rp_frames = [] && rp.rp_steps = [] && rp.rp_sites = []
+  && abs (rp.rp_total_actual - rp.rp_total_base) <= rp.rp_noise
+
+type side = { s_cycles : entry list; s_alloc : entry list }
+
+let ( let* ) = Result.bind
+
+let entries_of_member ~key ~weight j =
+  match Json.member key j with
+  | None -> Ok []
+  | Some (Json.List items) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest -> (
+            let stack =
+              match Json.member "stack" item with
+              | Some (Json.List fs) ->
+                  let names = List.filter_map Json.to_str fs in
+                  if List.length names = List.length fs then Some names else None
+              | _ -> None
+            in
+            let w = Option.bind (Json.member weight item) Json.to_int in
+            match (stack, w) with
+            | Some stack, Some w -> go ((stack, w) :: acc) rest
+            | _ -> Error (Printf.sprintf "malformed %s entry (want {\"stack\":[...],\"%s\":n})" key weight))
+      in
+      go [] items
+  | Some _ -> Error (Printf.sprintf "\"%s\" is not an array" key)
+
+let of_json j =
+  let unwrap j =
+    match Json.member "stacks" j with
+    | Some _ -> Ok j
+    | None -> (
+        match Json.member "profile" j with
+        | Some (Json.Obj _ as p) -> Ok p
+        | _ -> Error "not a profile export: no \"stacks\" and no nested \"profile\" object")
+  in
+  let* p = unwrap j in
+  let* s_cycles = entries_of_member ~key:"stacks" ~weight:"cycles" p in
+  let* s_alloc = entries_of_member ~key:"alloc_stacks" ~weight:"words" p in
+  Ok { s_cycles; s_alloc }
+
+let diff_sides ?noise ~base ~actual () =
+  ( diff ?noise ~base:base.s_cycles ~actual:actual.s_cycles ~resource:"cycles" (),
+    diff ?noise ~base:base.s_alloc ~actual:actual.s_alloc ~resource:"words" () )
+
+let folded_diff rp =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun d -> Buffer.add_string buf (Printf.sprintf "%s %+d\n" d.d_key (d_delta d)))
+    rp.rp_stacks;
+  Buffer.contents buf
+
+let delta_line unit_ d =
+  if d.d_base = 0 then
+    Printf.sprintf "%-40s %+d %s  (new: 0 -> %d)" d.d_key (d_delta d) unit_ d.d_actual
+  else
+    Printf.sprintf "%-40s %+d %s  (%d -> %d, %+.1f%%)" d.d_key (d_delta d) unit_ d.d_base
+      d.d_actual (d_rel d)
+
+let take n l =
+  let rec go n = function x :: rest when n > 0 -> x :: go (n - 1) rest | _ -> [] in
+  go n l
+
+let blame_table ?(top = 10) rp =
+  if is_empty rp then ""
+  else begin
+    let buf = Buffer.create 512 in
+    let section title ds =
+      if ds <> [] then begin
+        Buffer.add_string buf (Printf.sprintf "== %s: %s ==\n" rp.rp_resource title);
+        List.iter
+          (fun d -> Buffer.add_string buf ("  " ^ delta_line rp.rp_resource d ^ "\n"))
+          (take top ds)
+      end
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "total %s: %d -> %d (%+d)\n" rp.rp_resource rp.rp_total_base
+         rp.rp_total_actual (rp.rp_total_actual - rp.rp_total_base));
+    section "frames (self)" rp.rp_frames;
+    section "checker steps" rp.rp_steps;
+    section "call sites (inclusive)" rp.rp_sites;
+    Buffer.contents buf
+  end
+
+type leaf_delta = {
+  l_path : string;
+  l_base : float;
+  l_actual : float;
+}
+
+let diff_doc ~base ~actual =
+  let acc = ref [] in
+  let num = function Json.Int n -> Some (float_of_int n) | Json.Float f -> Some f | _ -> None in
+  let rec walk path b a =
+    match (b, a) with
+    | Json.Obj bs, Json.Obj as_ ->
+        List.iter
+          (fun (k, bv) ->
+            match List.assoc_opt k as_ with
+            | Some av -> walk (path ^ "." ^ k) bv av
+            | None -> ())
+          bs
+    | Json.List bs, Json.List as_ ->
+        List.iteri
+          (fun i bv ->
+            match List.nth_opt as_ i with
+            | Some av -> walk (Printf.sprintf "%s[%d]" path i) bv av
+            | None -> ())
+          bs
+    | _ -> (
+        match (num b, num a) with
+        | Some bf, Some af when bf <> af -> acc := { l_path = path; l_base = bf; l_actual = af } :: !acc
+        | _ -> ())
+  in
+  walk "$" base actual;
+  List.sort
+    (fun x y ->
+      match compare (abs_float (y.l_actual -. y.l_base)) (abs_float (x.l_actual -. x.l_base)) with
+      | 0 -> compare x.l_path y.l_path
+      | c -> c)
+    !acc
+
+let steps = [ "call_mac"; "string_mac"; "control_flow"; "ext" ]
+
+let step_of_path path =
+  let seg =
+    match String.rindex_opt path '.' with
+    | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+    | None -> path
+  in
+  if List.mem seg steps then Some seg else None
+
+let fnum v =
+  if Float.is_integer v then Printf.sprintf "%.0f" v else Printf.sprintf "%.4g" v
+
+let fnum_signed v =
+  if Float.is_integer v then Printf.sprintf "%+.0f" v else Printf.sprintf "%+.4g" v
+
+let render_doc_blame ?(top = 8) deltas =
+  if deltas = [] then ""
+  else begin
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun l ->
+        let d = l.l_actual -. l.l_base in
+        let rel =
+          if l.l_base = 0.0 then "" else Printf.sprintf ", %+.1f%%" (100.0 *. d /. abs_float l.l_base)
+        in
+        let tag =
+          match step_of_path l.l_path with
+          | Some s -> Printf.sprintf "  [<kernel:%s>]" s
+          | None -> ""
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %s  %s  (%s -> %s%s)%s\n" l.l_path (fnum_signed d) (fnum l.l_base)
+             (fnum l.l_actual) rel tag))
+      (take top deltas);
+    Buffer.contents buf
+  end

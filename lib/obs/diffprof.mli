@@ -1,0 +1,103 @@
+(** Differential profiles: structural diff of two {!Profile} exports.
+
+    A profile export is a set of folded stacks per resource (cycles and
+    minor words). [Diffprof] aligns the two sides' stacks by exact frame
+    sequence, computes signed per-stack deltas, and rolls them up three
+    ways — per leaf frame (self weight), per checker step (the
+    [<kernel:...>] synthetic frames) and per call site (the
+    [name@site_0x...] frames the kernel pushes per trap, attributed with
+    inclusive subtree weight). A noise floor suppresses deltas whose
+    magnitude does not exceed it, so a profile diffed against itself is
+    always empty and model-exact reproductions stay quiet.
+
+    The same machinery covers benchmark documents: {!diff_doc} walks two
+    JSON trees and ranks every numeric leaf that moved, which is what the
+    bench baseline gate uses to say {e which} field regressed instead of
+    only that one did. *)
+
+type entry = string list * int
+(** One folded stack: outermost frame first, with its self weight —
+    exactly the shape {!Profile.folded} / {!Profile.folded_alloc}
+    produce. *)
+
+type delta = {
+  d_key : string;      (** stack rendered [f;g;h], or rollup frame name *)
+  d_base : int;
+  d_actual : int;
+}
+
+val d_delta : delta -> int
+(** [actual - base], signed. *)
+
+val d_rel : delta -> float
+(** Relative delta in percent against the base weight; 0 when the base is
+    0 (a frame that only exists on one side is ranked by magnitude). *)
+
+type report = {
+  rp_resource : string;        (** ["cycles"] or ["words"] *)
+  rp_noise : int;              (** the floor the deltas were filtered at *)
+  rp_total_base : int;
+  rp_total_actual : int;
+  rp_stacks : delta list;      (** per-stack, |delta| > noise, ranked *)
+  rp_frames : delta list;      (** per leaf frame (self weight), ranked *)
+  rp_steps : delta list;       (** the [<kernel:...>] subset of frames *)
+  rp_sites : delta list;       (** per deepest [@site_] frame, inclusive *)
+}
+
+val is_step_frame : string -> bool
+(** [<kernel:...>] synthetic frames — the checker's charged steps. *)
+
+val is_site_frame : string -> bool
+(** Frames containing [@site_] — the kernel's per-trap call-site tags. *)
+
+val diff : ?noise:int -> base:entry list -> actual:entry list -> resource:string -> unit -> report
+(** Align and diff two folded-stack sets. [noise] (default 0) is the
+    absolute floor: only deltas with [abs (actual - base) > noise]
+    survive, in every rollup. Ranking is by absolute delta descending,
+    ties by relative delta then key. *)
+
+val is_empty : report -> bool
+(** No surviving delta in any rollup and the totals agree within the
+    noise floor. [diff] of any entry set against itself is empty. *)
+
+type side = { s_cycles : entry list; s_alloc : entry list }
+
+val of_json : Json.t -> (side, string) result
+(** Load a profile export: accepts both the bare {!Profile.to_json}
+    object and the [asc_profile --json] document that nests it under a
+    ["profile"] member. *)
+
+val diff_sides : ?noise:int -> base:side -> actual:side -> unit -> report * report
+(** Cycles report and minor-words report, in that order. *)
+
+val folded_diff : report -> string
+(** flamegraph-style folded delta lines, ["f;g;h +123"], one per
+    surviving stack delta, in ranked order. *)
+
+val blame_table : ?top:int -> report -> string
+(** Human-readable top-N (default 10) blame table over the frame, step
+    and site rollups: signed absolute and relative delta per row. Empty
+    string when the report {!is_empty}. *)
+
+(** {1 Document attribution} — numeric-leaf diff of two JSON trees. *)
+
+type leaf_delta = {
+  l_path : string;    (** [$.rows[3].verification.control_flow] *)
+  l_base : float;
+  l_actual : float;
+}
+
+val diff_doc : base:Json.t -> actual:Json.t -> leaf_delta list
+(** Every numeric leaf present in both trees whose value moved, ranked by
+    absolute delta descending (ties by path). Leaves present on only one
+    side, and non-numeric leaves, are ignored — {!Baseline.compare}
+    already reports shape mismatches. *)
+
+val step_of_path : string -> string option
+(** The checker step name if the leaf path ends in one
+    ([call_mac], [string_mac], [control_flow], [ext]). *)
+
+val render_doc_blame : ?top:int -> leaf_delta list -> string
+(** Top-N (default 8) blame lines for a document diff; step-classified
+    leaves are tagged with their [<kernel:...>] frame name. Empty string
+    for an empty diff. *)

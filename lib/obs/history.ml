@@ -1,0 +1,54 @@
+let path_of ~dir ~name = Filename.concat dir (name ^ ".jsonl")
+
+let read_lines path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (if String.trim line = "" then acc else line :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    let lines = go [] in
+    close_in ic;
+    lines
+  end
+
+let append ~dir ~name ?keep row =
+  (match keep with
+  | Some k when k < 1 -> invalid_arg "History.append: keep must be >= 1"
+  | _ -> ());
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = path_of ~dir ~name in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (Json.to_string row);
+  output_char oc '\n';
+  close_out oc;
+  match keep with
+  | None -> ()
+  | Some k ->
+      let lines = read_lines path in
+      let n = List.length lines in
+      if n > k then begin
+        let newest = List.filteri (fun i _ -> i >= n - k) lines in
+        let tmp = path ^ ".tmp" in
+        let oc = open_out tmp in
+        List.iter
+          (fun l ->
+            output_string oc l;
+            output_char oc '\n')
+          newest;
+        close_out oc;
+        Sys.rename tmp path
+      end
+
+let read ~dir ~name =
+  let path = path_of ~dir ~name in
+  let rec go acc i = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match Json.parse line with
+        | Ok j -> go (j :: acc) (i + 1) rest
+        | Error e -> Error (Printf.sprintf "%s:%d: %s" path i e))
+  in
+  go [] 1 (read_lines path)

@@ -1,0 +1,17 @@
+(** Bounded JSONL history files.
+
+    The bench exporter keeps an append-only record of how each document's
+    numbers move across runs ([DIR/<name>.jsonl], one JSON object per
+    line). Unbounded append is fine for a workstation and wrong for a
+    fleet, so the appender optionally caps each file: after appending,
+    the file is truncated to the newest [keep] rows (atomically, via a
+    temp file rename, so a crash never leaves a half-written history). *)
+
+val append : dir:string -> name:string -> ?keep:int -> Json.t -> unit
+(** Append one row to [dir/name.jsonl], creating [dir] if needed. With
+    [keep] (>= 1), the file is truncated to its newest [keep] lines.
+    @raise Invalid_argument when [keep < 1]. *)
+
+val read : dir:string -> name:string -> (Json.t list, string) result
+(** Parse every row of [dir/name.jsonl], oldest first. [Ok []] when the
+    file does not exist; [Error] names the first malformed line. *)

@@ -607,6 +607,337 @@ let test_quantile_exact_cases () =
   let p100 = Metrics.quantile snap 1.0 in
   Alcotest.(check bool) "p100 in max's bucket" true (p100 > 20 && p100 <= 30)
 
+(* --- differential profiles --- *)
+
+module Diffprof = Asc_obs.Diffprof
+
+let find_delta key ds = List.find_opt (fun (d : Diffprof.delta) -> d.Diffprof.d_key = key) ds
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_diffprof_rollups () =
+  let base =
+    [ ([ "main"; "f"; "<kernel:call_mac>" ], 100);
+      ([ "main"; "getpid@site_0x40"; "<kernel:control_flow>" ], 200);
+      ([ "main"; "g" ], 50) ]
+  in
+  let actual =
+    [ ([ "main"; "f"; "<kernel:call_mac>" ], 100);
+      ([ "main"; "getpid@site_0x40"; "<kernel:control_flow>" ], 320);
+      ([ "main"; "h" ], 30) ]
+  in
+  let rp = Diffprof.diff ~base ~actual ~resource:"cycles" () in
+  Alcotest.(check int) "total base" 350 rp.Diffprof.rp_total_base;
+  Alcotest.(check int) "total actual" 450 rp.Diffprof.rp_total_actual;
+  (* the control-flow stack moved most and ranks first in every rollup *)
+  (match rp.Diffprof.rp_stacks with
+   | top :: _ ->
+     Alcotest.(check int) "top stack delta" 120 (Diffprof.d_delta top);
+     Alcotest.(check string) "top stack key"
+       "main;getpid@site_0x40;<kernel:control_flow>" top.Diffprof.d_key
+   | [] -> Alcotest.fail "no stack deltas");
+  (match find_delta "<kernel:control_flow>" rp.Diffprof.rp_steps with
+   | Some d ->
+     Alcotest.(check int) "step delta" 120 (Diffprof.d_delta d);
+     Alcotest.(check (float 0.01)) "step rel pct" 60.0 (Diffprof.d_rel d)
+   | None -> Alcotest.fail "control_flow step missing");
+  (* sites aggregate inclusively: the step frame below the site charges it *)
+  (match find_delta "getpid@site_0x40" rp.Diffprof.rp_sites with
+   | Some d -> Alcotest.(check int) "site delta inclusive" 120 (Diffprof.d_delta d)
+   | None -> Alcotest.fail "site rollup missing");
+  (* one-sided stacks survive as whole-weight deltas *)
+  (match find_delta "g" rp.Diffprof.rp_frames with
+   | Some d -> Alcotest.(check int) "removed frame" (-50) (Diffprof.d_delta d)
+   | None -> Alcotest.fail "removed frame missing");
+  (match find_delta "h" rp.Diffprof.rp_frames with
+   | Some d -> Alcotest.(check int) "added frame" 30 (Diffprof.d_delta d)
+   | None -> Alcotest.fail "added frame missing");
+  Alcotest.(check bool) "not empty" false (Diffprof.is_empty rp);
+  (* a noise floor above the largest delta silences the whole report *)
+  let quiet = Diffprof.diff ~noise:120 ~base ~actual ~resource:"cycles" () in
+  Alcotest.(check bool) "floored stacks gone" true (quiet.Diffprof.rp_stacks = []);
+  (* the folded output carries signed weights in ranked order *)
+  let folded = Diffprof.folded_diff rp in
+  Alcotest.(check bool) "folded has signed top line" true
+    (String.length folded > 0
+    && String.sub folded 0 (String.length "main;getpid@site_0x40;<kernel:control_flow> +120")
+       = "main;getpid@site_0x40;<kernel:control_flow> +120");
+  Alcotest.(check bool) "blame table mentions the step" true
+    (contains (Diffprof.blame_table rp) "<kernel:control_flow>")
+
+let test_diffprof_of_json () =
+  let profile =
+    Json.Obj
+      [ ("total_cycles", Json.Int 10);
+        ("total_alloc_words", Json.Int 4);
+        ( "stacks",
+          Json.List
+            [ Json.Obj
+                [ ("stack", Json.List [ Json.Str "main"; Json.Str "f" ]);
+                  ("cycles", Json.Int 10) ] ] );
+        ( "alloc_stacks",
+          Json.List
+            [ Json.Obj
+                [ ("stack", Json.List [ Json.Str "main" ]); ("words", Json.Int 4) ] ] ) ]
+  in
+  (* both the bare export and the asc_profile --json wrapper load *)
+  let check_side what j =
+    match Diffprof.of_json j with
+    | Error e -> Alcotest.failf "%s: %s" what e
+    | Ok side ->
+      Alcotest.(check int) (what ^ " cycles entries") 1 (List.length side.Diffprof.s_cycles);
+      Alcotest.(check int) (what ^ " alloc entries") 1 (List.length side.Diffprof.s_alloc)
+  in
+  check_side "bare" profile;
+  check_side "wrapped" (Json.Obj [ ("tool", Json.Str "asc-profile"); ("profile", profile) ]);
+  (match Diffprof.of_json (Json.Obj [ ("nope", Json.Int 1) ]) with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "schema-less document loaded");
+  let side = Result.get_ok (Diffprof.of_json profile) in
+  let cyc, words = Diffprof.diff_sides ~base:side ~actual:side () in
+  Alcotest.(check bool) "self diff cycles empty" true (Diffprof.is_empty cyc);
+  Alcotest.(check bool) "self diff words empty" true (Diffprof.is_empty words)
+
+let test_diffprof_doc () =
+  let doc a b =
+    Json.Obj
+      [ ( "rows",
+          Json.List
+            [ Json.Obj
+                [ ("name", Json.Str "getpid");
+                  ( "verification",
+                    Json.Obj [ ("control_flow", Json.Int a); ("call_mac", Json.Int b) ] ) ] ] ) ]
+  in
+  let deltas = Diffprof.diff_doc ~base:(doc 100 40) ~actual:(doc 160 42) in
+  (match deltas with
+   | top :: _ ->
+     Alcotest.(check string) "largest mover first"
+       "$.rows[0].verification.control_flow" top.Diffprof.l_path;
+     Alcotest.(check (float 0.001)) "signed delta" 60.0
+       (top.Diffprof.l_actual -. top.Diffprof.l_base);
+     Alcotest.(check (option string)) "step classified" (Some "control_flow")
+       (Diffprof.step_of_path top.Diffprof.l_path)
+   | [] -> Alcotest.fail "no doc deltas");
+  Alcotest.(check int) "both movers found" 2 (List.length deltas);
+  Alcotest.(check string) "empty diff renders empty" ""
+    (Diffprof.render_doc_blame (Diffprof.diff_doc ~base:(doc 1 2) ~actual:(doc 1 2)));
+  let blame = Diffprof.render_doc_blame deltas in
+  Alcotest.(check bool) "blame tags the step frame" true
+    (contains blame "[<kernel:control_flow>]")
+
+(* frames drawn from the shapes the profiler really emits, plus
+   arbitrary names *)
+let frame_gen =
+  QCheck.Gen.(
+    oneof
+      [ oneofl [ "<kernel:call_mac>"; "<kernel:string_mac>"; "<kernel:control_flow>";
+                 "<kernel:ext>" ];
+        map2 (Printf.sprintf "%s@site_0x%x") (oneofl [ "getpid"; "open"; "write" ])
+          (int_bound 0xffff);
+        oneofl [ "main"; "f"; "g"; "interpret"; "dispatch" ] ])
+
+let entries_gen =
+  QCheck.Gen.(
+    list_size (0 -- 12)
+      (pair (list_size (1 -- 5) frame_gen) (int_range 0 10_000)))
+
+let qcheck_diffprof_self_empty =
+  QCheck.Test.make ~name:"diff of a profile against itself is empty" ~count:200
+    (QCheck.make QCheck.Gen.(pair entries_gen (int_bound 50)))
+    (fun (entries, noise) ->
+      let rp = Diffprof.diff ~noise ~base:entries ~actual:entries ~resource:"cycles" () in
+      Diffprof.is_empty rp && Diffprof.folded_diff rp = "" && Diffprof.blame_table rp = "")
+
+let qcheck_diffprof_stack_conservation =
+  (* with no noise floor, the per-stack deltas account exactly for the
+     total movement between the two sides *)
+  QCheck.Test.make ~name:"stack deltas sum to the total delta at noise 0" ~count:200
+    (QCheck.make QCheck.Gen.(pair entries_gen entries_gen))
+    (fun (base, actual) ->
+      let rp = Diffprof.diff ~base ~actual ~resource:"cycles" () in
+      let sum = List.fold_left (fun acc d -> acc + Diffprof.d_delta d) 0 rp.Diffprof.rp_stacks in
+      sum = rp.Diffprof.rp_total_actual - rp.Diffprof.rp_total_base)
+
+(* --- fleet health rules --- *)
+
+module Health = Asc_obs.Health
+
+let row ?(reasons = []) ?(interval_calls = 100) ?(interval_denies = 0) ?(p99 = 2000)
+    ?(interval_alloc_words = 0) ts =
+  Json.Obj
+    [ ("ts", Json.Int ts);
+      ("interval_calls", Json.Int interval_calls);
+      ("interval_denies", Json.Int interval_denies);
+      ("interval_alloc_words", Json.Int interval_alloc_words);
+      ("p99", Json.Int p99);
+      ("reasons", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) reasons)) ]
+
+let deny_rule ?(window = 1) ?(r_for = 2) ?(cool = 2) () =
+  Health.{ r_name = "deny"; r_signal = Deny_rate; r_op = Gt; r_threshold = 1.0;
+           r_window = window; r_for; r_cool = cool }
+
+let events trs = List.map (fun tr -> Health.event_label tr.Health.tr_event) trs
+
+let test_health_hysteresis () =
+  let t = Health.create [ deny_rule () ] in
+  (* breach, breach -> armed then fired; healthy, healthy -> cleared *)
+  let rows =
+    [ row ~interval_denies:5 1;    (* breach 1: arms *)
+      row ~interval_denies:5 2;    (* breach 2: fires (for=2) *)
+      row ~interval_denies:5 3;    (* still firing: no transition *)
+      row 4;                       (* healthy 1: cooling *)
+      row 5 ]                      (* healthy 2: clears (cool=2) *)
+  in
+  let trs = Health.observe_all t rows in
+  Alcotest.(check (list string)) "armed/fired/cleared" [ "armed"; "fired"; "cleared" ]
+    (events trs);
+  Alcotest.(check (list string)) "nothing left firing" [] (Health.firing t);
+  (* transitions are timestamped with the triggering row *)
+  Alcotest.(check (list int)) "transition timestamps" [ 1; 2; 5 ]
+    (List.map (fun tr -> tr.Health.tr_ts) trs);
+  (* one noisy interval disarms without firing *)
+  let t2 = Health.create [ deny_rule () ] in
+  let trs2 = Health.observe_all t2 [ row ~interval_denies:5 1; row 2 ] in
+  Alcotest.(check (list string)) "armed then disarmed" [ "armed"; "disarmed" ] (events trs2)
+
+let test_health_burn_rate () =
+  (* window=3: fires on the windowed mean, not the raw interval *)
+  let rule = Health.{ (deny_rule ~window:3 ~r_for:1 ~cool:1 ()) with r_threshold = 3.0 } in
+  let t = Health.create [ rule ] in
+  (* deny rates 12%, 0%, 0%: means 12, 6, 4 — all breach 3% *)
+  let trs1 = Health.observe t (row ~interval_denies:12 1) in
+  Alcotest.(check (list string)) "first interval fires" [ "fired" ] (events trs1);
+  ignore (Health.observe t (row 2));
+  let trs3 = Health.observe t (row 3) in
+  Alcotest.(check (list string)) "mean still above threshold" [] (events trs3);
+  Alcotest.(check (list string)) "still firing on the mean" [ "deny" ] (Health.firing t);
+  (* a fourth quiet interval drops the mean to 0 and clears *)
+  let trs4 = Health.observe t (row 4) in
+  Alcotest.(check (list string)) "cleared when the window drains" [ "cleared" ] (events trs4)
+
+let test_health_reason_deltas () =
+  (* precomp hit rate comes from deltas of the cumulative reason counters *)
+  let rule =
+    Health.{ r_name = "pc"; r_signal = Precomp_hit_rate; r_op = Lt; r_threshold = 40.0;
+             r_window = 1; r_for = 1; r_cool = 1 }
+  in
+  let t = Health.create [ rule ] in
+  (* first row: 90/100 precomp hits — healthy *)
+  let trs1 = Health.observe t (row ~reasons:[ ("precomp_hit", 90) ] 1) in
+  Alcotest.(check (list string)) "90% hit rate healthy" [] (events trs1);
+  (* second row: cumulative 100, so only 10 new hits over 100 calls — fires *)
+  let trs2 = Health.observe t (row ~reasons:[ ("precomp_hit", 100) ] 2) in
+  Alcotest.(check (list string)) "10% hit rate fires" [ "fired" ] (events trs2)
+
+let test_health_undefined_signal () =
+  let t = Health.create [ deny_rule ~r_for:1 () ] in
+  (* zero interval_calls: the rate is undefined, state must not move *)
+  let trs = Health.observe t (row ~interval_calls:0 ~interval_denies:0 1) in
+  Alcotest.(check (list string)) "no transitions" [] (events trs);
+  Alcotest.(check (list string)) "not firing" [] (Health.firing t)
+
+let test_health_spec_roundtrip () =
+  let rules =
+    Health.default_rules
+    @ [ Health.{ r_name = "ratio"; r_signal = Ratio ("interval_denies", "interval_calls");
+                 r_op = Ge; r_threshold = 2.5; r_window = 4; r_for = 2; r_cool = 3 };
+        Health.{ r_name = "field"; r_signal = Field "p95"; r_op = Le; r_threshold = 10.0;
+                 r_window = 1; r_for = 1; r_cool = 1 } ]
+  in
+  let spec = Json.Obj [ ("rules", Json.List (List.map Health.rule_to_json rules)) ] in
+  (match Health.rules_of_json spec with
+   | Ok parsed -> Alcotest.(check bool) "round-trip equal" true (parsed = rules)
+   | Error e -> Alcotest.failf "round-trip failed: %s" e);
+  (match Health.rules_of_string "{\"rules\": [{\"name\": \"x\"}]}" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "rule without signal accepted");
+  (match Health.rules_of_string "{}" with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "spec without rules accepted");
+  Alcotest.check_raises "duplicate names rejected"
+    (Invalid_argument "Health.create: duplicate rule name \"deny\"") (fun () ->
+      ignore (Health.create [ deny_rule (); deny_rule () ]))
+
+let qcheck_health_conservation =
+  (* whatever the rule parameters and the deny pattern, every fired alert
+     is either cleared or still firing: fired = cleared + |firing| — and
+     arm/disarm bookkeeping balances the same way *)
+  QCheck.Test.make ~name:"rule transitions conserve: fired = cleared + firing" ~count:300
+    QCheck.(triple (list (int_bound 8)) (pair (int_range 1 4) (int_range 1 4))
+              (int_range 1 3))
+    (fun (denies, (r_for, cool), window) ->
+      let t = Health.create [ deny_rule ~window ~r_for ~cool () ] in
+      List.iteri (fun i d -> ignore (Health.observe t (row ~interval_denies:d (i + 1)))) denies;
+      let armed, disarmed, fired, cleared = Health.counts t in
+      let firing = List.length (Health.firing t) in
+      let pending =
+        (* armed but not yet fired or disarmed: at most one (single rule) *)
+        armed - disarmed
+        - (if r_for > 1 then fired else 0 (* for=1 fires without arming *))
+      in
+      fired = cleared + firing && pending >= 0 && pending <= 1)
+
+(* --- bounded history files --- *)
+
+module History = Asc_obs.History
+
+let temp_dir () =
+  let path = Filename.temp_file "asc_history" "" in
+  Sys.remove path;
+  path
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let hrow i = Json.Obj [ ("n", Json.Int i) ]
+
+let test_history_append_read () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  Alcotest.(check bool) "missing file reads empty" true
+    (History.read ~dir ~name:"t4" = Ok []);
+  for i = 1 to 5 do History.append ~dir ~name:"t4" (hrow i) done;
+  (match History.read ~dir ~name:"t4" with
+   | Ok rows -> Alcotest.(check int) "uncapped grows" 5 (List.length rows)
+   | Error e -> Alcotest.fail e);
+  (* a second bench file in the same dir is independent *)
+  History.append ~dir ~name:"t5" (hrow 0);
+  (match History.read ~dir ~name:"t5" with
+   | Ok [ _ ] -> ()
+   | _ -> Alcotest.fail "second file wrong")
+
+let test_history_keep_truncates () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  for i = 1 to 7 do History.append ~dir ~name:"t4" ~keep:3 (hrow i) done;
+  (match History.read ~dir ~name:"t4" with
+   | Ok rows ->
+     Alcotest.(check int) "capped at keep" 3 (List.length rows);
+     Alcotest.(check (list int)) "newest rows survive, oldest first" [ 5; 6; 7 ]
+       (List.filter_map (fun r -> Option.bind (Json.member "n" r) Json.to_int) rows)
+   | Error e -> Alcotest.fail e);
+  (* the cap applies on append: an uncapped append after a capped one grows *)
+  History.append ~dir ~name:"t4" (hrow 8);
+  (match History.read ~dir ~name:"t4" with
+   | Ok rows -> Alcotest.(check int) "append without keep grows" 4 (List.length rows)
+   | Error e -> Alcotest.fail e);
+  Alcotest.check_raises "keep < 1 rejected"
+    (Invalid_argument "History.append: keep must be >= 1") (fun () ->
+      History.append ~dir ~name:"t4" ~keep:0 (hrow 9));
+  (* malformed rows are reported with file and line *)
+  let oc = open_out_gen [ Open_append ] 0o644 (Filename.concat dir "t4.jsonl") in
+  output_string oc "{nope\n";
+  close_out oc;
+  match History.read ~dir ~name:"t4" with
+  | Error e -> Alcotest.(check bool) "error names the line" true (contains e "t4.jsonl:5")
+  | Ok _ -> Alcotest.fail "malformed line parsed"
+
 let () =
   Alcotest.run "asc_obs"
     [ ( "metrics",
@@ -645,4 +976,20 @@ let () =
           Alcotest.test_case "eviction promotes the anchor" `Quick test_authlog_eviction;
           Alcotest.test_case "single-bit flips detected" `Quick test_authlog_bitflip;
           Alcotest.test_case "truncation detected" `Quick test_authlog_truncation;
-          Alcotest.test_case "reordering detected" `Quick test_authlog_reorder ] ) ]
+          Alcotest.test_case "reordering detected" `Quick test_authlog_reorder ] );
+      ( "diffprof",
+        [ Alcotest.test_case "rollups + ranking + noise floor" `Quick test_diffprof_rollups;
+          Alcotest.test_case "profile json loading" `Quick test_diffprof_of_json;
+          Alcotest.test_case "document attribution" `Quick test_diffprof_doc;
+          QCheck_alcotest.to_alcotest qcheck_diffprof_self_empty;
+          QCheck_alcotest.to_alcotest qcheck_diffprof_stack_conservation ] );
+      ( "health",
+        [ Alcotest.test_case "arm/fire/clear hysteresis" `Quick test_health_hysteresis;
+          Alcotest.test_case "burn-rate window" `Quick test_health_burn_rate;
+          Alcotest.test_case "cumulative reason deltas" `Quick test_health_reason_deltas;
+          Alcotest.test_case "undefined signal is inert" `Quick test_health_undefined_signal;
+          Alcotest.test_case "rule spec round-trip" `Quick test_health_spec_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_health_conservation ] );
+      ( "history",
+        [ Alcotest.test_case "append + read" `Quick test_history_append_read;
+          Alcotest.test_case "--history-keep truncation" `Quick test_history_keep_truncates ] ) ]

@@ -513,7 +513,15 @@ let qcheck_audit_json_roundtrip =
           (pair (pair nat s) s);
         (pair (pair nat s) (pair gen_violation gen_snapshot)
         >>= fun ((pid, program), (violation, snapshot)) ->
-         return (Kernel.Violation { pid; program; violation; snapshot })) ]
+         return (Kernel.Violation { pid; program; violation; snapshot }));
+        (pair (pair nat s) (pair (pair s s) (pair nat (pair nat nat)))
+        >>= fun ((pid, program), ((rule, event), (ts, (v, th)))) ->
+         (* dyadic fractions survive the JSON float representation exactly *)
+         return
+           (Kernel.Alert
+              { pid; program; rule; event; ts;
+                value = float_of_int v /. 8.0;
+                threshold = float_of_int th /. 8.0 })) ]
   in
   QCheck.Test.make ~name:"audit_to_json round-trip" ~count:300 (QCheck.make gen_entry)
     (fun entry ->

@@ -238,7 +238,8 @@ let observed kernel (proc : Process.t) stop =
       (function
         | Kernel.Violation { violation = v; _ } -> Some ("v:" ^ Violation.step_name v.Violation.v_step)
         | Kernel.Denied { reason; _ } -> Some ("d:" ^ reason)
-        | Kernel.Execve { path; _ } -> Some ("e:" ^ path))
+        | Kernel.Execve { path; _ } -> Some ("e:" ^ path)
+        | Kernel.Alert _ -> None)
       (Kernel.audit_log kernel)
   in
   (stop, Kernel.stdout_of proc, Kernel.trace kernel, verdicts)
