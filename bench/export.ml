@@ -18,6 +18,11 @@ let vcache_capacity = ref 1024
    of it); with it off, table4 exports as "table4_noprecomp". *)
 let use_precomp = ref true
 
+(* --no-cfpre: disable the precompiled control-flow bitsets + amortized
+   lbMAC chain. Measured on top of vcache+precomp (the full deployment
+   stack); with it off, table4 exports as "table4_nocfpre". *)
+let use_cfpre = ref true
+
 (* --check-baselines DIR: after writing each document, diff it against the
    committed snapshot DIR/BENCH_<name>.json. The schema must match exactly;
    numeric leaves may drift within --tolerance percent. *)

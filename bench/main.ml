@@ -11,10 +11,10 @@
    replaces rdtsc); Bechamel measures the harness's real wall-clock cost. *)
 
 let usage =
-  "usage: main.exe [table1|table2|table3|table4|table5|table6|andrew|attacks|vcache|precomp|telemetry|ablation|bechamel|all]* \
+  "usage: main.exe [table1|table2|table3|table4|table5|table6|andrew|attacks|vcache|precomp|cfpre|telemetry|ablation|bechamel|all]* \
    [--scale N] [--iterations N] [--json] [--check-baselines DIR] [--tolerance PCT] \
    [--tolerance-abs W] [--history DIR] [--history-keep N] [--no-vcache] [--vcache-size N] \
-   [--no-precomp] [--inject-step-cost STEP PCT]\n\
+   [--no-precomp] [--no-cfpre] [--inject-step-cost STEP PCT]\n\
    \       main.exe diff A.json B.json [--tolerance PCT] [--tolerance-abs W]\n\
    \       (diff exits 0 on match, 1 on mismatch, 2 on unreadable input)"
 
@@ -110,6 +110,9 @@ let () =
     | "--no-precomp" :: rest ->
       Export.use_precomp := false;
       parse rest
+    | "--no-cfpre" :: rest ->
+      Export.use_cfpre := false;
+      parse rest
     | ("--help" | "-h") :: _ ->
       print_endline usage;
       exit 0
@@ -137,9 +140,11 @@ let () =
     | "attacks" -> Tables.attacks ()
     | "vcache" -> Tables.vcache_parity ()
     | "precomp" -> Tables.precomp_parity ()
+    | "cfpre" -> Tables.cfpre_parity ()
     | "telemetry" -> Tables.telemetry_gate ()
     | "ablation" ->
       Microbench.ablation_control_flow ();
+      Microbench.control_flow_step ();
       Microbench.ablation_userspace ();
       Tables.ablation_patterns ()
     | "bechamel" -> bechamel_run ()
@@ -154,8 +159,10 @@ let () =
       Tables.attacks ();
       Tables.vcache_parity ();
       Tables.precomp_parity ();
+      Tables.cfpre_parity ();
       Tables.telemetry_gate ();
       Microbench.ablation_control_flow ();
+      Microbench.control_flow_step ();
       Microbench.ablation_userspace ();
       Tables.ablation_patterns ()
     | other ->

@@ -67,8 +67,8 @@ let cases =
    [use_vcache]/[use_precomp], the fast paths' hit/miss counters), and the
    host-side allocation gauge: minor-heap words allocated per loop
    iteration strictly around [Kernel.run]. *)
-let measure_run ~authenticated ?(use_vcache = false) ?(use_precomp = false) ~control_flow
-    case =
+let measure_run ~authenticated ?(use_vcache = false) ?(use_precomp = false)
+    ?(use_cfpre = false) ~control_flow case =
   let img = Svm.Asm.assemble_exn (loop_program ~body:case.c_body) in
   let img =
     if not authenticated then img
@@ -93,8 +93,12 @@ let measure_run ~authenticated ?(use_vcache = false) ?(use_precomp = false) ~con
         Some (Asc_core.Precomp.create ~key ~registry:(Kernel.metrics kernel) ())
       else None
     in
+    let cfpre =
+      if use_cfpre then Some (Asc_core.Cfpre.create ~registry:(Kernel.metrics kernel) ())
+      else None
+    in
     Kernel.set_monitor kernel
-      (Some (Asc_core.Checker.monitor ~kernel ~key ?vcache ?precomp ()))
+      (Some (Asc_core.Checker.monitor ~kernel ~key ?vcache ?precomp ?cfpre ()))
   end;
   let proc = Kernel.spawn kernel ~stdin:case.c_stdin ~program:case.c_name img in
   let mw0 = Gc.minor_words () in
@@ -105,8 +109,10 @@ let measure_run ~authenticated ?(use_vcache = false) ?(use_precomp = false) ~con
   | Svm.Machine.Killed r -> failwith (case.c_name ^ " killed: " ^ r)
   | _ -> failwith (case.c_name ^ " did not complete")
 
-let measure_once ~authenticated ?use_vcache ?use_precomp ~control_flow case =
-  let cycles, _, _ = measure_run ~authenticated ?use_vcache ?use_precomp ~control_flow case in
+let measure_once ~authenticated ?use_vcache ?use_precomp ?use_cfpre ~control_flow case =
+  let cycles, _, _ =
+    measure_run ~authenticated ?use_vcache ?use_precomp ?use_cfpre ~control_flow case
+  in
   cycles
 
 (* Table 4's decomposition: per-call cycles attributed to each verification
@@ -120,16 +126,17 @@ type verification = {
   v_total : int;
 }
 
-let verification_of ?(use_vcache = false) ?(use_precomp = false) ~control_flow case =
+let verification_of ?(use_vcache = false) ?(use_precomp = false) ?(use_cfpre = false)
+    ~control_flow case =
   let _, kernel, _ =
-    measure_run ~authenticated:true ~use_vcache ~use_precomp ~control_flow case
+    measure_run ~authenticated:true ~use_vcache ~use_precomp ~use_cfpre ~control_flow case
   in
   let raw name = Option.value ~default:0 (Asc_obs.Metrics.value (Kernel.metrics kernel) name) in
   let v name =
     let r = raw name in
     (* with a fast path on, the first iteration pays the CMAC cost and later
        ones the hit cost, so per-step charges are no longer uniform *)
-    if (not (use_vcache || use_precomp)) && r mod iterations <> 0 then
+    if (not (use_vcache || use_precomp || use_cfpre)) && r mod iterations <> 0 then
       failwith (Printf.sprintf "%s: %s not uniform across iterations" case.c_name name);
     r / iterations
   in
@@ -173,10 +180,10 @@ let alloc_harness_words =
          let _, _, alloc = measure_run ~authenticated:false ~control_flow:true empty_case in
          alloc))
 
-let per_call ?(control_flow = true) ?use_vcache ?use_precomp ~authenticated case =
+let per_call ?(control_flow = true) ?use_vcache ?use_precomp ?use_cfpre ~authenticated case =
   let total =
     trial_average (fun () ->
-        measure_once ~authenticated ?use_vcache ?use_precomp ~control_flow case)
+        measure_once ~authenticated ?use_vcache ?use_precomp ?use_cfpre ~control_flow case)
   in
   (total / iterations) - Lazy.force empty_loop_cost
 
@@ -210,10 +217,22 @@ type precomp_stats = {
   p_compiles : int;
 }
 
-let precomp_row ~auth_vc case =
-  let auth_pre = per_call ~authenticated:true ~use_vcache:true ~use_precomp:true case in
+(* Counters of the control-flow bitset table when it rides along (the
+   [use_cfpre] configuration below). *)
+type cfpre_stats = {
+  cf_hits : int;
+  cf_misses : int;
+  cf_fallbacks : int;
+  cf_compiles : int;
+  cf_saved : int;
+}
+
+let precomp_row ~auth_vc ~v_vc ~use_cfpre case =
+  let auth_pre =
+    per_call ~authenticated:true ~use_vcache:true ~use_precomp:true ~use_cfpre case
+  in
   let v_pre, raw =
-    verification_of ~use_vcache:true ~use_precomp:true ~control_flow:true case
+    verification_of ~use_vcache:true ~use_precomp:true ~use_cfpre ~control_flow:true case
   in
   let stats =
     { p_hits = raw "precomp.hits";
@@ -227,16 +246,42 @@ let precomp_row ~auth_vc case =
     failwith
       (Printf.sprintf "%s: precomp not strictly below the vcache path (%d >= %d)"
          case.c_name auth_pre auth_vc);
-  (auth_pre, v_pre, stats)
+  let cf =
+    if not use_cfpre then None
+    else begin
+      let st =
+        { cf_hits = raw "cfpre.hits";
+          cf_misses = raw "cfpre.misses";
+          cf_fallbacks = raw "cfpre.fallbacks";
+          cf_compiles = raw "cfpre.compiles";
+          cf_saved = raw "cfpre.cycles_saved" }
+      in
+      (* the headline gates of the bitset + lbMAC-chain fast path: it hits
+         on a repeated site, and it cuts the per-call control-flow step by
+         more than 2x vs the vcache configuration *)
+      if st.cf_hits = 0 then failwith (case.c_name ^ ": control-flow bitset table never hit");
+      if 2 * v_pre.v_control_flow > v_vc.v_control_flow then
+        failwith
+          (Printf.sprintf "%s: cfpre control_flow not cut >2x (%d vs %d per call)"
+             case.c_name v_pre.v_control_flow v_vc.v_control_flow);
+      Some st
+    end
+  in
+  (auth_pre, v_pre, stats, cf)
 
 let table4 () =
   let vc = !Export.use_vcache in
   let pre = vc && !Export.use_precomp in
+  let cf = pre && !Export.use_cfpre in
   Format.printf "@.Table 4: Effect of authentication (cycles per call)%s@."
-    (if not vc then " [vcache off]" else if not pre then " [precomp off]" else "");
+    (if not vc then " [vcache off]"
+     else if not pre then " [precomp off]"
+     else if not cf then " [cfpre off]"
+     else "");
   if pre then
     Format.printf "%-16s %10s %14s %10s %12s %9s %10s@." "System Call" "Original"
-      "Authenticated" "Overhead" "Auth+cache" "Hit rate" "Auth+pre"
+      "Authenticated" "Overhead" "Auth+cache" "Hit rate"
+      (if cf then "Auth+cf" else "Auth+pre")
   else if vc then
     Format.printf "%-16s %10s %14s %10s %12s %9s@." "System Call" "Original" "Authenticated"
       "Overhead" "Auth+cache" "Hit rate"
@@ -251,13 +296,14 @@ let table4 () =
         let cache = if vc then Some (vcache_row ~auth case) else None in
         let precomp =
           match cache with
-          | Some (auth_vc, _, _, _) when pre -> Some (precomp_row ~auth_vc case)
+          | Some (auth_vc, v_vc, _, _) when pre ->
+            Some (precomp_row ~auth_vc ~v_vc ~use_cfpre:cf case)
           | _ -> None
         in
         (* the allocation gauge is read at this configuration's fastest
            settings — the deployment the row is reporting on *)
         let _, akernel, alloc_raw =
-          measure_run ~authenticated:true ~use_vcache:vc ~use_precomp:pre
+          measure_run ~authenticated:true ~use_vcache:vc ~use_precomp:pre ~use_cfpre:cf
             ~control_flow:true case
         in
         let alloc = alloc_raw - Lazy.force alloc_harness_words in
@@ -285,12 +331,18 @@ let table4 () =
           failwith
             (Printf.sprintf "%s: attributed alloc (%d words) exceeds per-call gauge (%d)"
                case.c_name known alloc);
+        (* the per-pid scratch buffers must take the step's host allocation
+           to (near) zero — the fast path's entire budget is the probe *)
+        if cf && a_control_flow > 16 then
+          failwith
+            (Printf.sprintf "%s: cfpre control_flow allocates %d words/call (budget 16)"
+               case.c_name a_control_flow);
         let a_other = alloc - known in
         let alloc_decomp =
           (a_call_mac, a_string_mac, a_control_flow, a_ext, a_telemetry, a_other)
         in
         (match (cache, precomp) with
-         | Some (auth_vc, _, hits, misses), Some (auth_pre, _, _) ->
+         | Some (auth_vc, _, hits, misses), Some (auth_pre, _, _, _) ->
            Format.printf "%-16s %10d %14d %9.1f%% %12d %8.1f%% %10d@." case.c_name orig auth
              overhead auth_vc
              (100. *. float_of_int hits /. float_of_int (hits + misses))
@@ -316,7 +368,10 @@ let table4 () =
         ("total", Int v.v_total) ]
   in
   let name =
-    if not vc then "table4_novcache" else if pre then "table4" else "table4_noprecomp"
+    if not vc then "table4_novcache"
+    else if not pre then "table4_noprecomp"
+    else if not cf then "table4_nocfpre"
+    else "table4"
   in
   Export.write ~name
     (Obj
@@ -325,6 +380,7 @@ let table4 () =
          ("vcache", Bool vc);
          ("vcache_capacity", Int (if vc then !Export.vcache_capacity else 0));
          ("precomp", Bool pre);
+         ("cfpre", Bool cf);
          ("rdtsc_cost", Int Svm.Cost_model.rdcyc_cost);
          ("loop_cost", Int (Lazy.force empty_loop_cost));
          ("alloc_harness_words", Int (Lazy.force alloc_harness_words));
@@ -371,7 +427,7 @@ let table4 () =
                      @
                      match precomp with
                      | None -> []
-                     | Some (auth_pre, v_pre, st) ->
+                     | Some (auth_pre, v_pre, st, cfst) ->
                        [ ("authenticated_precomp", Int auth_pre);
                          ( "overhead_precomp_pct",
                            Float (100. *. float_of_int (auth_pre - orig) /. float_of_int orig)
@@ -383,7 +439,18 @@ let table4 () =
                                ("misses", Int st.p_misses);
                                ("resumes", Int st.p_resumes);
                                ("fallbacks", Int st.p_fallbacks);
-                               ("compiles", Int st.p_compiles) ] ) ]))
+                               ("compiles", Int st.p_compiles) ] ) ]
+                       @
+                       match cfst with
+                       | None -> []
+                       | Some cfst ->
+                         [ ( "cfpre",
+                             Obj
+                               [ ("hits", Int cfst.cf_hits);
+                                 ("misses", Int cfst.cf_misses);
+                                 ("fallbacks", Int cfst.cf_fallbacks);
+                                 ("compiles", Int cfst.cf_compiles);
+                                 ("cycles_saved", Int cfst.cf_saved) ] ) ]))
                 rows) ) ])
 
 (* --- gate attribution -------------------------------------------------- *)
@@ -392,7 +459,7 @@ let table4 () =
    site whose subtree carries the named checker step — the "+412 cycles
    in <kernel:control_flow> at getpid@site_0x18" half of a gate failure
    message. Returns the heaviest (site frame, step cycles) pair. *)
-let profile_step_site ~use_vcache ~use_precomp ~step case =
+let profile_step_site ~use_vcache ~use_precomp ~use_cfpre ~step case =
   let img = Svm.Asm.assemble_exn (loop_program ~body:case.c_body) in
   let img =
     match Asc_core.Installer.install ~key ~personality ~program:case.c_name img with
@@ -413,7 +480,12 @@ let profile_step_site ~use_vcache ~use_precomp ~step case =
       Some (Asc_core.Precomp.create ~key ~registry:(Kernel.metrics kernel) ())
     else None
   in
-  Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ?vcache ?precomp ()));
+  let cfpre =
+    if use_cfpre then Some (Asc_core.Cfpre.create ~registry:(Kernel.metrics kernel) ())
+    else None
+  in
+  Kernel.set_monitor kernel
+    (Some (Asc_core.Checker.monitor ~kernel ~key ?vcache ?precomp ?cfpre ()));
   let proc = Kernel.spawn kernel ~stdin:case.c_stdin ~program:case.c_name img in
   let prof = Asc_obs.Profile.create () in
   Svm.Machine.attach_profile proc.Process.machine prof;
@@ -456,10 +528,14 @@ let attribute_gate ~file ~baseline ~actual =
     let open Asc_obs.Json in
     let rows doc = match member "rows" doc with Some (List rs) -> rs | _ -> [] in
     let arows = rows actual in
+    (* the fastest configuration measured by this file: table4_nocfpre pins
+       the vcache+precomp stack, every other table4 variant with precomp on
+       also arms the control-flow bitsets *)
+    let cf_on = file <> "BENCH_table4_nocfpre.json" in
     let verif_keys =
-      [ ("verification", (false, false));
-        ("verification_vcache", (true, false));
-        ("verification_precomp", (true, true)) ]
+      [ ("verification", (false, false, false));
+        ("verification_vcache", (true, false, false));
+        ("verification_precomp", (true, true, cf_on)) ]
     in
     let step_names = [ "call_mac"; "string_mac"; "control_flow"; "ext" ] in
     let best = ref None in
@@ -493,12 +569,12 @@ let attribute_gate ~file ~baseline ~actual =
       (rows baseline);
     match !best with
     | None -> ()
-    | Some (_, d, name, step, (use_vcache, use_precomp), b, a) ->
+    | Some (_, d, name, step, (use_vcache, use_precomp, use_cfpre), b, a) ->
       let case = List.find_opt (fun c -> c.c_name = name) cases in
       let site =
         match case with
         | Some case ->
-          (try profile_step_site ~use_vcache ~use_precomp ~step case with _ -> None)
+          (try profile_step_site ~use_vcache ~use_precomp ~use_cfpre ~step case with _ -> None)
         | None -> None
       in
       let where = match site with Some (s, _) -> " at " ^ s | None -> "" in
@@ -517,6 +593,49 @@ let ablation_control_flow () =
       Format.printf "%-16s %14d %16d %11.1f%%@." case.c_name full nocf
         (100. *. float_of_int (full - nocf) /. float_of_int full))
     cases
+
+(* Microbenchmark isolating the §3.4 control-flow step: per-call cycles and
+   minor words charged to checker.{cycles,alloc}.control_flow on the getpid
+   loop, in the three ways the step can execute — the full string-MAC slow
+   path (predecessor-set CMAC + two from-scratch lbMAC CMACs), the vcache
+   configuration (pred-set proof memoized, lbMACs still recomputed in
+   full), and the cfpre fast path (bitset load+test + single-AES lbMAC
+   chain steps against per-pid scratch). Each configuration must be
+   strictly cheaper than the previous, and the fast path's allocation must
+   sit within the per-pid-scratch budget. *)
+let control_flow_step () =
+  Format.printf "@.Microbench: the control-flow step in isolation (getpid, per call)@.";
+  Format.printf "%-38s %10s %10s@." "configuration" "cycles" "words";
+  let case = List.hd cases in
+  let row name ~use_vcache ~use_precomp ~use_cfpre =
+    let _, kernel, _ =
+      measure_run ~authenticated:true ~use_vcache ~use_precomp ~use_cfpre ~control_flow:true
+        case
+    in
+    let raw n = Option.value ~default:0 (Asc_obs.Metrics.value (Kernel.metrics kernel) n) in
+    let cyc = raw "checker.cycles.control_flow" / iterations in
+    let words = raw "checker.alloc.control_flow" / iterations in
+    Format.printf "%-38s %10d %10d@." name cyc words;
+    (cyc, words)
+  in
+  let slow, _ =
+    row "string-MAC slow path" ~use_vcache:false ~use_precomp:false ~use_cfpre:false
+  in
+  let vc, _ =
+    row "vcache memo + full lbMAC recompute" ~use_vcache:true ~use_precomp:false
+      ~use_cfpre:false
+  in
+  let fast, fast_words =
+    row "bitset hit + lbMAC chain resume" ~use_vcache:true ~use_precomp:true ~use_cfpre:true
+  in
+  if not (fast < vc && vc < slow) then
+    failwith
+      (Printf.sprintf
+         "control-flow step not strictly decreasing across configurations (%d, %d, %d)" slow
+         vc fast);
+  if fast_words > 16 then
+    failwith
+      (Printf.sprintf "control-flow fast path allocates %d words/call (budget 16)" fast_words)
 
 (* ablation: in-kernel ASC checking vs a user-space policy daemon that pays
    two context switches per checked call (§2.3's comparison) *)

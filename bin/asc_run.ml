@@ -8,7 +8,7 @@ open Oskernel
    fast-path cache counters, the host GC's work during the run (deltas of
    Gc.quick_stat around Kernel.run) and the kernel telemetry plane's
    aggregate (reason mix, per-syscall quantiles, per-site rollups). *)
-let stats_json kernel proc ~vcache ~precomp ~gc0 ~gc1 ~minor0 ~minor1 =
+let stats_json kernel proc ~vcache ~precomp ~cfpre ~gc0 ~gc1 ~minor0 ~minor1 =
   let module Json = Asc_obs.Json in
   let gc_fields =
     let dw f = Json.Int (int_of_float (f gc1 -. f gc0)) in
@@ -47,6 +47,18 @@ let stats_json kernel proc ~vcache ~precomp ~gc0 ~gc1 ~minor0 ~minor1 =
                ("compiles", Json.Int (Asc_core.Precomp.compiles pc));
                ("invalidations", Json.Int (Asc_core.Precomp.invalidations pc));
                ("cycles_saved", Json.Int (Asc_core.Precomp.cycles_saved pc)) ] ) ])
+    @
+    (match cfpre with
+     | None -> []
+     | Some cf ->
+       [ ( "cfpre",
+           Json.Obj
+             [ ("hits", Json.Int (Asc_core.Cfpre.hits cf));
+               ("misses", Json.Int (Asc_core.Cfpre.misses cf));
+               ("fallbacks", Json.Int (Asc_core.Cfpre.fallbacks cf));
+               ("compiles", Json.Int (Asc_core.Cfpre.compiles cf));
+               ("invalidations", Json.Int (Asc_core.Cfpre.invalidations cf));
+               ("cycles_saved", Json.Int (Asc_core.Cfpre.cycles_saved cf)) ] ) ])
   in
   Json.Obj
     ([ ("tool", Json.Str "asc-run");
@@ -57,7 +69,7 @@ let stats_json kernel proc ~vcache ~precomp ~gc0 ~gc1 ~minor0 ~minor1 =
      @ [ ("telemetry", Asc_obs.Telemetry.stats_to_json tel (Asc_obs.Telemetry.aggregate tel)) ])
 
 let run input key_hex os enforce stdin_text normalize files libs audit_out stats_out
-    verbose_stats no_vcache vcache_size no_precomp =
+    verbose_stats no_vcache vcache_size no_precomp no_cfpre =
   let ( let* ) = Result.bind in
   let result =
     let* personality = Common.personality_of_string os in
@@ -79,8 +91,8 @@ let run input key_hex os enforce stdin_text normalize files libs audit_out stats
              | Error e -> Error (Oskernel.Errno.name e)))
         (Ok ()) files
     in
-    let* vcache, precomp =
-      if not enforce then Ok (None, None)
+    let* vcache, precomp, cfpre =
+      if not enforce then Ok (None, None, None)
       else
         let* key = Common.key_of_hex key_hex in
         let* vcache =
@@ -97,11 +109,15 @@ let run input key_hex os enforce stdin_text normalize files libs audit_out stats
           if no_precomp then None
           else Some (Asc_core.Precomp.create ~key ~registry:(Kernel.metrics kernel) ())
         in
+        let cfpre =
+          if no_cfpre then None
+          else Some (Asc_core.Cfpre.create ~registry:(Kernel.metrics kernel) ())
+        in
         Kernel.set_monitor kernel
           (Some
              (Asc_core.Checker.monitor ~kernel ~key ~normalize_paths:normalize ?vcache
-                ?precomp ()));
-        Ok (vcache, precomp)
+                ?precomp ?cfpre ()));
+        Ok (vcache, precomp, cfpre)
     in
     (* --audit-out: record every audit entry in a tamper-evident CMAC chain
        (keyed like the checker) and export it as JSONL after the run *)
@@ -163,13 +179,22 @@ let run input key_hex os enforce stdin_text normalize files libs audit_out stats
            (Asc_core.Precomp.hits pc) (Asc_core.Precomp.resumes pc)
            (Asc_core.Precomp.fallbacks pc) (Asc_core.Precomp.compiles pc)
            (Asc_core.Precomp.invalidations pc) (Asc_core.Precomp.cycles_saved pc)
+       | None -> ());
+      (match cfpre with
+       | Some cf ->
+         Format.eprintf
+           "[cfpre: %d hits, %d misses, %d fallbacks, %d compiles, %d invalidations, %d \
+            cycles saved]@."
+           (Asc_core.Cfpre.hits cf) (Asc_core.Cfpre.misses cf)
+           (Asc_core.Cfpre.fallbacks cf) (Asc_core.Cfpre.compiles cf)
+           (Asc_core.Cfpre.invalidations cf) (Asc_core.Cfpre.cycles_saved cf)
        | None -> ())
     end;
     (match stats_out with
      | Some path ->
        Common.write_file path
          (Asc_obs.Json.to_string
-            (stats_json kernel proc ~vcache ~precomp ~gc0 ~gc1 ~minor0 ~minor1)
+            (stats_json kernel proc ~vcache ~precomp ~cfpre ~gc0 ~gc1 ~minor0 ~minor1)
           ^ "\n")
      | None -> ());
     (match (authlog, audit_out) with
@@ -281,6 +306,13 @@ let no_precomp_arg =
                path; every call serializes and verifies through the slow path / vcache). \
                Only meaningful with $(b,--enforce).")
 
+let no_cfpre_arg =
+  Arg.(value & flag & info [ "no-cfpre" ]
+         ~doc:"Disable the checker's precompiled control-flow bitsets and amortized \
+               lbMAC chain (every call re-verifies the predecessor-set string and \
+               recomputes both policy-state CMACs from scratch). Only meaningful with \
+               $(b,--enforce).")
+
 let cmd =
   let doc = "run a program on the simulated kernel" in
   Cmd.v
@@ -288,6 +320,6 @@ let cmd =
     Term.(
       const run $ input_arg $ key_arg $ os_arg $ enforce_arg $ stdin_arg $ normalize_arg
       $ file_arg $ lib_arg $ audit_out_arg $ stats_out_arg $ verbose_stats_arg
-      $ no_vcache_arg $ vcache_size_arg $ no_precomp_arg)
+      $ no_vcache_arg $ vcache_size_arg $ no_precomp_arg $ no_cfpre_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -34,7 +34,8 @@ type pid_row = {
    sees concurrent shards the way a real fleet kernel would. Per-pid rows
    are aggregate deltas around each run — exact, because [Telemetry.merge]
    is count-conserving. *)
-let run_fleet ~personality ~key ~procs ~scale ~interval ~no_vcache ~no_precomp ?authlog names =
+let run_fleet ~personality ~key ~procs ~scale ~interval ~no_vcache ~no_precomp ~no_cfpre
+    ?authlog names =
   let ( let* ) = Result.bind in
   let* workloads =
     List.fold_left
@@ -60,7 +61,12 @@ let run_fleet ~personality ~key ~procs ~scale ~interval ~no_vcache ~no_precomp ?
     if no_precomp then None
     else Some (Asc_core.Precomp.create ~key ~registry:(Kernel.metrics kernel) ())
   in
-  Kernel.set_monitor kernel (Some (Asc_core.Checker.monitor ~kernel ~key ?vcache ?precomp ()));
+  let cfpre =
+    if no_cfpre then None
+    else Some (Asc_core.Cfpre.create ~registry:(Kernel.metrics kernel) ())
+  in
+  Kernel.set_monitor kernel
+    (Some (Asc_core.Checker.monitor ~kernel ~key ?vcache ?precomp ?cfpre ()));
   let* images =
     List.fold_left
       (fun acc (w : Workloads.Registry.t) ->
@@ -98,7 +104,7 @@ let run_fleet ~personality ~key ~procs ~scale ~interval ~no_vcache ~no_precomp ?
           pr_stop = stop_name stop })
   in
   let minor_words = int_of_float (Gc.minor_words () -. minor0) in
-  Ok (kernel, tel, rows, !machine_cycles, minor_words, vcache, precomp)
+  Ok (kernel, tel, rows, !machine_cycles, minor_words, vcache, precomp, cfpre)
 
 let deny_idx = Telemetry.reason_index (Telemetry.Deny "")
 let fallback_indices = [ 2; 3; 4 ] (* no_entry, statics, tag *)
@@ -302,7 +308,7 @@ let print_human ~procs ~scale ~names ~interval ?health tel rows machine_cycles m
   match health with Some h -> print_health h | None -> ()
 
 let run procs workloads_csv scale key_hex os json interval snapshots_out no_vcache no_precomp
-    rules_spec alerts_out audit_out verbose_stats =
+    no_cfpre rules_spec alerts_out audit_out verbose_stats =
   let ( let* ) = Result.bind in
   let result =
     let* () = if procs < 1 then Error "--procs must be >= 1" else Ok () in
@@ -324,8 +330,9 @@ let run procs workloads_csv scale key_hex os json interval snapshots_out no_vcac
     let authlog =
       match audit_out with Some _ -> Some (Asc_obs.Authlog.create ~key ()) | None -> None
     in
-    let* kernel, tel, rows, machine_cycles, minor_words, vcache, precomp =
-      run_fleet ~personality ~key ~procs ~scale ~interval ~no_vcache ~no_precomp ?authlog names
+    let* kernel, tel, rows, machine_cycles, minor_words, vcache, precomp, cfpre =
+      run_fleet ~personality ~key ~procs ~scale ~interval ~no_vcache ~no_precomp ~no_cfpre
+        ?authlog names
     in
     (match snapshots_out with
      | Some path -> Common.write_file path (Telemetry.snapshots_jsonl tel)
@@ -373,6 +380,15 @@ let run procs workloads_csv scale key_hex os json interval snapshots_out no_vcac
            (Asc_core.Precomp.hits pc) (Asc_core.Precomp.resumes pc)
            (Asc_core.Precomp.fallbacks pc) (Asc_core.Precomp.compiles pc)
            (Asc_core.Precomp.invalidations pc) (Asc_core.Precomp.cycles_saved pc)
+       | None -> ());
+      (match cfpre with
+       | Some cf ->
+         Format.eprintf
+           "[cfpre: %d hits, %d misses, %d fallbacks, %d compiles, %d invalidations, %d \
+            cycles saved]@."
+           (Asc_core.Cfpre.hits cf) (Asc_core.Cfpre.misses cf)
+           (Asc_core.Cfpre.fallbacks cf) (Asc_core.Cfpre.compiles cf)
+           (Asc_core.Cfpre.invalidations cf) (Asc_core.Cfpre.cycles_saved cf)
        | None -> ())
     end;
     (match (authlog, audit_out) with
@@ -437,6 +453,10 @@ let no_vcache_arg =
 let no_precomp_arg =
   Arg.(value & flag & info [ "no-precomp" ] ~doc:"Disable the precompiled-site table.")
 
+let no_cfpre_arg =
+  Arg.(value & flag & info [ "no-cfpre" ]
+         ~doc:"Disable the precompiled control-flow bitsets and amortized lbMAC chain.")
+
 let rules_arg =
   Arg.(value & opt (some string) None & info [ "rules" ] ~docv:"FILE"
          ~doc:"Evaluate fleet-health SLO rules over the telemetry snapshots: $(b,default) \
@@ -461,7 +481,8 @@ let cmd =
   Cmd.v (Cmd.info "asc-top" ~doc)
     Term.(
       const run $ procs_arg $ workloads_arg $ scale_arg $ key_arg $ os_arg $ json_arg
-      $ interval_arg $ snapshots_out_arg $ no_vcache_arg $ no_precomp_arg $ rules_arg
+      $ interval_arg $ snapshots_out_arg $ no_vcache_arg $ no_precomp_arg $ no_cfpre_arg
+      $ rules_arg
       $ alerts_out_arg $ audit_out_arg $ verbose_stats_arg)
 
 let () = exit (Cmd.eval' cmd)

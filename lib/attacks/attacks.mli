@@ -55,13 +55,22 @@ val key : Asc_crypto.Cmac.key
     table ({!Asc_core.Precomp}). Its fast path proves only calls whose
     rebuilt MAC matches the supplied tag; every structural or tag
     mismatch falls back to the unchanged slow path, so the same
-    deny-parity must hold with it on (gated by [asc_bench precomp]). *)
+    deny-parity must hold with it on (gated by [asc_bench precomp]).
 
-val shellcode : ?use_vcache:bool -> ?use_precomp:bool -> protected:bool -> unit -> outcome
-val mimicry : ?use_vcache:bool -> ?use_precomp:bool -> protected:bool -> unit -> outcome
+    [use_cfpre] (default [false]) attaches the precompiled control-flow
+    bitsets ({!Asc_core.Cfpre}). The fast path applies only when the live
+    predecessor-set reference and bytes equal the slow-path-verified
+    ones; anything else falls back, so the same deny-parity must hold
+    with it on (gated by [asc_bench cfpre]). *)
+
+val shellcode :
+  ?use_vcache:bool -> ?use_precomp:bool -> ?use_cfpre:bool -> protected:bool -> unit -> outcome
+
+val mimicry :
+  ?use_vcache:bool -> ?use_precomp:bool -> ?use_cfpre:bool -> protected:bool -> unit -> outcome
 
 val non_control_data :
-  ?use_vcache:bool -> ?use_precomp:bool -> protected:bool -> unit -> outcome
+  ?use_vcache:bool -> ?use_precomp:bool -> ?use_cfpre:bool -> protected:bool -> unit -> outcome
 
 val forensic_expectations : (string * Oskernel.Violation.step list) list
 (** attack name ⇒ acceptable violation steps, as asserted by the runs. *)
@@ -74,7 +83,8 @@ val forensic_runs : unit -> (string * Oskernel.Kernel.t * outcome) list
     audit log and verify the chain — the corpus behind
     [asc_audit classify]. *)
 
-val frankenstein : ?use_vcache:bool -> ?use_precomp:bool -> cross:bool -> unit -> outcome
+val frankenstein :
+  ?use_vcache:bool -> ?use_precomp:bool -> ?use_cfpre:bool -> cross:bool -> unit -> outcome
 (** [cross:true] splices application B's authenticated call after
     application A's chain (must be blocked); [cross:false] runs B's own
     chain alone from start (allowed — the Frankenstein program is confined

@@ -264,7 +264,49 @@ let precomp_compile precomp ~pid ~call ~encoded ~mac =
   | None -> ()
   | Some pc -> Precomp.compile pc ~pid ~call ~encoded ~mac
 
-let pre ~kernel ~key ~normalize_paths ~vcache ~precomp ~steps (p : Process.t) ~site ~number =
+(* Step 3 slow path, byte-identical to the pre-cfpre checker: verify the
+   predecessor-set authenticated string (vcache-aided), check the
+   nonce-fresh lbMAC over the policy state, decide membership from the
+   live set bytes, then advance the counter and rewrite lastBlock/lbMAC.
+   A top-level function (not a per-call closure) so the steady-state fast
+   path below allocates nothing for the code it skips. On full success the
+   site's bitset is compiled so the next trap is one load+test. *)
+let control_flow_slow ~m ~steps ~vcache ~cfpre ~key (p : Process.t) ~site
+    ~(pred_ref : Encoded.as_ref) ~lbp ~block =
+  let pred_contents =
+    verify_as m steps Control_flow ~vcache ~pid:p.pid key pred_ref "predecessor set"
+  in
+  let last_block =
+    match Machine.read_word m lbp with
+    | Some v -> v
+    | None -> deny Violation.Control_flow "policy state unreadable"
+  in
+  let lb_mac =
+    match Machine.read_mem m ~addr:(lbp + 8) ~len:16 with
+    | Some s -> s
+    | None -> deny Violation.Control_flow "policy state MAC unreadable"
+  in
+  charge m steps Control_flow (Cost_model.mac_cost 16);
+  let expect = Cmac.mac key (Encoded.state_bytes ~counter:p.counter ~last_block) in
+  if not (Cmac.equal_tags expect lb_mac) then
+    deny_mac Violation.Control_flow ~expected:expect ~got:lb_mac "policy state corrupted";
+  if not (Encoded.predset_mem pred_contents last_block) then
+    deny Violation.Control_flow
+      "control-flow violation: block %d may not follow block %d" block last_block;
+  (* update: counter++ in kernel space, lastBlock/lbMAC in the application *)
+  p.counter <- p.counter + 1;
+  charge m steps Control_flow (Cost_model.mac_cost 16);
+  let new_mac = Cmac.mac key (Encoded.state_bytes ~counter:p.counter ~last_block:block) in
+  if not (Machine.write_word m lbp block && Machine.write_mem m ~addr:(lbp + 8) new_mac)
+  then deny Violation.Control_flow "policy state unwritable";
+  (* the whole step just succeeded from the live bytes: compile the
+     site's bitset so the next trap is one load+test *)
+  match cfpre with
+  | Some cf -> Cfpre.compile cf ~pid:p.pid ~site ~pred_ref ~contents:pred_contents
+  | None -> ()
+
+let pre ~kernel ~key ~normalize_paths ~vcache ~precomp ~cfpre ~cf_note ~steps (p : Process.t)
+    ~site ~number =
   let m = p.machine in
   let r i = m.regs.(i) in
   (* --- step 1 (one alloc region): rebuild the encoded call and check the
@@ -386,33 +428,67 @@ let pre ~kernel ~key ~normalize_paths ~vcache ~precomp ~steps (p : Process.t) ~s
    | None -> ()
    | Some (pred_ref, lbp) ->
      step_region m steps Control_flow (fun () ->
-       (* the predecessor set is content-stable (cacheable like any
+       (* The predecessor set is content-stable (cacheable like any
           authenticated string); the lbMAC below is nonce-fresh by design —
-          the kernel-held counter changes every call — and is never cached *)
-       let pred_contents = verify_as m steps Control_flow ~vcache ~pid:p.pid key pred_ref "predecessor set" in
-       let last_block =
-         match Machine.read_word m lbp with
-         | Some v -> v
-         | None -> deny Violation.Control_flow "policy state unreadable"
-       in
-       let lb_mac =
-         match Machine.read_mem m ~addr:(lbp + 8) ~len:16 with
-         | Some s -> s
-         | None -> deny Violation.Control_flow "policy state MAC unreadable"
-       in
-       charge m steps Control_flow (Cost_model.mac_cost 16);
-       let expect = Cmac.mac key (Encoded.state_bytes ~counter:p.counter ~last_block) in
-       if not (Cmac.equal_tags expect lb_mac) then
-         deny_mac Violation.Control_flow ~expected:expect ~got:lb_mac "policy state corrupted";
-       if not (Encoded.predset_mem pred_contents last_block) then
-         deny Violation.Control_flow
-           "control-flow violation: block %d may not follow block %d" block last_block;
-       (* update: counter++ in kernel space, lastBlock/lbMAC in the application *)
-       p.counter <- p.counter + 1;
-       charge m steps Control_flow (Cost_model.mac_cost 16);
-       let new_mac = Cmac.mac key (Encoded.state_bytes ~counter:p.counter ~last_block:block) in
-       if not (Machine.write_word m lbp block && Machine.write_mem m ~addr:(lbp + 8) new_mac) then
-         deny Violation.Control_flow "policy state unwritable"));
+          the kernel-held counter changes every call — and is never cached.
+          The match is deliberately flat (no intermediate option/tuple):
+          the hit branch's whole host-allocation budget is Cfpre.check's
+          probe plus one [read_word] option. *)
+       match cfpre with
+       | Some cf ->
+         (match Cfpre.check cf ~m ~pid:p.pid ~site ~pred_ref with
+          | Cfpre.Hit { entry; scratch = sc } ->
+            (* Bitset fast path: the live reference and the live guest bytes
+               equal the slow-path-verified ones (Cfpre.check just compared
+               both), so the set's string MAC would necessarily verify — the
+               predecessor check is one load+test in the compiled bitset. The
+               lbMAC is still verified and rewritten fresh on this very call
+               (§3.4 nonce-freshness is untouched); the per-pid chain scratch
+               and single-block CMAC only amortize setup and allocation. *)
+            cf_note := Asc_obs.Telemetry.Cf_hit;
+            let len = Cfpre.contents_length entry in
+            charge m steps Control_flow (Cost_model.cfpre_hit_cost len);
+            if not (Machine.word_ok m lbp) then
+              deny Violation.Control_flow "policy state unreadable";
+            let last_block = Machine.word_at m lbp in
+            if not (Machine.read_into m ~addr:(lbp + 8) ~buf:sc.Cfpre.ps_read ~pos:0 ~len:16)
+            then deny Violation.Control_flow "policy state MAC unreadable";
+            charge m steps Control_flow Cost_model.lbmac_chain_cost;
+            Cfpre.state_into sc ~counter:p.counter ~last_block;
+            Cmac.mac_block_into key sc.Cfpre.ps_state ~dst:sc.Cfpre.ps_tag;
+            if not (Cmac.equal_tags_bytes sc.Cfpre.ps_tag sc.Cfpre.ps_read) then
+              deny_mac Violation.Control_flow
+                ~expected:(Bytes.to_string sc.Cfpre.ps_tag)
+                ~got:(Bytes.to_string sc.Cfpre.ps_read)
+                "policy state corrupted";
+            if not (Cfpre.member entry last_block) then
+              deny Violation.Control_flow
+                "control-flow violation: block %d may not follow block %d" block last_block;
+            (* update: counter++ in kernel space, lastBlock/lbMAC in the
+               application *)
+            p.counter <- p.counter + 1;
+            charge m steps Control_flow Cost_model.lbmac_chain_cost;
+            Cfpre.state_into sc ~counter:p.counter ~last_block:block;
+            Cmac.mac_block_into key sc.Cfpre.ps_state ~dst:sc.Cfpre.ps_tag;
+            if
+              not
+                (Machine.word_ok m lbp
+                 && Machine.write_from m ~addr:(lbp + 8) ~buf:sc.Cfpre.ps_tag ~pos:0 ~len:16)
+            then deny Violation.Control_flow "policy state unwritable";
+            Machine.set_word m lbp block;
+            Cfpre.note_saved cf
+              (Cost_model.mac_cost len - Cost_model.cfpre_hit_cost len
+               + (2 * (Cost_model.mac_cost 16 - Cost_model.lbmac_chain_cost)))
+          | declined ->
+            (match declined with
+             | Cfpre.Miss -> cf_note := Asc_obs.Telemetry.Cf_slow
+             | Cfpre.Fallback Cfpre.Ref_mismatch ->
+               cf_note := Asc_obs.Telemetry.Cf_fallback_ref
+             | Cfpre.Fallback Cfpre.Contents_mismatch ->
+               cf_note := Asc_obs.Telemetry.Cf_fallback_contents
+             | Cfpre.Hit _ -> ());
+            control_flow_slow ~m ~steps ~vcache ~cfpre ~key p ~site ~pred_ref ~lbp ~block)
+       | None -> control_flow_slow ~m ~steps ~vcache ~cfpre ~key p ~site ~pred_ref ~lbp ~block));
   (* --- §5 extensions: allowed-value sets and argument patterns --- *)
   (match ext_contents with
    | None -> ()
@@ -463,7 +539,7 @@ let pre ~kernel ~key ~normalize_paths ~vcache ~precomp ~steps (p : Process.t) ~s
   end;
   reason
 
-let monitor ~kernel ~key ?(normalize_paths = false) ?vcache ?precomp () =
+let monitor ~kernel ~key ?(normalize_paths = false) ?vcache ?precomp ?cfpre () =
   let steps = steps_of kernel.Kernel.obs in
   (* lifecycle invalidation: execve replaces the image the cached
      verifications were performed against, and teardown frees the pid for
@@ -482,6 +558,18 @@ let monitor ~kernel ~key ?(normalize_paths = false) ?vcache ?precomp () =
        | Kernel.Proc_spawn { pid } | Kernel.Proc_exec { pid } -> Precomp.prepare_pid pc pid
        | Kernel.Proc_exit { pid } -> Precomp.invalidate_pid pc pid)
    | None -> ());
+  (* the control-flow bitset table shares Precomp's lifecycle: entries are
+     image-specific, so exec rebuilds the pid's table and teardown drops it *)
+  (match cfpre with
+   | Some cf ->
+     Kernel.add_lifecycle_hook kernel (function
+       | Kernel.Proc_spawn { pid } | Kernel.Proc_exec { pid } -> Cfpre.prepare_pid cf pid
+       | Kernel.Proc_exit { pid } -> Cfpre.invalidate_pid cf pid)
+   | None -> ());
+  (* one cell for the whole monitor (single-threaded kernel): reset per
+     call, read by [finish] on the allow and deny paths alike — so the
+     fast path allocates nothing to report its resolution *)
+  let cf_note = ref Asc_obs.Telemetry.Cf_none in
   let telemetry = Kernel.telemetry kernel in
   { Kernel.monitor_name = "asc-checker";
     pre_syscall =
@@ -517,15 +605,19 @@ let monitor ~kernel ~key ?(normalize_paths = false) ?vcache ?precomp () =
             | Some s -> Syscall.name s
             | None -> Printf.sprintf "syscall#%d" number
           in
-          Asc_obs.Telemetry.record telemetry shard ~site ~sem ~reason ~cycles ~alloc
-            ~now:m.Machine.cycles;
+          Asc_obs.Telemetry.record telemetry shard ~site ~sem ~reason ~cf:!cf_note ~cycles
+            ~alloc ~now:m.Machine.cycles;
           let td = Asc_obs.Profile.minor_words () - ta0 in
           if td > 0 then Asc_obs.Metrics.add steps.sa_telemetry td;
           match m.Machine.profile with
           | Some prof -> Asc_obs.Profile.leave prof
           | None -> ()
         in
-        match pre ~kernel ~key ~normalize_paths ~vcache ~precomp ~steps p ~site ~number with
+        cf_note := Asc_obs.Telemetry.Cf_none;
+        match
+          pre ~kernel ~key ~normalize_paths ~vcache ~precomp ~cfpre ~cf_note ~steps p ~site
+            ~number
+        with
         | reason ->
           finish reason;
           Asc_obs.Metrics.inc steps.st_checked;

@@ -43,6 +43,7 @@ val monitor :
   ?normalize_paths:bool ->
   ?vcache:Vcache.t ->
   ?precomp:Precomp.t ->
+  ?cfpre:Cfpre.t ->
   unit ->
   Oskernel.Kernel.monitor
 (** [normalize_paths] additionally resolves every verified pathname

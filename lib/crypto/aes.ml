@@ -108,8 +108,14 @@ let mix_columns st =
     st.(i + 3) <- (xtime a0 lxor a0) lxor a1 lxor a2 lxor xtime a3
   done
 
+(* One shared state buffer (the kernel is single-threaded and a block
+   encryption fully consumes it before returning): block encryption is on
+   the checker's per-trap path, where a fresh 16-element array per call
+   would dominate the fast paths' host-allocation budget. *)
+let st_scratch = Array.make 16 0
+
 let encrypt_block key src ~pos dst ~dst_pos =
-  let st = Array.make 16 0 in
+  let st = st_scratch in
   for i = 0 to 15 do
     st.(i) <- Char.code (Bytes.get src (pos + i))
   done;

@@ -73,12 +73,36 @@ let mac_bytes key msg ~pos ~len =
 
 let mac key msg = mac_bytes key (Bytes.unsafe_of_string msg) ~pos:0 ~len:(String.length msg)
 
+(* CMAC of a single complete 16-byte block, written into [dst] without
+   allocating: the message is its own (complete) final block, so the tag is
+   AES(M1 xor k1) — the degenerate case of the streaming chain, where the
+   saved state over the empty prefix is just the subkey schedule. Equal to
+   [mac] of the same 16 bytes (pinned by the unit tests). *)
+let mac_block_into key b ~dst =
+  if Bytes.length b < 16 then invalid_arg "Cmac.mac_block_into: block must be 16 bytes";
+  if Bytes.length dst < 16 then invalid_arg "Cmac.mac_block_into: dst must hold 16 bytes";
+  let x = key.s_x in
+  Bytes.blit b 0 x 0 16;
+  xor_into x key.k1;
+  Aes.encrypt_block key.aes x ~pos:0 x ~dst_pos:0;
+  Bytes.blit x 0 dst 0 16
+
 let equal_tags a b =
   if String.length a <> String.length b then false
   else begin
     let acc = ref 0 in
     for i = 0 to String.length a - 1 do
       acc := !acc lor (Char.code a.[i] lxor Char.code b.[i])
+    done;
+    !acc = 0
+  end
+
+let equal_tags_bytes a b =
+  if Bytes.length a <> Bytes.length b then false
+  else begin
+    let acc = ref 0 in
+    for i = 0 to Bytes.length a - 1 do
+      acc := !acc lor (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i))
     done;
     !acc = 0
   end

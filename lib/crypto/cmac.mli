@@ -18,9 +18,23 @@ val mac : key -> string -> string
 val mac_bytes : key -> bytes -> pos:int -> len:int -> string
 (** [mac_bytes k b ~pos ~len] MACs the slice [b.[pos .. pos+len-1]]. *)
 
+val mac_block_into : key -> bytes -> dst:bytes -> unit
+(** [mac_block_into k b ~dst] writes the 16-byte CMAC tag of the single
+    complete block [b.[0..15]] into [dst.[0..15]] without allocating. A
+    complete block is its own final block, so the tag is
+    [AES(b xor k1)] — one AES invocation, the degenerate case of the
+    {!Streaming} chain whose saved empty-prefix state is the subkey
+    schedule itself. Always equal to [mac k] of the same 16 bytes; this is
+    the amortized per-call step of the checker's lbMAC nonce chain.
+    @raise Invalid_argument if [b] or [dst] is shorter than 16 bytes. *)
+
 val equal_tags : string -> string -> bool
 (** Constant-time comparison of two 16-byte tags. Returns [false] when
     lengths differ. *)
+
+val equal_tags_bytes : bytes -> bytes -> bool
+(** {!equal_tags} over scratch buffers (no string conversion on the
+    comparison path). *)
 
 val tag_len : int
 (** Length of a tag in bytes (16). *)

@@ -26,6 +26,31 @@ let reason_labels =
 
 let reason_label r = reason_labels.(reason_index r)
 
+(* Second exhaustive per-call dimension: how the control-flow step (the
+   predecessor check + lbMAC update) was resolved. Orthogonal to [reason],
+   which reports the call-MAC resolution — a call can be a precomp hit on
+   step 1 and a bitset fallback on step 3. Exactly one code per monitored
+   call; [Cf_none] covers calls with no control-flow policy (or no cfpre
+   armed), so the buckets always sum to the call count. *)
+type cf_reason =
+  | Cf_none
+  | Cf_hit
+  | Cf_slow
+  | Cf_fallback_ref
+  | Cf_fallback_contents
+
+let num_cf_reasons = 5
+
+let cf_index = function
+  | Cf_none -> 0
+  | Cf_hit -> 1
+  | Cf_slow -> 2
+  | Cf_fallback_ref -> 3
+  | Cf_fallback_contents -> 4
+
+let cf_labels = [| "cf_none"; "cf_hit"; "cf_slow"; "cf_fallback_ref"; "cf_fallback_contents" |]
+let cf_label c = cf_labels.(cf_index c)
+
 type ledger_entry = {
   le_site : int;
   le_sem : string;
@@ -53,6 +78,7 @@ type hist = {
 type shard = {
   sh_pid : int;
   sh_reasons : int array;
+  sh_cf : int array;
   sh_deny : (string, int) Hashtbl.t;
   sh_per_sem : (string, mhist) Hashtbl.t;
   sh_sites : (int, int array) Hashtbl.t;
@@ -71,6 +97,7 @@ type stats = {
   t_self_cycles : int;
   t_alloc_words : int;
   t_reasons : int array;
+  t_cf : int array;
   t_deny_steps : (string * int) list;
   t_per_sem : (string * hist) list;
   t_sites : (int * int array) list;
@@ -90,6 +117,7 @@ type t = {
   g_hist : mhist;
   g_alloc : mhist;
   g_reasons : int array;
+  g_cf : int array;
   mutable g_records : int;
   mutable g_denies : int;
   mutable g_self : int;
@@ -120,6 +148,7 @@ let empty_stats = {
   t_self_cycles = 0;
   t_alloc_words = 0;
   t_reasons = Array.make num_reasons 0;
+  t_cf = Array.make num_cf_reasons 0;
   t_deny_steps = [];
   t_per_sem = [];
   t_sites = [];
@@ -157,6 +186,7 @@ let create ?(ring_capacity = 256) ?buckets ?alloc_buckets () =
     g_hist = { m_counts = Array.make nslots 0; m_sum = 0; m_count = 0 };
     g_alloc = { m_counts = Array.make a_nslots 0; m_sum = 0; m_count = 0 };
     g_reasons = Array.make num_reasons 0;
+    g_cf = Array.make num_cf_reasons 0;
     g_records = 0;
     g_denies = 0;
     g_self = 0;
@@ -176,6 +206,7 @@ let shard t ~pid =
     let sh = {
       sh_pid = pid;
       sh_reasons = Array.make num_reasons 0;
+      sh_cf = Array.make num_cf_reasons 0;
       sh_deny = Hashtbl.create 4;
       sh_per_sem = Hashtbl.create 16;
       sh_sites = Hashtbl.create 32;
@@ -246,9 +277,12 @@ let cut_row t ~now =
   t.em_last_cycles <- t.g_hist.m_sum;
   t.em_last_alloc <- t.g_alloc.m_sum
 
-let record t sh ~site ~sem ~reason ~cycles ~alloc ~now =
+let record t ?(cf = Cf_none) sh ~site ~sem ~reason ~cycles ~alloc ~now =
   let idx = reason_index reason in
   sh.sh_reasons.(idx) <- sh.sh_reasons.(idx) + 1;
+  let cfi = cf_index cf in
+  sh.sh_cf.(cfi) <- sh.sh_cf.(cfi) + 1;
+  t.g_cf.(cfi) <- t.g_cf.(cfi) + 1;
   sh.sh_calls <- sh.sh_calls + 1;
   sh.sh_cycles <- sh.sh_cycles + cycles;
   (match reason with
@@ -305,6 +339,7 @@ let stats_of_shard _t sh =
     t_self_cycles = sh.sh_self;
     t_alloc_words = sh.sh_alloc.m_sum;
     t_reasons = Array.copy sh.sh_reasons;
+    t_cf = Array.copy sh.sh_cf;
     t_deny_steps = sorted_assoc sh.sh_deny;
     t_per_sem =
       List.map
@@ -351,6 +386,7 @@ let merge a b =
     t_self_cycles = a.t_self_cycles + b.t_self_cycles;
     t_alloc_words = a.t_alloc_words + b.t_alloc_words;
     t_reasons = add_arrays a.t_reasons b.t_reasons;
+    t_cf = add_arrays a.t_cf b.t_cf;
     t_deny_steps = assoc_union ( + ) a.t_deny_steps b.t_deny_steps;
     t_per_sem = assoc_union merge_hist a.t_per_sem b.t_per_sem;
     t_sites = assoc_union add_arrays a.t_sites b.t_sites;
@@ -361,6 +397,7 @@ let aggregate t =
   Hashtbl.fold (fun _ sh acc -> merge acc (stats_of_shard t sh)) t.shards t.retired
 
 let reasons_total s = Array.fold_left ( + ) 0 s.t_reasons
+let cf_total s = Array.fold_left ( + ) 0 s.t_cf
 
 let retire_pid t ~pid =
   match Hashtbl.find_opt t.shards pid with
@@ -412,6 +449,9 @@ let stats_to_json t s =
     ("reasons",
      Json.Obj
        (Array.to_list (Array.mapi (fun i l -> (l, Json.Int s.t_reasons.(i))) reason_labels)));
+    ("cf_reasons",
+     Json.Obj
+       (Array.to_list (Array.mapi (fun i l -> (l, Json.Int s.t_cf.(i))) cf_labels)));
     ("deny_steps",
      Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) s.t_deny_steps));
     ("per_syscall",

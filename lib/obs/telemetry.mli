@@ -63,6 +63,34 @@ val reason_labels : string array
 (** Labels by {!reason_index} — the exhaustive bucket list, used by the
     exporters and the schema self-checks. *)
 
+(** How a monitored call's control-flow step (predecessor check + lbMAC
+    update) was resolved — the second exhaustive per-call dimension,
+    orthogonal to {!reason} (which reports the call-MAC resolution).
+    Exactly one code per call. *)
+type cf_reason =
+  | Cf_none               (** no control-flow policy on the call, or no
+                              cfpre table armed *)
+  | Cf_hit                (** precompiled bitset decided the predecessor
+                              check; lbMAC refreshed via the amortized
+                              chain *)
+  | Cf_slow               (** cfpre armed but no compiled entry for the
+                              site — full slow-path step 3 (which may then
+                              compile one) *)
+  | Cf_fallback_ref       (** the live predecessor reference differs from
+                              the compiled one; slow path decided *)
+  | Cf_fallback_contents  (** the reference matched but the guest bytes
+                              changed; slow path decided (and denies) *)
+
+val num_cf_reasons : int
+
+val cf_index : cf_reason -> int
+(** Stable index in [0, num_cf_reasons). *)
+
+val cf_label : cf_reason -> string
+
+val cf_labels : string array
+(** Labels by {!cf_index} ([cf_none], [cf_hit], ...). *)
+
 (** {1 The plane and its shards} *)
 
 type t
@@ -92,8 +120,8 @@ val shard : t -> pid:int -> shard
     from [spawn]). *)
 
 val record :
-  t -> shard -> site:int -> sem:string -> reason:reason -> cycles:int -> alloc:int ->
-  now:int -> unit
+  t -> ?cf:cf_reason -> shard -> site:int -> sem:string -> reason:reason -> cycles:int ->
+  alloc:int -> now:int -> unit
 (** The hot-path write: bump the shard's reason/site/syscall statistics
     and alloc rollups ([alloc] = host minor words the call's verification
     allocated), append to its ledger ring, and (when an emitter is armed)
@@ -136,6 +164,7 @@ type stats = {
   t_self_cycles : int;                 (** telemetry's own charged cycles *)
   t_alloc_words : int;                 (** minor words recorded ([t_alloc] sum) *)
   t_reasons : int array;               (** indexed by {!reason_index} *)
+  t_cf : int array;                    (** indexed by {!cf_index} *)
   t_deny_steps : (string * int) list;  (** violation step name -> denies *)
   t_per_sem : (string * hist) list;    (** syscall name -> cycle histogram *)
   t_sites : (int * int array) list;    (** site -> per-reason counts *)
@@ -164,6 +193,11 @@ val aggregate : t -> stats
 val reasons_total : stats -> int
 (** Sum of every reason bucket — equals [t_calls] by construction (the
     exhaustiveness invariant). *)
+
+val cf_total : stats -> int
+(** Sum of every control-flow bucket — likewise equals [t_calls] (every
+    recorded call carries exactly one {!cf_reason}, [Cf_none]
+    included). *)
 
 (** {1 Snapshots (time series)} *)
 

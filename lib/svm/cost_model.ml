@@ -33,6 +33,11 @@ let vcache_hit_per_block = 4
 let precomp_lookup_cost = 30
 let precomp_hit_per_block = 4
 
+let cfpre_lookup_cost = 8
+let cfpre_hit_per_block = 2
+
+let lbmac_chain_cost = aes_block
+
 let telemetry_record_cost = 10
 
 let mac_cost len = mac_setup + (aes_block * ((len + 16) / 16))
@@ -40,3 +45,4 @@ let copy_cost len = len * per_byte_copy / per_byte_copy_denom
 let vcache_hit_cost len = vcache_hit_base + (vcache_hit_per_block * ((len + 16) / 16))
 let precomp_hit_cost slen = precomp_lookup_cost + (precomp_hit_per_block * ((slen + 16) / 16))
 let mac_resume_cost slen = aes_block * ((slen + 16) / 16)
+let cfpre_hit_cost len = cfpre_lookup_cost + (cfpre_hit_per_block * ((len + 16) / 16))

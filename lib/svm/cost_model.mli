@@ -66,6 +66,29 @@ val precomp_hit_per_block : int
     guest memory against the entry's remembered values (the static prefix
     was already pinned by the structural compare). *)
 
+val cfpre_lookup_cost : int
+(** Fixed cost of probing the per-pid control-flow bitset table on a trap:
+    the site id indexes the table directly and the entry's compiled
+    predecessor reference is compared structurally (addr/len/tag) — no key
+    material is hashed and no MAC state is touched, so the base sits well
+    below even {!precomp_lookup_cost}. *)
+
+val cfpre_hit_per_block : int
+(** Per-16-byte-block cost of confirming a bitset hit: the kernel compares
+    the live predecessor-set bytes it can already address against the
+    compiled contents (a hit is never cheaper than reading its own set),
+    then the membership test itself is one load+test in the bitset. *)
+
+val lbmac_chain_cost : int
+(** Cost of one step of the amortized lbMAC nonce chain: the policy-state
+    block is exactly one complete 16-byte CMAC block, so with the per-pid
+    chain state armed at exec time (subkeys scheduled, scratch resident)
+    each refresh is a single AES invocation — [aes_block] — instead of a
+    full {!mac_cost}[ 16] ([mac_setup] is paid once per pid, not per
+    call). The MAC itself is still computed fresh on every call (the §3.4
+    nonce-freshness guarantee is untouched); only the modeled setup charge
+    is amortized. *)
+
 val telemetry_record_cost : int
 (** Per-monitored-call cost of the telemetry plane's shard update (reason
     bump, histogram observe, ledger ring push — all O(1), no hashing of
@@ -97,6 +120,14 @@ val precomp_hit_cost : int -> int
     layout: the suffix is one block shorter than the encoded string and
     the lookup base is 30 below the vcache's hash-and-probe base — the
     precomp-beats-vcache gate the table4 benchmark enforces. *)
+
+val cfpre_hit_cost : int -> int
+(** [cfpre_hit_cost len] is the modeled cost of a control-flow bitset hit
+    whose compiled predecessor set is [len] bytes:
+    [cfpre_lookup_cost + cfpre_hit_per_block * ceil((len+1)/16)]. Strictly
+    below {!vcache_hit_cost} for every length (both constants are
+    smaller), so the bitset path always beats re-verifying the set through
+    the verified-MAC cache — the gate the table4 benchmark enforces. *)
 
 val mac_resume_cost : int -> int
 (** [mac_resume_cost slen] is the modeled cost of resuming a saved CMAC

@@ -72,6 +72,58 @@ let write_mem t ~addr s =
   end
   else false
 
+let read_into t ~addr ~buf ~pos ~len =
+  if in_range t addr len && pos >= 0 && len >= 0 && pos + len <= Bytes.length buf then begin
+    Bytes.blit t.mem addr buf pos len;
+    true
+  end
+  else false
+
+let write_from t ~addr ~buf ~pos ~len =
+  if in_range t addr len && pos >= 0 && len >= 0 && pos + len <= Bytes.length buf then begin
+    Bytes.blit buf pos t.mem addr len;
+    true
+  end
+  else false
+
+(* a while loop rather than an inner recursive function: this runs on the
+   checker's per-trap fast path, where even one closure allocation counts
+   against the step's host-allocation budget *)
+let mem_equal t ~addr s =
+  let len = String.length s in
+  in_range t addr len
+  && begin
+    let i = ref 0 in
+    while !i < len && Bytes.get t.mem (addr + !i) = s.[!i] do
+      incr i
+    done;
+    !i = len
+  end
+
+(* Allocation-free word accessors: compose the LE word with int
+   arithmetic instead of a boxed Int64. [lsl]/[asr] keep the low 63 bits
+   exactly as [Int64.to_int]/[Int64.of_int] do, so the values and bytes
+   round-trip identically with [read_word]/[write_word]. *)
+let word_ok t addr = in_range t addr 8
+
+let word_at t addr =
+  if not (in_range t addr 8) then invalid_arg "Machine.word_at: out of range";
+  let mem = t.mem in
+  Char.code (Bytes.unsafe_get mem addr)
+  lor (Char.code (Bytes.unsafe_get mem (addr + 1)) lsl 8)
+  lor (Char.code (Bytes.unsafe_get mem (addr + 2)) lsl 16)
+  lor (Char.code (Bytes.unsafe_get mem (addr + 3)) lsl 24)
+  lor (Char.code (Bytes.unsafe_get mem (addr + 4)) lsl 32)
+  lor (Char.code (Bytes.unsafe_get mem (addr + 5)) lsl 40)
+  lor (Char.code (Bytes.unsafe_get mem (addr + 6)) lsl 48)
+  lor (Char.code (Bytes.unsafe_get mem (addr + 7)) lsl 56)
+
+let set_word t addr v =
+  if not (in_range t addr 8) then invalid_arg "Machine.set_word: out of range";
+  for i = 0 to 7 do
+    Bytes.unsafe_set t.mem (addr + i) (Char.unsafe_chr ((v asr (8 * i)) land 0xff))
+  done
+
 let read_cstring t ~addr ~max =
   if addr < 0 || addr >= Bytes.length t.mem then None
   else begin

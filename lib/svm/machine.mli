@@ -66,6 +66,33 @@ val read_byte : t -> int -> int option
 val write_byte : t -> int -> int -> bool
 val read_mem : t -> addr:int -> len:int -> string option
 val write_mem : t -> addr:int -> string -> bool
+val read_into : t -> addr:int -> buf:Bytes.t -> pos:int -> len:int -> bool
+(** Copy [len] guest bytes at [addr] into [buf] at [pos] without
+    allocating; [false] (and no write) if either range is out of
+    bounds. *)
+
+val write_from : t -> addr:int -> buf:Bytes.t -> pos:int -> len:int -> bool
+(** Copy [len] bytes of [buf] at [pos] into guest memory at [addr]
+    without allocating; [false] (and no write) on a bad range. *)
+
+val mem_equal : t -> addr:int -> string -> bool
+(** [mem_equal t ~addr s] is [true] iff the guest bytes at
+    [addr .. addr+|s|-1] are in range and equal [s] — an allocation-free
+    [read_mem]-and-compare. *)
+
+(** {3 Allocation-free word accessors}
+
+    [read_word]/[write_word] box an [Int64] per call; on per-trap fast
+    paths that boxing alone blows the step's host-allocation budget.
+    Check bounds once with [word_ok], then [word_at]/[set_word] compose
+    the LE word with int arithmetic — same value/bytes as the boxed
+    pair. [word_at]/[set_word] on an address [word_ok] rejected raise
+    [Invalid_argument]. *)
+
+val word_ok : t -> int -> bool
+val word_at : t -> int -> int
+val set_word : t -> int -> int -> unit
+
 val read_cstring : t -> addr:int -> max:int -> string option
 (** NUL-terminated string at [addr]; [None] if unterminated within [max]
     bytes or out of range. *)

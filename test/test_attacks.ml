@@ -57,7 +57,7 @@ let step_of what = function
   | o -> Alcotest.failf "%s: expected a structured block, got %a" what Attacks.pp_outcome o
 
 let attack_triple :
-    (string * (?use_vcache:bool -> ?use_precomp:bool -> protected:bool -> unit -> Attacks.outcome))
+    (string * (?use_vcache:bool -> ?use_precomp:bool -> ?use_cfpre:bool -> protected:bool -> unit -> Attacks.outcome))
     list =
   [ ("shellcode", Attacks.shellcode);
     ("mimicry", Attacks.mimicry);
@@ -67,7 +67,7 @@ let test_vcache_deny_parity () =
   List.iter
     (fun ((name : string),
           (attack :
-            ?use_vcache:bool -> ?use_precomp:bool -> protected:bool -> unit -> Attacks.outcome)) ->
+            ?use_vcache:bool -> ?use_precomp:bool -> ?use_cfpre:bool -> protected:bool -> unit -> Attacks.outcome)) ->
       let off = step_of (name ^ " (cache off)") (attack ~use_vcache:false ~protected:true ()) in
       let on = step_of (name ^ " (cache on)") (attack ~use_vcache:true ~protected:true ()) in
       Alcotest.(check string)
@@ -84,7 +84,7 @@ let test_precomp_deny_parity () =
   List.iter
     (fun ((name : string),
           (attack :
-            ?use_vcache:bool -> ?use_precomp:bool -> protected:bool -> unit -> Attacks.outcome)) ->
+            ?use_vcache:bool -> ?use_precomp:bool -> ?use_cfpre:bool -> protected:bool -> unit -> Attacks.outcome)) ->
       let off =
         step_of (name ^ " (precomp off)")
           (attack ~use_vcache:true ~use_precomp:false ~protected:true ())
